@@ -1,0 +1,63 @@
+//===- semantic_exec.cpp - Interpreter throughput over verified code ------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmarks the Caesium interpreter executing the verified case studies'
+/// drivers (the semantic-soundness substitute; DESIGN.md). Concurrent case
+/// studies run with randomized schedules, so each iteration covers a
+/// different interleaving.
+///
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Interp.h"
+#include "casestudies/CaseStudies.h"
+#include "frontend/Frontend.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rcc;
+using namespace rcc::casestudies;
+
+static void BM_Execute(benchmark::State &State, const std::string &Id) {
+  const CaseStudy *CS = caseStudy(Id);
+  if (!CS || CS->Driver.empty()) {
+    State.SkipWithError("no driver");
+    return;
+  }
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(CS->Source, Diags);
+  if (!AP) {
+    State.SkipWithError("front end failed");
+    return;
+  }
+  uint64_t Seed = 1;
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    caesium::Machine M(AP->Prog, Seed++);
+    caesium::ExecResult R = M.run(CS->Driver, {});
+    if (!R.ok())
+      State.SkipWithError(("execution failed: " + R.Message).c_str());
+    Steps += M.stepsTaken();
+  }
+  State.counters["machine_steps"] =
+      benchmark::Counter(static_cast<double>(Steps),
+                         benchmark::Counter::kIsRate);
+}
+
+namespace {
+struct Registrar {
+  Registrar() {
+    for (const CaseStudy &CS : allCaseStudies())
+      benchmark::RegisterBenchmark(("BM_Execute/" + CS.Id).c_str(),
+                                   [Id = CS.Id](benchmark::State &S) {
+                                     BM_Execute(S, Id);
+                                   })
+          ->Unit(benchmark::kMicrosecond);
+  }
+} TheRegistrar;
+} // namespace
+
+BENCHMARK_MAIN();

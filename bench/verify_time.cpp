@@ -1,0 +1,71 @@
+//===- verify_time.cpp - Verification latency per case study -------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Supplementary benchmark (the paper reports no timings): wall-clock time
+/// to verify each case study end to end (front end + spec environment +
+/// Lithium search), via google-benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "casestudies/Evaluate.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rcc::casestudies;
+
+static void BM_Verify(benchmark::State &State, const std::string &Id) {
+  const CaseStudy *CS = caseStudy(Id);
+  if (!CS) {
+    State.SkipWithError("unknown case study");
+    return;
+  }
+  EvalOptions Opts;
+  Opts.RunProofCheck = false;
+  for (auto _ : State) {
+    Fig7Row Row = evaluateCaseStudy(*CS, Opts);
+    if (!Row.Verified)
+      State.SkipWithError("verification failed");
+    benchmark::DoNotOptimize(Row.RuleApps);
+  }
+}
+
+static void BM_VerifyAndProofCheck(benchmark::State &State,
+                                   const std::string &Id) {
+  const CaseStudy *CS = caseStudy(Id);
+  if (!CS) {
+    State.SkipWithError("unknown case study");
+    return;
+  }
+  EvalOptions Opts;
+  Opts.RunProofCheck = true;
+  for (auto _ : State) {
+    Fig7Row Row = evaluateCaseStudy(*CS, Opts);
+    if (!Row.ProofCheckOk)
+      State.SkipWithError("proof re-check failed");
+    benchmark::DoNotOptimize(Row.RuleApps);
+  }
+}
+
+namespace {
+struct Registrar {
+  Registrar() {
+    for (const CaseStudy &CS : allCaseStudies()) {
+      benchmark::RegisterBenchmark(("BM_Verify/" + CS.Id).c_str(),
+                                   [Id = CS.Id](benchmark::State &S) {
+                                     BM_Verify(S, Id);
+                                   })
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("BM_VerifyAndProofCheck/" + CS.Id).c_str(),
+          [Id = CS.Id](benchmark::State &S) { BM_VerifyAndProofCheck(S, Id); })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+} TheRegistrar;
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+//===- concurrent_demo.cpp - Fine-grained concurrency (Section 6) ---------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spinlock case study (class #6) end to end: verification of
+/// acquire/release against the atomicbool type (CAS-BOOL, Figure 6),
+/// execution under many randomized thread interleavings, and — as a
+/// contrast — a deliberately broken variant without the lock, which (a) the
+/// verifier rejects and (b) the interpreter's race detector catches as
+/// undefined behaviour on some schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Interp.h"
+#include "casestudies/CaseStudies.h"
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+
+#include <cstdio>
+
+using namespace rcc;
+
+static const char *RacySource = R"(
+size_t counter;
+
+// No lock: the counter is written without synchronization.
+[[rc::parameters()]]
+void racy_inc(void) {
+  counter = counter + 1;
+}
+
+void rworker(void* unused) { racy_inc(); }
+
+int main() {
+  counter = 0;
+  int t1 = rc_spawn(rworker, NULL);
+  int t2 = rc_spawn(rworker, NULL);
+  rc_join(t1);
+  rc_join(t2);
+  return (int)counter;
+}
+)";
+
+int main() {
+  // --- The verified spinlock case study ---
+  const casestudies::CaseStudy *CS = casestudies::caseStudy("spinlock");
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(CS->Source, Diags);
+  if (!AP) {
+    printf("%s", Diags.render(CS->Source).c_str());
+    return 1;
+  }
+  refinedc::Checker Checker(*AP, Diags);
+  if (!Checker.buildEnv())
+    return 1;
+  for (const char *Fn : {"spin_lock", "spin_unlock", "shared_inc"}) {
+    refinedc::FnResult R = Checker.verifyFunction(Fn);
+    if (!R.Verified) {
+      printf("%s", R.renderError(CS->Source).c_str());
+      return 1;
+    }
+    printf("verified `%s` (%u rule applications)\n", Fn, R.Stats.RuleApps);
+  }
+
+  unsigned Schedules = 64;
+  for (uint64_t Seed = 1; Seed <= Schedules; ++Seed) {
+    caesium::Machine M(AP->Prog, Seed);
+    caesium::ExecResult E = M.run("main", {});
+    if (!E.ok()) {
+      printf("schedule %llu failed: %s\n", (unsigned long long)Seed,
+             E.Message.c_str());
+      return 1;
+    }
+    if (E.MainRet.asSigned() != 4) {
+      printf("schedule %llu lost an update!\n", (unsigned long long)Seed);
+      return 1;
+    }
+  }
+  printf("executed the two-worker counter under %u schedules: always 4\n",
+         Schedules);
+
+  // --- The racy contrast ---
+  DiagnosticEngine D2;
+  auto AP2 = front::compileSource(RacySource, D2);
+  if (!AP2)
+    return 1;
+  refinedc::Checker C2(*AP2, D2);
+  if (!C2.buildEnv())
+    return 1;
+  refinedc::FnResult R2 = C2.verifyFunction("racy_inc");
+  printf("\nracy_inc without a lock: verification %s (as it must: the "
+         "counter is not owned)\n",
+         R2.Verified ? "UNEXPECTEDLY SUCCEEDED" : "rejected");
+
+  bool SawRace = false;
+  for (uint64_t Seed = 1; Seed <= 64 && !SawRace; ++Seed) {
+    caesium::Machine M(AP2->Prog, Seed);
+    caesium::ExecResult E = M.run("main", {});
+    if (!E.ok() && E.Message.find("data race") != std::string::npos)
+      SawRace = true;
+  }
+  printf("interpreter race detector on the racy variant: %s\n",
+         SawRace ? "caught a data race" : "no race on tried schedules");
+  return (!R2.Verified && SawRace) ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// demo.c — input for examples/verify_tool: a small annotated module.
+//
+//   ./build/examples/verify_tool --stats --run examples/demo.c
+//
+// Every rc::-annotated function is verified; main is executed afterwards on
+// the Caesium interpreter.
+
+struct [[rc::refined_by("a: nat")]] arena_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ arena_t>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : {n <= a ? a - n : a} @ arena_t")]]
+void* arena_alloc(struct arena_t* d, size_t sz) {
+  if (sz > d->len) return NULL;
+  d->len -= sz;
+  return d->buffer + d->len;
+}
+
+[[rc::parameters("x: nat", "y: nat", "p: loc", "q: loc")]]
+[[rc::args("p @ &own<x @ int<size_t>>", "q @ &own<y @ int<size_t>>")]]
+[[rc::ensures("own p : y @ int<size_t>", "own q : x @ int<size_t>")]]
+void swap(size_t* a, size_t* b) {
+  size_t t = *a;
+  *a = *b;
+  *b = t;
+}
+
+[[rc::parameters("a: nat", "b: nat")]]
+[[rc::args("a @ int<size_t>", "b @ int<size_t>")]]
+[[rc::exists("m: nat")]]
+[[rc::returns("m @ int<size_t>")]]
+[[rc::ensures("{a <= m}", "{b <= m}")]]
+size_t max_sz(size_t a, size_t b) {
+  return a < b ? b : a;
+}
+
+struct arena_t arena;
+
+int main() {
+  arena.len = 64;
+  arena.buffer = rc_alloc(64);
+  unsigned char* block = arena_alloc(&arena, 16);
+  rc_assert(block != NULL);
+  block[0] = 1;
+
+  size_t x = 3;
+  size_t y = 39;
+  swap(&x, &y);
+  rc_assert(x == 39);
+
+  return (int)max_sz(x, y) + block[0] + 2;
+}

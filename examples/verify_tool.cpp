@@ -1,0 +1,130 @@
+//===- verify_tool.cpp - A command-line RefinedC++ verifier ---------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The downstream-user tool: `verify_tool file.c [function...]` verifies the
+/// named functions (default: every function carrying rc:: annotations) and
+/// prints per-function results with the paper's error-message format on
+/// failure. Exit code 0 iff everything verified. Flags:
+///
+///   --stats        print per-function rule/side-condition statistics
+///   --no-recheck   skip the independent derivation replay
+///   --run[=fn]     additionally execute `fn` (default main) afterwards
+///
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Interp.h"
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+#include "refinedc/ProofChecker.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace rcc;
+
+int main(int argc, char **argv) {
+  std::string Path;
+  std::vector<std::string> Functions;
+  bool Stats = false, Recheck = true;
+  std::string RunFn;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--stats")
+      Stats = true;
+    else if (A == "--no-recheck")
+      Recheck = false;
+    else if (A == "--run")
+      RunFn = "main";
+    else if (A.rfind("--run=", 0) == 0)
+      RunFn = A.substr(6);
+    else if (Path.empty())
+      Path = A;
+    else
+      Functions.push_back(A);
+  }
+  if (Path.empty()) {
+    fprintf(stderr,
+            "usage: verify_tool [--stats] [--no-recheck] [--run[=fn]] "
+            "<file.c> [function...]\n");
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  std::string Source = SS.str();
+
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Source, Diags);
+  if (!AP) {
+    fprintf(stderr, "%s", Diags.render(Source).c_str());
+    return 1;
+  }
+  refinedc::Checker Checker(*AP, Diags);
+  if (!Checker.buildEnv()) {
+    fprintf(stderr, "%s", Diags.render(Source).c_str());
+    return 1;
+  }
+
+  if (Functions.empty())
+    for (const auto &[Name, Spec] : Checker.env().FnSpecs)
+      if (AP->Prog.function(Name) && AP->Fns.count(Name) &&
+          AP->Fns.at(Name).HasBody)
+        Functions.push_back(Name);
+
+  bool AllOk = true;
+  for (const std::string &Fn : Functions) {
+    refinedc::FnResult R = Checker.verifyFunction(Fn);
+    if (!R.Verified) {
+      AllOk = false;
+      printf("[FAIL] %s\n%s\n", Fn.c_str(),
+             R.renderError(Source).c_str());
+      continue;
+    }
+    std::string Note;
+    if (Recheck) {
+      std::vector<pure::Lemma> Lemmas;
+      auto It = Checker.env().FnSpecs.find(Fn);
+      if (It != Checker.env().FnSpecs.end())
+        for (const auto &[LN, LP, LL] : It->second->Lemmas)
+          Lemmas.push_back({LN, LP, LL});
+      refinedc::ProofChecker PC(Checker.rules());
+      refinedc::ProofCheckResult P = PC.check(R.Deriv, Lemmas);
+      Note = P.Ok ? ", derivation re-checked" : ", RE-CHECK FAILED";
+      if (!P.Ok)
+        AllOk = false;
+    }
+    printf("[ ok ] %s%s%s\n", Fn.c_str(), R.Trusted ? " (trusted)" : "",
+           Note.c_str());
+    if (Stats)
+      printf("       %u rule applications (%u distinct), %u evars, "
+             "side conditions %u auto / %u manual\n",
+             R.Stats.RuleApps, (unsigned)R.Stats.RulesUsed.size(),
+             R.EvarsInstantiated, R.Stats.SideCondAuto,
+             R.Stats.SideCondManual);
+  }
+
+  if (!RunFn.empty()) {
+    caesium::Machine M(AP->Prog);
+    caesium::ExecResult E = M.run(RunFn, {});
+    if (E.ok())
+      printf("[run ] %s() -> %lld\n", RunFn.c_str(),
+             E.MainRet.isInt() ? (long long)E.MainRet.asSigned() : 0LL);
+    else {
+      printf("[run ] %s() FAILED: %s\n", RunFn.c_str(), E.Message.c_str());
+      AllOk = false;
+    }
+  }
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,233 @@
+//===- Ast.cpp ------------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Ast.h"
+
+#include <sstream>
+
+using namespace rcc::caesium;
+
+const char *rcc::caesium::binOpName(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::BitAnd:
+    return "&";
+  case BinOpKind::BitOr:
+    return "|";
+  case BinOpKind::BitXor:
+    return "^";
+  case BinOpKind::Shl:
+    return "<<";
+  case BinOpKind::Shr:
+    return ">>";
+  case BinOpKind::EqOp:
+    return "==";
+  case BinOpKind::NeOp:
+    return "!=";
+  case BinOpKind::LtOp:
+    return "<";
+  case BinOpKind::LeOp:
+    return "<=";
+  case BinOpKind::GtOp:
+    return ">";
+  case BinOpKind::GeOp:
+    return ">=";
+  case BinOpKind::PtrAdd:
+    return "+p";
+  case BinOpKind::PtrSub:
+    return "-p";
+  case BinOpKind::PtrDiff:
+    return "-pp";
+  case BinOpKind::PtrEq:
+    return "==p";
+  case BinOpKind::PtrNe:
+    return "!=p";
+  }
+  return "?";
+}
+
+std::string Expr::str() const {
+  std::ostringstream OS;
+  switch (K) {
+  case ExprKind::Const:
+    OS << Val.str();
+    break;
+  case ExprKind::AddrLocal:
+    OS << "&" << Name;
+    break;
+  case ExprKind::AddrGlobal:
+    OS << "&g:" << Name;
+    break;
+  case ExprKind::BinOp:
+    OS << "(" << Args[0]->str() << " " << binOpName(Op) << " "
+       << Args[1]->str() << ")";
+    break;
+  case ExprKind::UnOp:
+    switch (UOp) {
+    case UnOpKind::Neg:
+      OS << "-" << Args[0]->str();
+      break;
+    case UnOpKind::LogicalNot:
+      OS << "!" << Args[0]->str();
+      break;
+    case UnOpKind::BitNot:
+      OS << "~" << Args[0]->str();
+      break;
+    case UnOpKind::Cast:
+      OS << "(" << To.str() << ")" << Args[0]->str();
+      break;
+    }
+    break;
+  case ExprKind::Use:
+    OS << "use<" << AccessSize << (Ord == MemOrder::SeqCst ? ",sc" : "")
+       << ">(" << Args[0]->str() << ")";
+    break;
+  case ExprKind::Store:
+    OS << "store<" << AccessSize << (Ord == MemOrder::SeqCst ? ",sc" : "")
+       << ">(" << Args[0]->str() << ", " << Args[1]->str() << ")";
+    break;
+  case ExprKind::CAS:
+    OS << "cas<" << AccessSize << ">(" << Args[0]->str() << ", "
+       << Args[1]->str() << ", " << Args[2]->str() << ")";
+    break;
+  case ExprKind::Call:
+    OS << Args[0]->str() << "(";
+    for (size_t I = 1; I < Args.size(); ++I) {
+      if (I > 1)
+        OS << ", ";
+      OS << Args[I]->str();
+    }
+    OS << ")";
+    break;
+  }
+  return OS.str();
+}
+
+ExprPtr rcc::caesium::mkConst(RtVal V, rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Const);
+  E->Val = V;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr rcc::caesium::mkConstInt(IntType Ity, int64_t V, rcc::SourceLoc Loc) {
+  return mkConst(RtVal::fromInt(Ity, V), Loc);
+}
+
+ExprPtr rcc::caesium::mkNullPtr(rcc::SourceLoc Loc) {
+  return mkConst(RtVal::null(), Loc);
+}
+
+ExprPtr rcc::caesium::mkAddrLocal(const std::string &Name,
+                                  rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::AddrLocal);
+  E->Name = Name;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr rcc::caesium::mkAddrGlobal(const std::string &Name,
+                                   rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::AddrGlobal);
+  E->Name = Name;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr rcc::caesium::mkBinOp(BinOpKind Op, IntType Ity, ExprPtr L, ExprPtr R,
+                              rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::BinOp);
+  E->Op = Op;
+  E->Ity = Ity;
+  E->Loc = Loc;
+  E->Args.push_back(std::move(L));
+  E->Args.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr rcc::caesium::mkPtrOp(BinOpKind Op, uint64_t ElemSize, ExprPtr L,
+                              ExprPtr R, rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::BinOp);
+  E->Op = Op;
+  E->ElemSize = ElemSize;
+  E->Loc = Loc;
+  E->Args.push_back(std::move(L));
+  E->Args.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr rcc::caesium::mkUnOp(UnOpKind Op, IntType Ity, ExprPtr A,
+                             rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::UnOp);
+  E->UOp = Op;
+  E->Ity = Ity;
+  E->Loc = Loc;
+  E->Args.push_back(std::move(A));
+  return E;
+}
+
+ExprPtr rcc::caesium::mkCast(IntType From, IntType To, ExprPtr A,
+                             rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::UnOp);
+  E->UOp = UnOpKind::Cast;
+  E->Ity = From;
+  E->To = To;
+  E->Loc = Loc;
+  E->Args.push_back(std::move(A));
+  return E;
+}
+
+ExprPtr rcc::caesium::mkUse(uint64_t Size, ExprPtr Addr, MemOrder Ord,
+                            rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Use);
+  E->AccessSize = Size;
+  E->Ord = Ord;
+  E->Loc = Loc;
+  E->Args.push_back(std::move(Addr));
+  return E;
+}
+
+ExprPtr rcc::caesium::mkStore(uint64_t Size, ExprPtr Addr, ExprPtr Value,
+                              MemOrder Ord, rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Store);
+  E->AccessSize = Size;
+  E->Ord = Ord;
+  E->Loc = Loc;
+  E->Args.push_back(std::move(Addr));
+  E->Args.push_back(std::move(Value));
+  return E;
+}
+
+ExprPtr rcc::caesium::mkCAS(uint64_t Size, ExprPtr Atom, ExprPtr Expected,
+                            ExprPtr Desired, rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::CAS);
+  E->AccessSize = Size;
+  E->Ord = MemOrder::SeqCst;
+  E->Loc = Loc;
+  E->Args.push_back(std::move(Atom));
+  E->Args.push_back(std::move(Expected));
+  E->Args.push_back(std::move(Desired));
+  return E;
+}
+
+ExprPtr rcc::caesium::mkCall(ExprPtr Callee, std::vector<ExprPtr> Args,
+                             rcc::SourceLoc Loc) {
+  auto E = std::make_unique<Expr>(ExprKind::Call);
+  E->Loc = Loc;
+  E->Args.push_back(std::move(Callee));
+  for (ExprPtr &A : Args)
+    E->Args.push_back(std::move(A));
+  return E;
+}

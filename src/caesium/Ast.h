@@ -1,0 +1,204 @@
+//===- Ast.h - The Caesium core language ------------------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control-flow-graph-based core language of Section 3: functions are
+/// sets of blocks ending in explicit terminators (goto/conditional
+/// goto/switch/return), expressions carry explicit integer types, memory
+/// orders, and access sizes, and all locals are function-scoped stack
+/// allocations accessed through their addresses (the address-of operator on
+/// locals is primitive). The front end lowers annotated C to this IR; the
+/// interpreter executes it; the RefinedC type checker types it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_CAESIUM_AST_H
+#define RCC_CAESIUM_AST_H
+
+#include "caesium/Layout.h"
+#include "caesium/Value.h"
+#include "support/SourceLoc.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcc::caesium {
+
+enum class BinOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  EqOp,
+  NeOp,
+  LtOp,
+  LeOp,
+  GtOp,
+  GeOp,
+  PtrAdd,  ///< ptr + int, scaled by ElemSize
+  PtrSub,  ///< ptr - int, scaled by ElemSize
+  PtrDiff, ///< ptr - ptr (same allocation), in units of ElemSize
+  PtrEq,
+  PtrNe,
+};
+
+const char *binOpName(BinOpKind K);
+
+enum class UnOpKind : uint8_t {
+  Neg,
+  LogicalNot,
+  BitNot,
+  Cast, ///< integer resize/re-sign to `To`
+};
+
+enum class MemOrder : uint8_t { NonAtomic, SeqCst };
+
+enum class ExprKind : uint8_t {
+  Const,      ///< a literal RtVal
+  AddrLocal,  ///< address of a local variable (primitive, Section 3)
+  AddrGlobal, ///< address of a global or a function
+  BinOp,      ///< Args = {lhs, rhs}
+  UnOp,       ///< Args = {operand}
+  Use,        ///< load: Args = {address}; AccessSize bytes, Ord
+  Store,      ///< Args = {address, value}; evaluates to the stored value
+  CAS,        ///< Args = {atom addr, expected addr, desired}; SC, Section 6
+  Call,       ///< Args = {callee, args...}
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A Caesium expression. One node type with a kind tag keeps the small-step
+/// interpreter's evaluation-stack machinery uniform.
+struct Expr {
+  ExprKind K;
+  rcc::SourceLoc Loc;
+
+  // Payloads (used per kind).
+  RtVal Val;                ///< Const
+  std::string Name;         ///< AddrLocal / AddrGlobal
+  BinOpKind Op = BinOpKind::Add;
+  UnOpKind UOp = UnOpKind::Neg;
+  IntType Ity;              ///< operating integer type
+  IntType To;               ///< Cast target
+  uint64_t ElemSize = 1;    ///< PtrAdd/PtrSub/PtrDiff scale
+  uint64_t AccessSize = 0;  ///< Use/Store/CAS byte width
+  MemOrder Ord = MemOrder::NonAtomic;
+
+  std::vector<ExprPtr> Args;
+
+  explicit Expr(ExprKind K) : K(K) {}
+  std::string str() const;
+};
+
+ExprPtr mkConst(RtVal V, rcc::SourceLoc Loc = {});
+ExprPtr mkConstInt(IntType Ity, int64_t V, rcc::SourceLoc Loc = {});
+ExprPtr mkNullPtr(rcc::SourceLoc Loc = {});
+ExprPtr mkAddrLocal(const std::string &Name, rcc::SourceLoc Loc = {});
+ExprPtr mkAddrGlobal(const std::string &Name, rcc::SourceLoc Loc = {});
+ExprPtr mkBinOp(BinOpKind Op, IntType Ity, ExprPtr L, ExprPtr R,
+                rcc::SourceLoc Loc = {});
+ExprPtr mkPtrOp(BinOpKind Op, uint64_t ElemSize, ExprPtr L, ExprPtr R,
+                rcc::SourceLoc Loc = {});
+ExprPtr mkUnOp(UnOpKind Op, IntType Ity, ExprPtr A, rcc::SourceLoc Loc = {});
+ExprPtr mkCast(IntType From, IntType To, ExprPtr A, rcc::SourceLoc Loc = {});
+ExprPtr mkUse(uint64_t Size, ExprPtr Addr, MemOrder Ord = MemOrder::NonAtomic,
+              rcc::SourceLoc Loc = {});
+ExprPtr mkStore(uint64_t Size, ExprPtr Addr, ExprPtr Value,
+                MemOrder Ord = MemOrder::NonAtomic, rcc::SourceLoc Loc = {});
+ExprPtr mkCAS(uint64_t Size, ExprPtr Atom, ExprPtr Expected, ExprPtr Desired,
+              rcc::SourceLoc Loc = {});
+ExprPtr mkCall(ExprPtr Callee, std::vector<ExprPtr> Args,
+               rcc::SourceLoc Loc = {});
+
+enum class StmtKind : uint8_t {
+  ExprS,    ///< evaluate for effect
+  Return,   ///< Args: optional value expr
+  Goto,     ///< unconditional jump to Target1
+  CondGoto, ///< jump to Target1 if E != 0 else Target2
+  Switch,   ///< jump per SwitchCases, else DefaultTarget
+  UBStmt,   ///< explicit stuck state (e.g. front-end-detected UB)
+};
+
+struct Stmt {
+  StmtKind K = StmtKind::ExprS;
+  rcc::SourceLoc Loc;
+  ExprPtr E; ///< ExprS / Return (may be null for void return) / CondGoto / Switch
+  unsigned Target1 = 0;
+  unsigned Target2 = 0;
+  std::vector<std::pair<int64_t, unsigned>> SwitchCases;
+  unsigned DefaultTarget = 0;
+  std::string Msg; ///< UBStmt description
+
+  bool isTerminator() const {
+    return K != StmtKind::ExprS;
+  }
+};
+
+/// A basic block: straight-line statements ending in one terminator. A block
+/// may carry an annotation id (index into the front end's loop-invariant
+/// table) marking it as a cut point for verification.
+struct Block {
+  std::vector<Stmt> Stmts;
+  int AnnotId = -1;
+};
+
+/// A Caesium function: parameters and locals are stack slots; the body is a
+/// CFG with entry block 0.
+struct Function {
+  std::string Name;
+  rcc::SourceLoc Loc;
+  std::vector<std::pair<std::string, uint64_t>> Params; ///< name, byte size
+  std::vector<std::pair<std::string, uint64_t>> Locals;
+  std::vector<Block> Blocks;
+  uint64_t RetSize = 0; ///< return value byte width (0 for void)
+
+  uint64_t slotSize(const std::string &N) const {
+    for (const auto &[PN, Sz] : Params)
+      if (PN == N)
+        return Sz;
+    for (const auto &[LN, Sz] : Locals)
+      if (LN == N)
+        return Sz;
+    return 0;
+  }
+};
+
+struct GlobalDef {
+  std::string Name;
+  uint64_t Size = 0;
+  /// Optional initial integer value stored at offset 0 (Size bytes); globals
+  /// are otherwise poison-initialized, matching C's uninitialized locals.
+  bool HasInit = false;
+  RtVal Init;
+};
+
+/// A whole program.
+struct Program {
+  std::map<std::string, std::unique_ptr<Function>> Functions;
+  std::vector<GlobalDef> Globals;
+
+  Function *function(const std::string &Name) {
+    auto It = Functions.find(Name);
+    return It == Functions.end() ? nullptr : It->second.get();
+  }
+  const Function *function(const std::string &Name) const {
+    auto It = Functions.find(Name);
+    return It == Functions.end() ? nullptr : It->second.get();
+  }
+};
+
+} // namespace rcc::caesium
+
+#endif // RCC_CAESIUM_AST_H

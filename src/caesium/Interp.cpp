@@ -1,0 +1,736 @@
+//===- Interp.cpp ---------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Interp.h"
+
+using namespace rcc::caesium;
+
+Machine::Machine(const Program &P, uint64_t Seed)
+    : Prog(P), RngState(Seed * 6364136223846793005ull + 1442695040888963407ull) {
+  // Materialize globals and register functions as addressable entities.
+  for (const GlobalDef &G : P.Globals) {
+    MemLoc L = Mem.allocate(G.Size, AllocKind::Global, G.Name);
+    GlobalAddrs[G.Name] = L;
+    if (G.HasInit)
+      Mem.store(L, G.Init, G.Init.isPtr() ? PtrBytes : G.Init.Size);
+  }
+  for (const auto &[Name, F] : P.Functions)
+    GlobalAddrs[Name] = Mem.registerFunction(Name);
+  // Builtins are addressable too, so they can be called uniformly.
+  for (const char *B :
+       {"rc_spawn", "rc_join", "rc_alloc", "rc_free", "rc_assert"})
+    GlobalAddrs[B] = Mem.registerFunction(B);
+}
+
+MemLoc Machine::globalAddr(const std::string &Name) const {
+  auto It = GlobalAddrs.find(Name);
+  return It == GlobalAddrs.end() ? MemLoc{} : It->second;
+}
+
+uint64_t Machine::rngNext() {
+  RngState ^= RngState << 13;
+  RngState ^= RngState >> 7;
+  RngState ^= RngState << 17;
+  return RngState;
+}
+
+void Machine::raiseUB(std::string Msg, rcc::SourceLoc Loc) {
+  if (Halted)
+    return;
+  Halted = true;
+  Result.C = ExecResult::Code::UB;
+  Result.Message = std::move(Msg);
+  Result.Loc = Loc;
+}
+
+void Machine::syncSC(Thread &T) {
+  // SC accesses are totally ordered; model with a global clock that each SC
+  // access acquires and releases.
+  vcJoin(T.VC, SCClock);
+  vcJoin(SCClock, T.VC);
+  if (static_cast<size_t>(T.Id) >= T.VC.size())
+    T.VC.resize(T.Id + 1, 0);
+  T.VC[T.Id]++;
+}
+
+void Machine::pushFrame(Thread &T, const Function *F,
+                        const std::vector<RtVal> &Args) {
+  CallFrame Frame;
+  Frame.F = F;
+  if (Args.size() != F->Params.size()) {
+    raiseUB("call to '" + F->Name + "' with wrong number of arguments",
+            F->Loc);
+    return;
+  }
+  for (size_t I = 0; I < F->Params.size(); ++I) {
+    const auto &[Name, Size] = F->Params[I];
+    MemLoc Slot = Mem.allocate(Size, AllocKind::Stack, F->Name + "." + Name);
+    Frame.Slots[Name] = Slot;
+    uint64_t StoreSize = Args[I].isPtr() ? PtrBytes : Args[I].Size;
+    if (StoreSize != 0 && StoreSize != Size) {
+      raiseUB("argument size mismatch for '" + Name + "' in call to '" +
+                  F->Name + "'",
+              F->Loc);
+      return;
+    }
+    if (!Args[I].isPoison())
+      Mem.store(Slot, Args[I], Size);
+  }
+  for (const auto &[Name, Size] : F->Locals)
+    Frame.Slots[Name] =
+        Mem.allocate(Size, AllocKind::Stack, F->Name + "." + Name);
+  T.Stack.push_back(std::move(Frame));
+}
+
+ExecResult Machine::run(const std::string &EntryFn, std::vector<RtVal> Args,
+                        uint64_t MaxSteps) {
+  const Function *F = Prog.function(EntryFn);
+  if (!F) {
+    Result.C = ExecResult::Code::Error;
+    Result.Message = "unknown entry function '" + EntryFn + "'";
+    return Result;
+  }
+  Threads.clear();
+  Threads.push_back(Thread());
+  Threads[0].Id = 0;
+  Threads[0].VC = {1};
+  pushFrame(Threads[0], F, Args);
+
+  while (!Halted && Steps < MaxSteps) {
+    // Collect runnable threads (unblocking finished joins).
+    std::vector<int> Runnable;
+    for (Thread &T : Threads) {
+      if (T.State == ThreadState::BlockedJoin) {
+        if (T.JoinTarget >= 0 &&
+            Threads[T.JoinTarget].State == ThreadState::Done)
+          T.State = ThreadState::Runnable;
+      }
+      if (T.State == ThreadState::Runnable)
+        Runnable.push_back(T.Id);
+    }
+    if (Runnable.empty()) {
+      bool AllDone = true;
+      for (Thread &T : Threads)
+        if (T.State != ThreadState::Done)
+          AllDone = false;
+      if (!AllDone) {
+        Result.C = ExecResult::Code::Deadlock;
+        Result.Message = "all live threads are blocked";
+      }
+      break;
+    }
+    int Pick = Runnable[rngNext() % Runnable.size()];
+    step(Threads[Pick]);
+    ++Steps;
+  }
+  if (!Halted && Steps >= MaxSteps) {
+    Result.C = ExecResult::Code::Timeout;
+    Result.Message = "machine did not terminate within the step budget";
+  }
+  if (Result.C == ExecResult::Code::Ok)
+    Result.MainRet = Threads[0].Result;
+  return Result;
+}
+
+void Machine::step(Thread &T) {
+  if (T.Stack.empty()) {
+    T.State = ThreadState::Done;
+    return;
+  }
+  CallFrame &F = T.Stack.back();
+  if (F.Eval.empty()) {
+    startStatement(T);
+    return;
+  }
+  EvalItem &Top = F.Eval.back();
+  if (Top.Awaiting)
+    return; // a callee frame is running; shouldn't happen (callee is deeper)
+  unsigned NumChildren = static_cast<unsigned>(Top.E->Args.size());
+  if (Top.Next < NumChildren) {
+    EvalItem Child;
+    Child.E = Top.E->Args[Top.Next].get();
+    Top.Next++;
+    F.Eval.push_back(std::move(Child));
+    return;
+  }
+  computeTop(T);
+}
+
+void Machine::startStatement(Thread &T) {
+  CallFrame &F = T.Stack.back();
+  if (F.Block >= F.F->Blocks.size() ||
+      F.Index >= F.F->Blocks[F.Block].Stmts.size()) {
+    raiseUB("control fell off the end of a block in '" + F.F->Name + "'",
+            F.F->Loc);
+    return;
+  }
+  const Stmt &S = F.F->Blocks[F.Block].Stmts[F.Index];
+  switch (S.K) {
+  case StmtKind::Goto:
+    F.Block = S.Target1;
+    F.Index = 0;
+    return;
+  case StmtKind::UBStmt:
+    raiseUB(S.Msg.empty() ? "explicit undefined behaviour" : S.Msg, S.Loc);
+    return;
+  case StmtKind::Return:
+    if (!S.E) {
+      returnFromFrame(T, RtVal::poison());
+      return;
+    }
+    break;
+  default:
+    break;
+  }
+  assert(S.E && "statement requires an expression");
+  EvalItem Item;
+  Item.E = S.E.get();
+  F.Eval.push_back(std::move(Item));
+}
+
+void Machine::deliver(Thread &T, RtVal V) {
+  CallFrame &F = T.Stack.back();
+  assert(!F.Eval.empty() && "deliver with empty eval stack");
+  F.Eval.pop_back();
+  if (F.Eval.empty()) {
+    finishStatement(T, V);
+    return;
+  }
+  F.Eval.back().Vals.push_back(V);
+}
+
+void Machine::finishStatement(Thread &T, RtVal V) {
+  CallFrame &F = T.Stack.back();
+  const Stmt &S = F.F->Blocks[F.Block].Stmts[F.Index];
+  switch (S.K) {
+  case StmtKind::ExprS:
+    F.Index++;
+    return;
+  case StmtKind::Return:
+    returnFromFrame(T, V);
+    return;
+  case StmtKind::CondGoto: {
+    if (!V.isInt()) {
+      raiseUB("branch on a non-integer or uninitialized value", S.Loc);
+      return;
+    }
+    F.Block = V.Bits != 0 ? S.Target1 : S.Target2;
+    F.Index = 0;
+    return;
+  }
+  case StmtKind::Switch: {
+    if (!V.isInt()) {
+      raiseUB("switch on a non-integer or uninitialized value", S.Loc);
+      return;
+    }
+    int64_t X = V.asSigned();
+    for (const auto &[CaseVal, Target] : S.SwitchCases) {
+      if (CaseVal == X) {
+        F.Block = Target;
+        F.Index = 0;
+        return;
+      }
+    }
+    F.Block = S.DefaultTarget;
+    F.Index = 0;
+    return;
+  }
+  case StmtKind::Goto:
+  case StmtKind::UBStmt:
+    assert(false && "terminators without expressions are handled earlier");
+    return;
+  }
+}
+
+void Machine::returnFromFrame(Thread &T, RtVal V) {
+  CallFrame Frame = std::move(T.Stack.back());
+  T.Stack.pop_back();
+  // Stack slots die with the frame; later access is use-after-free UB.
+  for (const auto &[Name, Slot] : Frame.Slots)
+    Mem.deallocate(Slot.Alloc);
+  if (T.Stack.empty()) {
+    T.Result = V;
+    T.State = ThreadState::Done;
+    return;
+  }
+  // The caller's top eval item is the awaiting Call; complete it.
+  CallFrame &Caller = T.Stack.back();
+  assert(!Caller.Eval.empty() && Caller.Eval.back().Awaiting &&
+         "return without awaiting call");
+  Caller.Eval.back().Awaiting = false;
+  deliver(T, V);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory accesses
+//===----------------------------------------------------------------------===//
+
+RtVal Machine::memLoad(Thread &T, const Expr &E, MemLoc L) {
+  bool Atomic = E.Ord == MemOrder::SeqCst;
+  if (Atomic)
+    syncSC(T);
+  std::string Race =
+      Races.onAccess(T.Id, T.VC, L, E.AccessSize, /*IsWrite=*/false, Atomic);
+  if (!Race.empty()) {
+    raiseUB(Race, E.Loc);
+    return RtVal::poison();
+  }
+  MemResult R = Mem.load(L, E.AccessSize);
+  if (!R.Ok) {
+    raiseUB(R.UB, E.Loc);
+    return RtVal::poison();
+  }
+  return R.Val;
+}
+
+void Machine::memStore(Thread &T, const Expr &E, MemLoc L, RtVal V) {
+  bool Atomic = E.Ord == MemOrder::SeqCst;
+  if (Atomic)
+    syncSC(T);
+  std::string Race =
+      Races.onAccess(T.Id, T.VC, L, E.AccessSize, /*IsWrite=*/true, Atomic);
+  if (!Race.empty()) {
+    raiseUB(Race, E.Loc);
+    return;
+  }
+  // Size-adjust integer values whose width differs (front-end casts should
+  // prevent this; be strict).
+  if (V.isInt() && V.Size != E.AccessSize) {
+    raiseUB("store size mismatch (" + std::to_string(V.Size) + " vs " +
+                std::to_string(E.AccessSize) + ")",
+            E.Loc);
+    return;
+  }
+  MemResult R = Mem.store(L, V, E.AccessSize);
+  if (!R.Ok)
+    raiseUB(R.UB, E.Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+RtVal Machine::evalUnOp(const Expr &E, RtVal A) {
+  if (A.isPoison()) {
+    raiseUB("use of uninitialized value in unary operator", E.Loc);
+    return RtVal::poison();
+  }
+  switch (E.UOp) {
+  case UnOpKind::Neg: {
+    if (!A.isInt()) {
+      raiseUB("negation of a pointer", E.Loc);
+      return RtVal::poison();
+    }
+    int64_t V = A.interp(E.Ity);
+    if (E.Ity.Signed && V == E.Ity.minVal()) {
+      raiseUB("signed integer overflow in negation", E.Loc);
+      return RtVal::poison();
+    }
+    int64_t R = -V;
+    if (!E.Ity.Signed)
+      return RtVal::fromUInt(static_cast<uint64_t>(R), E.Ity.ByteSize);
+    return RtVal::fromInt(E.Ity, R);
+  }
+  case UnOpKind::LogicalNot: {
+    if (A.isPtr())
+      return RtVal::fromInt(intI32(), A.isNullPtr() ? 1 : 0);
+    return RtVal::fromInt(intI32(), A.Bits == 0 ? 1 : 0);
+  }
+  case UnOpKind::BitNot:
+    if (!A.isInt()) {
+      raiseUB("bitwise not of a pointer", E.Loc);
+      return RtVal::poison();
+    }
+    return RtVal::fromUInt(~A.Bits, A.Size);
+  case UnOpKind::Cast: {
+    if (A.isPtr()) {
+      // Pointer-to-pointer "casts" are identity; int<->ptr is unsupported.
+      if (E.To.ByteSize == PtrBytes)
+        return A;
+      raiseUB("unsupported pointer-to-integer cast", E.Loc);
+      return RtVal::poison();
+    }
+    // Integer conversion: wraparound semantics (implementation-defined
+    // narrowing is pinned to two's-complement truncation).
+    int64_t V = A.interp(E.Ity);
+    return RtVal::fromInt(E.To, V);
+  }
+  }
+  return RtVal::poison();
+}
+
+RtVal Machine::evalBinOp(const Expr &E, RtVal L, RtVal R) {
+  auto UB = [&](const std::string &M) {
+    raiseUB(M, E.Loc);
+    return RtVal::poison();
+  };
+
+  switch (E.Op) {
+  case BinOpKind::PtrEq:
+  case BinOpKind::PtrNe: {
+    if (!L.isPtr() || !R.isPtr())
+      return UB("pointer comparison on non-pointer values");
+    bool Eq = L.Loc == R.Loc;
+    return RtVal::fromInt(intI32(), (E.Op == BinOpKind::PtrEq) == Eq ? 1 : 0);
+  }
+  case BinOpKind::PtrAdd:
+  case BinOpKind::PtrSub: {
+    if (!L.isPtr() || !R.isInt())
+      return UB("invalid pointer arithmetic operands");
+    if (L.isNullPtr())
+      return UB("pointer arithmetic on NULL");
+    int64_t N = R.asSigned();
+    if (E.Op == BinOpKind::PtrSub)
+      N = -N;
+    int64_t NewOff =
+        static_cast<int64_t>(L.Loc.Off) + N * static_cast<int64_t>(E.ElemSize);
+    const Allocation *A = Mem.allocation(L.Loc.Alloc);
+    if (!A || !A->Alive)
+      return UB("pointer arithmetic on a dead allocation");
+    if (NewOff < 0 || static_cast<uint64_t>(NewOff) > A->Size)
+      return UB("pointer arithmetic out of bounds");
+    return RtVal::ptr(MemLoc{L.Loc.Alloc, static_cast<uint64_t>(NewOff)});
+  }
+  case BinOpKind::PtrDiff: {
+    if (!L.isPtr() || !R.isPtr())
+      return UB("pointer difference on non-pointers");
+    if (L.Loc.Alloc != R.Loc.Alloc)
+      return UB("pointer difference across allocations");
+    int64_t D = static_cast<int64_t>(L.Loc.Off) -
+                static_cast<int64_t>(R.Loc.Off);
+    return RtVal::fromInt(intI64(), D / static_cast<int64_t>(E.ElemSize));
+  }
+  default:
+    break;
+  }
+
+  if (L.isPoison() || R.isPoison())
+    return UB("use of uninitialized value in binary operator");
+  if (!L.isInt() || !R.isInt())
+    return UB("integer operator on pointer values");
+
+  IntType Ity = E.Ity;
+  int64_t A = L.interp(Ity), B = R.interp(Ity);
+  uint64_t UA = L.Bits, UB_ = R.Bits;
+
+  auto wrap = [&](uint64_t Bits) { return RtVal::fromUInt(Bits, Ity.ByteSize); };
+  auto checkedSigned = [&](__int128 V) -> RtVal {
+    if (V < Ity.minVal() || V > static_cast<__int128>(Ity.maxVal()))
+      return UB("signed integer overflow");
+    return RtVal::fromInt(Ity, static_cast<int64_t>(V));
+  };
+
+  switch (E.Op) {
+  case BinOpKind::Add:
+    if (Ity.Signed)
+      return checkedSigned(static_cast<__int128>(A) + B);
+    return wrap(UA + UB_);
+  case BinOpKind::Sub:
+    if (Ity.Signed)
+      return checkedSigned(static_cast<__int128>(A) - B);
+    return wrap(UA - UB_);
+  case BinOpKind::Mul:
+    if (Ity.Signed)
+      return checkedSigned(static_cast<__int128>(A) * B);
+    return wrap(UA * UB_);
+  case BinOpKind::Div:
+    if (B == 0)
+      return UB("division by zero");
+    if (Ity.Signed) {
+      if (A == Ity.minVal() && B == -1)
+        return UB("signed division overflow");
+      return RtVal::fromInt(Ity, A / B);
+    }
+    return wrap(UA / UB_);
+  case BinOpKind::Mod:
+    if (B == 0)
+      return UB("modulo by zero");
+    if (Ity.Signed) {
+      if (A == Ity.minVal() && B == -1)
+        return UB("signed modulo overflow");
+      return RtVal::fromInt(Ity, A % B);
+    }
+    return wrap(UA % UB_);
+  case BinOpKind::BitAnd:
+    return wrap(UA & UB_);
+  case BinOpKind::BitOr:
+    return wrap(UA | UB_);
+  case BinOpKind::BitXor:
+    return wrap(UA ^ UB_);
+  case BinOpKind::Shl:
+  case BinOpKind::Shr: {
+    if (B < 0 || static_cast<uint64_t>(B) >= Ity.bits())
+      return UB("shift amount out of range");
+    if (E.Op == BinOpKind::Shl)
+      return wrap(UA << B);
+    if (Ity.Signed)
+      return RtVal::fromInt(Ity, A >> B);
+    return wrap(UA >> B);
+  }
+  case BinOpKind::EqOp:
+    return RtVal::fromInt(intI32(), A == B ? 1 : 0);
+  case BinOpKind::NeOp:
+    return RtVal::fromInt(intI32(), A != B ? 1 : 0);
+  case BinOpKind::LtOp:
+    return RtVal::fromInt(intI32(),
+                          (Ity.Signed ? A < B : UA < UB_) ? 1 : 0);
+  case BinOpKind::LeOp:
+    return RtVal::fromInt(intI32(),
+                          (Ity.Signed ? A <= B : UA <= UB_) ? 1 : 0);
+  case BinOpKind::GtOp:
+    return RtVal::fromInt(intI32(),
+                          (Ity.Signed ? A > B : UA > UB_) ? 1 : 0);
+  case BinOpKind::GeOp:
+    return RtVal::fromInt(intI32(),
+                          (Ity.Signed ? A >= B : UA >= UB_) ? 1 : 0);
+  default:
+    return UB("unsupported binary operator");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins
+//===----------------------------------------------------------------------===//
+
+bool Machine::handleBuiltin(Thread &T, const std::string &Name,
+                            const std::vector<RtVal> &Args, RtVal &Out,
+                            bool &Blocked) {
+  Blocked = false;
+  // Program definitions shadow the runtime builtins.
+  if (Prog.function(Name))
+    return false;
+  if (Name == "rc_spawn") {
+    if (Args.size() != 2 || !Args[0].isPtr()) {
+      raiseUB("rc_spawn expects (function pointer, argument)");
+      return true;
+    }
+    auto FnName = Mem.functionAt(Args[0].Loc);
+    const Function *F = FnName ? Prog.function(*FnName) : nullptr;
+    if (!F) {
+      raiseUB("rc_spawn: first argument is not a function pointer");
+      return true;
+    }
+    Thread Child;
+    Child.Id = static_cast<int>(Threads.size());
+    Child.VC = T.VC;
+    if (static_cast<size_t>(Child.Id) >= Child.VC.size())
+      Child.VC.resize(Child.Id + 1, 0);
+    Child.VC[Child.Id] = 1;
+    T.VC[T.Id]++;
+    pushFrame(Child, F, {Args[1]});
+    int ChildId = Child.Id;
+    Threads.push_back(std::move(Child));
+    Out = RtVal::fromInt(intI32(), ChildId);
+    return true;
+  }
+  if (Name == "rc_join") {
+    if (Args.size() != 1 || !Args[0].isInt()) {
+      raiseUB("rc_join expects a thread id");
+      return true;
+    }
+    int Target = static_cast<int>(Args[0].asSigned());
+    if (Target < 0 || static_cast<size_t>(Target) >= Threads.size()) {
+      raiseUB("rc_join: invalid thread id");
+      return true;
+    }
+    if (Threads[Target].State != ThreadState::Done) {
+      T.State = ThreadState::BlockedJoin;
+      T.JoinTarget = Target;
+      Blocked = true;
+      return true;
+    }
+    // Join synchronizes: inherit the child's clock.
+    vcJoin(T.VC, Threads[Target].VC);
+    Out = RtVal::fromInt(intI32(), 0);
+    return true;
+  }
+  if (Name == "rc_alloc") {
+    if (Args.size() != 1 || !Args[0].isInt()) {
+      raiseUB("rc_alloc expects a size");
+      return true;
+    }
+    Out = RtVal::ptr(Mem.allocate(Args[0].asUnsigned(), AllocKind::Heap,
+                                  "rc_alloc"));
+    return true;
+  }
+  if (Name == "rc_free") {
+    if (Args.size() != 1 || !Args[0].isPtr() || Args[0].Loc.Off != 0 ||
+        !Mem.deallocate(Args[0].Loc.Alloc)) {
+      raiseUB("rc_free of an invalid pointer");
+      return true;
+    }
+    Out = RtVal::fromInt(intI32(), 0);
+    return true;
+  }
+  if (Name == "rc_assert") {
+    if (Args.size() != 1 || !Args[0].isInt()) {
+      raiseUB("rc_assert on a non-integer value");
+      return true;
+    }
+    if (Args[0].Bits == 0) {
+      raiseUB("rc_assert failure");
+      return true;
+    }
+    Out = RtVal::fromInt(intI32(), 0);
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Node computation
+//===----------------------------------------------------------------------===//
+
+void Machine::computeTop(Thread &T) {
+  CallFrame &F = T.Stack.back();
+  EvalItem &Top = F.Eval.back();
+  const Expr &E = *Top.E;
+
+  switch (E.K) {
+  case ExprKind::Const:
+    deliver(T, E.Val);
+    return;
+  case ExprKind::AddrLocal: {
+    auto It = F.Slots.find(E.Name);
+    if (It == F.Slots.end()) {
+      raiseUB("reference to unknown local '" + E.Name + "'", E.Loc);
+      return;
+    }
+    deliver(T, RtVal::ptr(It->second));
+    return;
+  }
+  case ExprKind::AddrGlobal: {
+    auto It = GlobalAddrs.find(E.Name);
+    if (It == GlobalAddrs.end()) {
+      raiseUB("reference to unknown global '" + E.Name + "'", E.Loc);
+      return;
+    }
+    deliver(T, RtVal::ptr(It->second));
+    return;
+  }
+  case ExprKind::BinOp: {
+    RtVal R = evalBinOp(E, Top.Vals[0], Top.Vals[1]);
+    if (Halted)
+      return;
+    deliver(T, R);
+    return;
+  }
+  case ExprKind::UnOp: {
+    RtVal R = evalUnOp(E, Top.Vals[0]);
+    if (Halted)
+      return;
+    deliver(T, R);
+    return;
+  }
+  case ExprKind::Use: {
+    if (!Top.Vals[0].isPtr()) {
+      raiseUB("load through a non-pointer value", E.Loc);
+      return;
+    }
+    RtVal R = memLoad(T, E, Top.Vals[0].Loc);
+    if (Halted)
+      return;
+    deliver(T, R);
+    return;
+  }
+  case ExprKind::Store: {
+    if (!Top.Vals[0].isPtr()) {
+      raiseUB("store through a non-pointer value", E.Loc);
+      return;
+    }
+    memStore(T, E, Top.Vals[0].Loc, Top.Vals[1]);
+    if (Halted)
+      return;
+    deliver(T, Top.Vals[1]);
+    return;
+  }
+  case ExprKind::CAS: {
+    if (!Top.Vals[0].isPtr() || !Top.Vals[1].isPtr()) {
+      raiseUB("CAS on non-pointer operands", E.Loc);
+      return;
+    }
+    MemLoc Atom = Top.Vals[0].Loc, Exp = Top.Vals[1].Loc;
+    // Expected value: non-atomic read-modify-write on the caller's slot.
+    std::string Race1 = Races.onAccess(T.Id, T.VC, Exp, E.AccessSize,
+                                       /*IsWrite=*/false, /*Atomic=*/false);
+    if (!Race1.empty()) {
+      raiseUB(Race1, E.Loc);
+      return;
+    }
+    MemResult ExpR = Mem.load(Exp, E.AccessSize);
+    if (!ExpR.Ok) {
+      raiseUB(ExpR.UB, E.Loc);
+      return;
+    }
+    syncSC(T);
+    std::string Race2 = Races.onAccess(T.Id, T.VC, Atom, E.AccessSize,
+                                       /*IsWrite=*/true, /*Atomic=*/true);
+    if (!Race2.empty()) {
+      raiseUB(Race2, E.Loc);
+      return;
+    }
+    MemResult AtomR = Mem.load(Atom, E.AccessSize);
+    if (!AtomR.Ok) {
+      raiseUB(AtomR.UB, E.Loc);
+      return;
+    }
+    if (AtomR.Val.isPoison() || ExpR.Val.isPoison()) {
+      raiseUB("CAS on uninitialized value", E.Loc);
+      return;
+    }
+    bool Equal = AtomR.Val.Bits == ExpR.Val.Bits;
+    if (Equal) {
+      MemResult W = Mem.store(Atom, Top.Vals[2], E.AccessSize);
+      if (!W.Ok) {
+        raiseUB(W.UB, E.Loc);
+        return;
+      }
+    } else {
+      std::string Race3 = Races.onAccess(T.Id, T.VC, Exp, E.AccessSize,
+                                         /*IsWrite=*/true, /*Atomic=*/false);
+      if (!Race3.empty()) {
+        raiseUB(Race3, E.Loc);
+        return;
+      }
+      MemResult W = Mem.store(Exp, AtomR.Val, E.AccessSize);
+      if (!W.Ok) {
+        raiseUB(W.UB, E.Loc);
+        return;
+      }
+    }
+    deliver(T, RtVal::fromInt(intI32(), Equal ? 1 : 0));
+    return;
+  }
+  case ExprKind::Call: {
+    if (!Top.Vals[0].isPtr()) {
+      raiseUB("call through a non-pointer value", E.Loc);
+      return;
+    }
+    auto FnName = Mem.functionAt(Top.Vals[0].Loc);
+    if (!FnName) {
+      raiseUB("call through a non-function pointer", E.Loc);
+      return;
+    }
+    std::vector<RtVal> Args(Top.Vals.begin() + 1, Top.Vals.end());
+    RtVal Out;
+    bool Blocked = false;
+    if (handleBuiltin(T, *FnName, Args, Out, Blocked)) {
+      if (Halted || Blocked)
+        return;
+      deliver(T, Out);
+      return;
+    }
+    const Function *Callee = Prog.function(*FnName);
+    if (!Callee) {
+      raiseUB("call to undefined function '" + *FnName + "'", E.Loc);
+      return;
+    }
+    Top.Awaiting = true;
+    pushFrame(T, Callee, Args);
+    return;
+  }
+  }
+}

@@ -1,0 +1,29 @@
+//===- Layout.cpp ---------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Layout.h"
+
+using namespace rcc::caesium;
+
+static uint64_t alignUp(uint64_t X, uint64_t A) {
+  assert(A != 0 && (A & (A - 1)) == 0 && "alignment must be a power of two");
+  return (X + A - 1) & ~(A - 1);
+}
+
+void StructLayout::computeLayout() {
+  uint64_t Off = 0;
+  Align = 1;
+  for (FieldLayout &F : Fields) {
+    Off = alignUp(Off, F.Ly.Align);
+    F.Offset = Off;
+    Off += F.Ly.Size;
+    if (F.Ly.Align > Align)
+      Align = F.Ly.Align;
+  }
+  Size = alignUp(Off, Align);
+  if (Size == 0)
+    Size = 1; // empty structs still occupy storage
+}

@@ -1,0 +1,116 @@
+//===- Layout.h - C data layouts for the Caesium memory model --*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer types and data layouts (size/alignment), following the paper's
+/// Caesium semantics (Section 3): fixed-size integers with explicit
+/// signedness, and struct layouts with named fields at computed offsets.
+/// The target model is x86-64 (LP64): pointers and size_t are 8 bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_CAESIUM_LAYOUT_H
+#define RCC_CAESIUM_LAYOUT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcc::caesium {
+
+/// A fixed-size integer type.
+struct IntType {
+  uint8_t ByteSize = 4;
+  bool Signed = true;
+
+  uint64_t bits() const { return 8ull * ByteSize; }
+
+  /// Smallest representable value.
+  int64_t minVal() const {
+    if (!Signed)
+      return 0;
+    return ByteSize >= 8 ? INT64_MIN : -(1ll << (bits() - 1));
+  }
+  /// Largest representable value as an unsigned 64-bit quantity.
+  uint64_t maxVal() const {
+    if (Signed)
+      return ByteSize >= 8 ? uint64_t(INT64_MAX)
+                           : (1ull << (bits() - 1)) - 1;
+    return ByteSize >= 8 ? UINT64_MAX : (1ull << bits()) - 1;
+  }
+  /// True if the mathematical integer \p V is representable.
+  bool inRange(int64_t V) const {
+    if (Signed)
+      return V >= minVal() && V <= int64_t(maxVal());
+    return V >= 0 && uint64_t(V) <= maxVal();
+  }
+
+  bool operator==(const IntType &O) const = default;
+
+  std::string str() const {
+    return (Signed ? "i" : "u") + std::to_string(bits());
+  }
+};
+
+inline IntType intU8() { return {1, false}; }
+inline IntType intU16() { return {2, false}; }
+inline IntType intU32() { return {4, false}; }
+inline IntType intU64() { return {8, false}; }
+inline IntType intI8() { return {1, true}; }
+inline IntType intI16() { return {2, true}; }
+inline IntType intI32() { return {4, true}; }
+inline IntType intI64() { return {8, true}; }
+inline IntType intSizeT() { return intU64(); }
+
+constexpr uint64_t PtrBytes = 8;
+
+/// A raw layout: size and alignment in bytes.
+struct Layout {
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+  bool operator==(const Layout &O) const = default;
+};
+
+inline Layout layoutOfInt(IntType I) { return {I.ByteSize, I.ByteSize}; }
+inline Layout layoutOfPtr() { return {PtrBytes, PtrBytes}; }
+
+/// A struct field: name, layout, and byte offset from the struct start.
+struct FieldLayout {
+  std::string Name;
+  Layout Ly;
+  uint64_t Offset = 0;
+};
+
+/// The physical layout of a C struct: what the paper calls "the C type"
+/// (names and offsets of fields), with no correctness content.
+struct StructLayout {
+  std::string Name;
+  std::vector<FieldLayout> Fields;
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+
+  /// Computes offsets, total size and alignment from the field layouts,
+  /// inserting padding per the usual C rules.
+  void computeLayout();
+
+  const FieldLayout *field(const std::string &FName) const {
+    for (const FieldLayout &F : Fields)
+      if (F.Name == FName)
+        return &F;
+    return nullptr;
+  }
+  int fieldIndex(const std::string &FName) const {
+    for (size_t I = 0; I < Fields.size(); ++I)
+      if (Fields[I].Name == FName)
+        return static_cast<int>(I);
+    return -1;
+  }
+};
+
+} // namespace rcc::caesium
+
+#endif // RCC_CAESIUM_LAYOUT_H

@@ -1,0 +1,99 @@
+//===- Memory.cpp ---------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Memory.h"
+
+using namespace rcc::caesium;
+
+MemLoc Memory::allocate(uint64_t Size, AllocKind Kind,
+                        const std::string &Name) {
+  uint64_t Id = NextId++;
+  Allocation A;
+  A.Size = Size;
+  A.Kind = Kind;
+  A.Name = Name;
+  A.Bytes.resize(Size); // poison-initialized
+  Allocs.emplace(Id, std::move(A));
+  return MemLoc{Id, 0};
+}
+
+MemLoc Memory::registerFunction(const std::string &Name) {
+  uint64_t Id = NextId++;
+  Allocation A;
+  A.Size = 0;
+  A.Kind = AllocKind::Function;
+  A.Name = Name;
+  Allocs.emplace(Id, std::move(A));
+  return MemLoc{Id, 0};
+}
+
+bool Memory::deallocate(uint64_t AllocId) {
+  auto It = Allocs.find(AllocId);
+  if (It == Allocs.end() || !It->second.Alive)
+    return false;
+  It->second.Alive = false;
+  It->second.Bytes.clear();
+  return true;
+}
+
+bool Memory::inBounds(MemLoc L, uint64_t Size) const {
+  const Allocation *A = allocation(L.Alloc);
+  if (!A || !A->Alive || A->Kind == AllocKind::Function)
+    return false;
+  return L.Off <= A->Size && Size <= A->Size - L.Off;
+}
+
+std::optional<std::string> Memory::functionAt(MemLoc L) const {
+  const Allocation *A = allocation(L.Alloc);
+  if (!A || A->Kind != AllocKind::Function || L.Off != 0)
+    return std::nullopt;
+  return A->Name;
+}
+
+MemResult Memory::load(MemLoc L, uint64_t Size) const {
+  if (L.isNull())
+    return MemResult::ub("load through NULL pointer");
+  if (!inBounds(L, Size))
+    return MemResult::ub("out-of-bounds or use-after-free load at " +
+                         L.str());
+  const Allocation &A = Allocs.at(L.Alloc);
+  return MemResult::ok(decodeValue(A.Bytes.data() + L.Off, Size));
+}
+
+MemResult Memory::store(MemLoc L, const RtVal &V, uint64_t Size) {
+  if (L.isNull())
+    return MemResult::ub("store through NULL pointer");
+  if (!inBounds(L, Size))
+    return MemResult::ub("out-of-bounds or use-after-free store at " +
+                         L.str());
+  std::vector<MemByte> Enc = encodeValue(V, Size);
+  Allocation &A = Allocs.at(L.Alloc);
+  for (uint64_t I = 0; I < Size; ++I)
+    A.Bytes[L.Off + I] = Enc[I];
+  return MemResult::ok(RtVal::poison());
+}
+
+MemResult Memory::copy(MemLoc Dst, MemLoc Src, uint64_t Size) {
+  if (!inBounds(Src, Size))
+    return MemResult::ub("out-of-bounds copy source at " + Src.str());
+  if (!inBounds(Dst, Size))
+    return MemResult::ub("out-of-bounds copy destination at " + Dst.str());
+  std::vector<MemByte> Tmp(Allocs.at(Src.Alloc).Bytes.begin() + Src.Off,
+                           Allocs.at(Src.Alloc).Bytes.begin() + Src.Off +
+                               Size);
+  Allocation &D = Allocs.at(Dst.Alloc);
+  for (uint64_t I = 0; I < Size; ++I)
+    D.Bytes[Dst.Off + I] = Tmp[I];
+  return MemResult::ok(RtVal::poison());
+}
+
+uint64_t Memory::liveBytes() const {
+  uint64_t N = 0;
+  for (const auto &[Id, A] : Allocs)
+    if (A.Alive)
+      N += A.Size;
+  return N;
+}

@@ -1,0 +1,98 @@
+//===- Memory.h - The Caesium byte-level memory ----------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The low-level memory of the Caesium semantics: a map from allocation ids
+/// to byte arrays. Loads, stores, allocation and deallocation report
+/// undefined behaviour (out-of-bounds access, access to dead allocations,
+/// calls through data pointers) via MemResult rather than crashing, so the
+/// interpreter can surface UB as a verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_CAESIUM_MEMORY_H
+#define RCC_CAESIUM_MEMORY_H
+
+#include "caesium/Value.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rcc::caesium {
+
+enum class AllocKind : uint8_t { Heap, Stack, Global, Function };
+
+struct Allocation {
+  uint64_t Size = 0;
+  AllocKind Kind = AllocKind::Heap;
+  bool Alive = true;
+  std::string Name; ///< for diagnostics; function name for Function allocs
+  std::vector<MemByte> Bytes;
+};
+
+/// Result of a memory operation: either a value or a UB description.
+struct MemResult {
+  bool Ok = true;
+  RtVal Val;
+  std::string UB;
+
+  static MemResult ok(RtVal V) {
+    MemResult R;
+    R.Val = V;
+    return R;
+  }
+  static MemResult ub(std::string Msg) {
+    MemResult R;
+    R.Ok = false;
+    R.UB = std::move(Msg);
+    return R;
+  }
+};
+
+class Memory {
+public:
+  /// Allocates \p Size poison-initialized bytes.
+  MemLoc allocate(uint64_t Size, AllocKind Kind, const std::string &Name);
+
+  /// Registers a function "allocation" (addressable, not readable).
+  MemLoc registerFunction(const std::string &Name);
+
+  /// Marks an allocation dead. Returns false for unknown/already-dead ids.
+  bool deallocate(uint64_t AllocId);
+
+  /// Loads \p Size bytes at \p L.
+  MemResult load(MemLoc L, uint64_t Size) const;
+
+  /// Stores \p V (encoded to \p Size bytes) at \p L.
+  MemResult store(MemLoc L, const RtVal &V, uint64_t Size);
+
+  /// Byte-wise copy (used for composite assignment); faithfully copies
+  /// poison and pointer fragments.
+  MemResult copy(MemLoc Dst, MemLoc Src, uint64_t Size);
+
+  const Allocation *allocation(uint64_t Id) const {
+    auto It = Allocs.find(Id);
+    return It == Allocs.end() ? nullptr : &It->second;
+  }
+
+  /// True if [L, L+Size) is within a live, data allocation.
+  bool inBounds(MemLoc L, uint64_t Size) const;
+
+  /// If \p L points at a function allocation at offset 0, its name.
+  std::optional<std::string> functionAt(MemLoc L) const;
+
+  uint64_t numAllocations() const { return Allocs.size(); }
+  uint64_t liveBytes() const;
+
+private:
+  std::unordered_map<uint64_t, Allocation> Allocs;
+  uint64_t NextId = 1;
+};
+
+} // namespace rcc::caesium
+
+#endif // RCC_CAESIUM_MEMORY_H

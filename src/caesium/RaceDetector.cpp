@@ -1,0 +1,63 @@
+//===- RaceDetector.cpp ---------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/RaceDetector.h"
+
+using namespace rcc::caesium;
+
+void rcc::caesium::vcJoin(VectorClock &A, const VectorClock &B) {
+  if (B.size() > A.size())
+    A.resize(B.size(), 0);
+  for (size_t I = 0; I < B.size(); ++I)
+    A[I] = std::max(A[I], B[I]);
+}
+
+bool rcc::caesium::vcOrdered(int Tid, uint64_t Clock, const VectorClock &VC) {
+  if (static_cast<size_t>(Tid) >= VC.size())
+    return Clock == 0;
+  return Clock <= VC[Tid];
+}
+
+std::string RaceDetector::onAccess(int Tid, const VectorClock &VC, MemLoc L,
+                                   uint64_t Size, bool IsWrite, bool Atomic) {
+  for (uint64_t I = 0; I < Size; ++I) {
+    ByteState &BS = Bytes[{L.Alloc, L.Off + I}];
+
+    // Conflict with the last write: needed for both reads and writes.
+    if (BS.LastWrite.valid() && BS.LastWrite.Tid != Tid &&
+        !vcOrdered(BS.LastWrite.Tid, BS.LastWrite.Clock, VC)) {
+      bool BothAtomic = Atomic && BS.LastWrite.Atomic;
+      if (!BothAtomic)
+        return "data race: " + std::string(IsWrite ? "write" : "read") +
+               " at " + MemLoc{L.Alloc, L.Off + I}.str() +
+               " conflicts with unsynchronized write by thread " +
+               std::to_string(BS.LastWrite.Tid);
+    }
+
+    if (IsWrite) {
+      // Conflict with unordered reads.
+      for (const auto &[RTid, Entry] : BS.Reads) {
+        auto [Clock, RAtomic] = Entry;
+        if (RTid == Tid || vcOrdered(RTid, Clock, VC))
+          continue;
+        if (Atomic && RAtomic)
+          continue;
+        return "data race: write at " + MemLoc{L.Alloc, L.Off + I}.str() +
+               " conflicts with unsynchronized read by thread " +
+               std::to_string(RTid);
+      }
+      // A non-racy write subsumes prior epochs (FastTrack).
+      BS.Reads.clear();
+      BS.LastWrite = {Tid, VC.size() > static_cast<size_t>(Tid) ? VC[Tid] : 0,
+                      Atomic};
+    } else {
+      auto &Slot = BS.Reads[Tid];
+      Slot.first = VC.size() > static_cast<size_t>(Tid) ? VC[Tid] : 0;
+      Slot.second = Atomic;
+    }
+  }
+  return "";
+}

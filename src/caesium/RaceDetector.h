@@ -1,0 +1,63 @@
+//===- RaceDetector.h - Happens-before data-race detection -----*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector-clock (FastTrack-style) data-race detector for the interpreter.
+/// Caesium assigns undefined behaviour to data races on non-atomic accesses
+/// following RustBelt (Section 3); sequentially consistent atomic accesses
+/// synchronize through a global SC clock maintained by the machine. Two
+/// conflicting accesses race when neither happens-before the other and at
+/// least one of them is non-atomic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_CAESIUM_RACEDETECTOR_H
+#define RCC_CAESIUM_RACEDETECTOR_H
+
+#include "caesium/Value.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rcc::caesium {
+
+using VectorClock = std::vector<uint64_t>;
+
+/// Joins \p B into \p A (pointwise max).
+void vcJoin(VectorClock &A, const VectorClock &B);
+/// True if epoch (Tid, Clock) happens-before the observer clock \p VC.
+bool vcOrdered(int Tid, uint64_t Clock, const VectorClock &VC);
+
+class RaceDetector {
+public:
+  /// Records an access of \p Size bytes at \p L by thread \p Tid with
+  /// current vector clock \p VC. Returns an empty string, or a description
+  /// of the detected race.
+  std::string onAccess(int Tid, const VectorClock &VC, MemLoc L,
+                       uint64_t Size, bool IsWrite, bool Atomic);
+
+  void reset() { Bytes.clear(); }
+
+private:
+  struct Epoch {
+    int Tid = -1;
+    uint64_t Clock = 0;
+    bool Atomic = false;
+    bool valid() const { return Tid >= 0; }
+  };
+  struct ByteState {
+    Epoch LastWrite;
+    /// Last read epoch per thread, with atomicity of that read.
+    std::map<int, std::pair<uint64_t, bool>> Reads;
+  };
+
+  std::map<std::pair<uint64_t, uint64_t>, ByteState> Bytes;
+};
+
+} // namespace rcc::caesium
+
+#endif // RCC_CAESIUM_RACEDETECTOR_H

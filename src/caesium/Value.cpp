@@ -1,0 +1,67 @@
+//===- Value.cpp ----------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Value.h"
+
+using namespace rcc::caesium;
+
+std::string RtVal::str() const {
+  switch (K) {
+  case ValKind::Poison:
+    return "poison";
+  case ValKind::Int:
+    return std::to_string(asSigned()) + ":i" + std::to_string(8 * Size);
+  case ValKind::Ptr:
+    return isNullPtr() ? "NULL" : Loc.str();
+  }
+  return "?";
+}
+
+std::vector<MemByte> rcc::caesium::encodeValue(const RtVal &V, uint64_t Size) {
+  std::vector<MemByte> Out(Size);
+  switch (V.K) {
+  case ValKind::Poison:
+    return Out; // all poison
+  case ValKind::Int: {
+    assert(Size == V.Size && "integer store size mismatch");
+    for (uint64_t I = 0; I < Size; ++I) {
+      Out[I].K = ByteKind::Raw;
+      Out[I].B = static_cast<uint8_t>((V.Bits >> (8 * I)) & 0xff);
+    }
+    return Out;
+  }
+  case ValKind::Ptr: {
+    assert(Size == PtrBytes && "pointer store size mismatch");
+    for (uint64_t I = 0; I < Size; ++I) {
+      Out[I].K = ByteKind::PtrFrag;
+      Out[I].P = V.Loc;
+      Out[I].Idx = static_cast<uint8_t>(I);
+    }
+    return Out;
+  }
+  }
+  return Out;
+}
+
+RtVal rcc::caesium::decodeValue(const MemByte *Bytes, uint64_t Size) {
+  bool AllRaw = true, AllFrag = Size == PtrBytes;
+  for (uint64_t I = 0; I < Size; ++I) {
+    if (Bytes[I].K != ByteKind::Raw)
+      AllRaw = false;
+    if (Bytes[I].K != ByteKind::PtrFrag || Bytes[I].Idx != I ||
+        !(Bytes[I].P == Bytes[0].P))
+      AllFrag = false;
+  }
+  if (AllRaw) {
+    uint64_t Bits = 0;
+    for (uint64_t I = 0; I < Size; ++I)
+      Bits |= uint64_t(Bytes[I].B) << (8 * I);
+    return RtVal::fromUInt(Bits, static_cast<uint8_t>(Size));
+  }
+  if (AllFrag)
+    return RtVal::ptr(Bytes[0].P);
+  return RtVal::poison();
+}

@@ -1,0 +1,122 @@
+//===- Value.h - Runtime values and memory bytes ---------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the Caesium semantics and their byte-level memory
+/// representation. Following CompCert's memval (which Caesium's memory model
+/// is roughly based on, Section 3), each memory byte is either poison
+/// (uninitialized), a raw byte, or a pointer fragment carrying provenance.
+/// Values decode from byte sequences at loads and encode at stores, so
+/// uninitialized memory, padding, and representation-byte access behave
+/// faithfully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_CAESIUM_VALUE_H
+#define RCC_CAESIUM_VALUE_H
+
+#include "caesium/Layout.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcc::caesium {
+
+/// A memory location: allocation identity (provenance) plus byte offset.
+/// Allocation id 0 is the null provenance; NULL is {0, 0}.
+struct MemLoc {
+  uint64_t Alloc = 0;
+  uint64_t Off = 0;
+
+  bool isNull() const { return Alloc == 0 && Off == 0; }
+  bool operator==(const MemLoc &O) const = default;
+  std::string str() const {
+    return "a" + std::to_string(Alloc) + "+" + std::to_string(Off);
+  }
+};
+
+enum class ValKind : uint8_t {
+  Poison, ///< result of reading uninitialized memory, UB-adjacent uses trap
+  Int,    ///< an integer of a known byte size (bits stored 2's complement)
+  Ptr,    ///< a pointer (includes NULL)
+};
+
+/// A runtime value.
+struct RtVal {
+  ValKind K = ValKind::Poison;
+  uint64_t Bits = 0;   ///< for Int: raw bits, truncated to Size bytes
+  uint8_t Size = 0;    ///< for Int: byte size
+  MemLoc Loc;          ///< for Ptr
+
+  static RtVal poison() { return RtVal(); }
+  static RtVal fromUInt(uint64_t Bits, uint8_t Size) {
+    RtVal V;
+    V.K = ValKind::Int;
+    V.Size = Size;
+    V.Bits = Size >= 8 ? Bits : (Bits & ((1ull << (8 * Size)) - 1));
+    return V;
+  }
+  static RtVal fromInt(IntType Ity, int64_t V) {
+    return fromUInt(static_cast<uint64_t>(V), Ity.ByteSize);
+  }
+  static RtVal ptr(MemLoc L) {
+    RtVal V;
+    V.K = ValKind::Ptr;
+    V.Loc = L;
+    return V;
+  }
+  static RtVal null() { return ptr(MemLoc{0, 0}); }
+
+  bool isPoison() const { return K == ValKind::Poison; }
+  bool isInt() const { return K == ValKind::Int; }
+  bool isPtr() const { return K == ValKind::Ptr; }
+  bool isNullPtr() const { return isPtr() && Loc.isNull(); }
+
+  /// Signed interpretation at the stored size.
+  int64_t asSigned() const {
+    assert(isInt() && "asSigned on non-integer");
+    if (Size >= 8)
+      return static_cast<int64_t>(Bits);
+    uint64_t SignBit = 1ull << (8 * Size - 1);
+    if (Bits & SignBit)
+      return static_cast<int64_t>(Bits | ~((1ull << (8 * Size)) - 1));
+    return static_cast<int64_t>(Bits);
+  }
+  uint64_t asUnsigned() const {
+    assert(isInt() && "asUnsigned on non-integer");
+    return Bits;
+  }
+  /// Interprets per \p Ity's signedness as a mathematical value.
+  int64_t interp(IntType Ity) const {
+    return Ity.Signed ? asSigned() : static_cast<int64_t>(asUnsigned());
+  }
+
+  std::string str() const;
+};
+
+enum class ByteKind : uint8_t { Poison, Raw, PtrFrag };
+
+/// One byte of memory.
+struct MemByte {
+  ByteKind K = ByteKind::Poison;
+  uint8_t B = 0;   ///< for Raw
+  MemLoc P;        ///< for PtrFrag: the pointer this byte is a fragment of
+  uint8_t Idx = 0; ///< for PtrFrag: which of the PtrBytes fragments
+};
+
+/// Encodes \p V into \p Size bytes (must equal the value's size for ints and
+/// PtrBytes for pointers; poison encodes as poison bytes).
+std::vector<MemByte> encodeValue(const RtVal &V, uint64_t Size);
+
+/// Decodes \p Size bytes into a value. Poison or mixed representations decode
+/// to poison (using a pointer's representation bytes as an integer is not
+/// given a value, matching the absence of integer-pointer casts).
+RtVal decodeValue(const MemByte *Bytes, uint64_t Size);
+
+} // namespace rcc::caesium
+
+#endif // RCC_CAESIUM_VALUE_H

@@ -1,0 +1,814 @@
+//===- CaseStudies.cpp - Annotated sources of the evaluation suite --------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "casestudies/CaseStudies.h"
+
+using namespace rcc::casestudies;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// #1 Singly linked list
+//===----------------------------------------------------------------------===//
+
+const char *SlistSource = R"(
+// Singly linked list refined by the multiset of stored values.
+typedef struct
+[[rc::refined_by("s: {gmultiset nat}")]]
+[[rc::ptr_type("slist_t: {s != {[]}} @ optional<&own<...>, null>")]]
+[[rc::exists("v: nat", "tail: {gmultiset nat}")]]
+[[rc::constraints("{s = {[v]} (+) tail}")]]
+snode {
+  [[rc::field("v @ int<size_t>")]] size_t value;
+  [[rc::field("tail @ slist_t")]] struct snode* next;
+}* slist_t;
+
+[[rc::parameters("s: {gmultiset nat}", "p: loc", "v: nat")]]
+[[rc::args("p @ &own<s @ slist_t>", "&own<uninit<16>>", "v @ int<size_t>")]]
+[[rc::ensures("own p : {{[v]} (+) s} @ slist_t")]]
+[[rc::tactics("multiset_solver")]]
+void slist_push(slist_t* l, void* mem, size_t v) {
+  struct snode* n = mem;
+  n->value = v;
+  n->next = *l;
+  *l = n;
+}
+
+[[rc::parameters("s: {gmultiset nat}", "p: loc")]]
+[[rc::args("p @ &own<s @ slist_t>")]]
+[[rc::requires("{s != {[]}}")]]
+[[rc::exists("v: nat", "rest: {gmultiset nat}")]]
+[[rc::returns("v @ int<size_t>")]]
+[[rc::ensures("own p : rest @ slist_t", "{s = {[v]} (+) rest}")]]
+[[rc::tactics("multiset_solver")]]
+size_t slist_pop(slist_t* l) {
+  struct snode* h = *l;
+  size_t v = h->value;
+  *l = h->next;
+  return v;
+}
+
+// Traversal with a magic-wand loop invariant: count the nodes.
+[[rc::parameters("s: {gmultiset nat}", "p: loc")]]
+[[rc::args("p @ &own<s @ slist_t>")]]
+[[rc::returns("{size(s)} @ int<size_t>")]]
+[[rc::ensures("own p : s @ slist_t")]]
+[[rc::tactics("multiset_solver")]]
+size_t slist_length(slist_t* l) {
+  slist_t* cur = l;
+  size_t count = 0;
+  [[rc::exists("cp: loc", "cs: {gmultiset nat}")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ slist_t>")]]
+  [[rc::inv_vars("count: {size(s) - size(cs)} @ int<size_t>")]]
+  [[rc::inv_vars("l: p @ &own<wand<own cp : cs @ slist_t,"
+                 "s @ slist_t>>")]]
+  [[rc::constraints("{size(cs) <= size(s)}")]]
+  while (*cur != NULL) {
+    count += 1;
+    cur = &(*cur)->next;
+  }
+  return count;
+}
+
+int main() {
+  slist_t head = NULL;
+  slist_push(&head, rc_alloc(16), 3);
+  slist_push(&head, rc_alloc(16), 7);
+  slist_push(&head, rc_alloc(16), 9);
+  rc_assert(slist_length(&head) == 3);
+  size_t a = slist_pop(&head);
+  rc_assert(a == 9);
+  rc_assert(slist_length(&head) == 2);
+  return (int)slist_pop(&head) + (int)slist_pop(&head);
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #1 Queue (FIFO by appending at the tail; refined by a multiset)
+//===----------------------------------------------------------------------===//
+
+const char *QueueSource = R"(
+typedef struct
+[[rc::refined_by("s: {gmultiset nat}")]]
+[[rc::ptr_type("queue_t: {s != {[]}} @ optional<&own<...>, null>")]]
+[[rc::exists("v: nat", "tail: {gmultiset nat}")]]
+[[rc::constraints("{s = {[v]} (+) tail}")]]
+qnode {
+  [[rc::field("v @ int<size_t>")]] size_t value;
+  [[rc::field("tail @ queue_t")]] struct qnode* next;
+}* queue_t;
+
+// Enqueue walks to the end of the list (list-segment reasoning via wand).
+[[rc::parameters("s: {gmultiset nat}", "p: loc", "v: nat")]]
+[[rc::args("p @ &own<s @ queue_t>", "&own<uninit<16>>", "v @ int<size_t>")]]
+[[rc::ensures("own p : {{[v]} (+) s} @ queue_t")]]
+[[rc::tactics("multiset_solver")]]
+void queue_put(queue_t* q, void* mem, size_t v) {
+  queue_t* cur = q;
+  [[rc::exists("cp: loc", "cs: {gmultiset nat}")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ queue_t>")]]
+  [[rc::inv_vars("q: p @ &own<wand<own cp : {{[v]} (+) cs} @ queue_t,"
+                 "{{[v]} (+) s} @ queue_t>>")]]
+  while (*cur != NULL) {
+    cur = &(*cur)->next;
+  }
+  struct qnode* n = mem;
+  n->value = v;
+  n->next = *cur;
+  *cur = n;
+}
+
+[[rc::parameters("s: {gmultiset nat}", "p: loc")]]
+[[rc::args("p @ &own<s @ queue_t>")]]
+[[rc::requires("{s != {[]}}")]]
+[[rc::exists("v: nat", "rest: {gmultiset nat}")]]
+[[rc::returns("v @ int<size_t>")]]
+[[rc::ensures("own p : rest @ queue_t", "{s = {[v]} (+) rest}")]]
+[[rc::tactics("multiset_solver")]]
+size_t queue_take(queue_t* q) {
+  struct qnode* h = *q;
+  size_t v = h->value;
+  *q = h->next;
+  return v;
+}
+
+int main() {
+  queue_t head = NULL;
+  queue_put(&head, rc_alloc(16), 1);
+  queue_put(&head, rc_alloc(16), 2);
+  queue_put(&head, rc_alloc(16), 3);
+  rc_assert(queue_take(&head) == 1);
+  rc_assert(queue_take(&head) == 2);
+  rc_assert(queue_take(&head) == 3);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #1 Binary search (array + first-class function pointer)
+//===----------------------------------------------------------------------===//
+
+const char *BsearchSource = R"(
+// Comparator type: a RefinedC function type on a typedef (Section 4:
+// function types are first class).
+typedef
+[[rc::parameters("x: nat", "y: nat")]]
+[[rc::args("x @ int<size_t>", "y @ int<size_t>")]]
+[[rc::returns("{x <= y} @ bool<i32>")]]
+int cmp_t(size_t, size_t);
+
+[[rc::parameters("x: nat", "y: nat")]]
+[[rc::args("x @ int<size_t>", "y @ int<size_t>")]]
+[[rc::returns("{x <= y} @ bool<i32>")]]
+int cmp_leq(size_t a, size_t b) {
+  return a <= b;
+}
+
+// Lower-bound binary search over an array of size_t, through a comparator
+// function pointer. The returned index is within bounds.
+[[rc::parameters("xs: {list nat}", "a: loc", "k: nat")]]
+[[rc::args("a @ &own<xs @ array<int<size_t>>>",
+           "{length(xs)} @ int<size_t>", "k @ int<size_t>", "fn<cmp_t>")]]
+[[rc::exists("i: nat")]]
+[[rc::returns("i @ int<size_t>")]]
+[[rc::ensures("{i <= length(xs)}",
+              "own a : xs @ array<int<size_t>>")]]
+size_t bsearch_pos(size_t* arr, size_t n, size_t key, cmp_t* leq) {
+  size_t lo = 0;
+  size_t hi = n;
+  [[rc::exists("l: nat", "h: nat")]]
+  [[rc::inv_vars("lo: l @ int<size_t>", "hi: h @ int<size_t>")]]
+  [[rc::inv_vars("arr: a @ &own<xs @ array<int<size_t>>>")]]
+  [[rc::constraints("{l <= h}", "{h <= length(xs)}")]]
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (leq(arr[mid], key)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// A client of the searcher (the paper verifies "a client of it").
+[[rc::parameters("xs: {list nat}", "a: loc", "k: nat")]]
+[[rc::args("a @ &own<xs @ array<int<size_t>>>",
+           "{length(xs)} @ int<size_t>", "k @ int<size_t>")]]
+[[rc::exists("i: nat")]]
+[[rc::returns("i @ int<size_t>")]]
+[[rc::ensures("{i <= length(xs)}",
+              "own a : xs @ array<int<size_t>>")]]
+size_t bsearch_client(size_t* arr, size_t n, size_t key) {
+  return bsearch_pos(arr, n, key, cmp_leq);
+}
+
+int main() {
+  size_t arr[8];
+  for (int i = 0; i < 8; i += 1) { arr[i] = (size_t)(i * 2); }
+  size_t pos = bsearch_client(arr, 8, 5);
+  rc_assert(pos == 3);
+  rc_assert(bsearch_client(arr, 8, 0) == 1);
+  rc_assert(bsearch_client(arr, 8, 100) == 8);
+  return (int)pos;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #2 Thread-safe allocator (global arena protected by an atomic boolean)
+//===----------------------------------------------------------------------===//
+
+const char *TsAllocSource = R"(
+struct [[rc::refined_by("a: nat")]] tsmem {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::global("atomicbool<u32, true, own global(arena) : exists a. a @ tsmem>")]]
+unsigned int arena_lock = 0;
+struct tsmem arena;
+
+// Allocate from the shared arena; the spinlock's CAS transfers ownership of
+// the arena in and the release store transfers it back (Section 6's
+// atomicbool reasoning).
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::exists("ok: bool")]]
+[[rc::returns("ok @ optional<&own<uninit<n>>, null>")]]
+void* ts_alloc(size_t sz) {
+  unsigned int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<u32>")]]
+  while (!atomic_compare_exchange_strong(&arena_lock, &expected, 1)) {
+    expected = 0;
+  }
+  void* ret = NULL;
+  if (sz <= arena.len) {
+    arena.len -= sz;
+    ret = arena.buffer + arena.len;
+  }
+  atomic_store(&arena_lock, 0);
+  return ret;
+}
+
+void worker(void* unused) {
+  void* p = ts_alloc(8);
+  if (p != NULL) {
+    unsigned char* b = p;
+    b[0] = 1;
+    b[7] = 2;
+  }
+}
+
+int main() {
+  arena.len = 64;
+  arena.buffer = rc_alloc(64);
+  int t1 = rc_spawn(worker, NULL);
+  int t2 = rc_spawn(worker, NULL);
+  rc_join(t1);
+  rc_join(t2);
+  void* q = ts_alloc(48);
+  rc_assert(q != NULL);
+  void* r = ts_alloc(48);
+  rc_assert(r == NULL);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #2 Page allocator (page-granular ownership splitting)
+//===----------------------------------------------------------------------===//
+
+const char *PageAllocSource = R"(
+struct [[rc::refined_by("a: nat")]] page_alloc {
+  [[rc::field("a @ int<size_t>")]] size_t free_pages;
+  [[rc::field("&own<uninit<{a * 4096}>>")]] unsigned char* next_page;
+};
+
+[[rc::parameters("a: nat", "p: loc", "n: nat")]]
+[[rc::args("p @ &own<a @ page_alloc>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<{n * 4096}>>, null>")]]
+[[rc::ensures("own p : {n <= a ? a - n : a} @ page_alloc")]]
+void* page_get(struct page_alloc* pa, size_t count) {
+  if (count > pa->free_pages) return NULL;
+  pa->free_pages -= count;
+  unsigned char* res = pa->next_page;
+  pa->next_page = res + count * 4096;
+  return res;
+}
+
+struct page_alloc ppool;
+
+int main() {
+  ppool.free_pages = 4;
+  ppool.next_page = rc_alloc(4 * 4096);
+  unsigned char* a = page_get(&ppool, 1);
+  unsigned char* b = page_get(&ppool, 3);
+  unsigned char* c = page_get(&ppool, 1);
+  rc_assert(a != NULL);
+  rc_assert(b != NULL);
+  rc_assert(c == NULL);
+  a[0] = 1; a[4095] = 2;
+  b[0] = 3; b[3 * 4096 - 1] = 4;
+  return a[0] + a[4095] + b[0] + b[3 * 4096 - 1];
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #3 Binary search tree (direct: C straight to the multiset specification)
+//===----------------------------------------------------------------------===//
+
+const char *BstDirectSource = R"(
+typedef struct
+[[rc::refined_by("s: {gmultiset nat}")]]
+[[rc::ptr_type("tree_t: {s != {[]}} @ optional<&own<...>, null>")]]
+[[rc::exists("v: nat", "ls: {gmultiset nat}", "rs: {gmultiset nat}")]]
+[[rc::constraints("{s = {[v]} (+) (ls (+) rs)}",
+                  "{forall k, k in ls -> k < v}",
+                  "{forall k, k in rs -> v < k}")]]
+tnode {
+  [[rc::field("v @ int<size_t>")]] size_t value;
+  [[rc::field("ls @ tree_t")]] struct tnode* left;
+  [[rc::field("rs @ tree_t")]] struct tnode* right;
+}* tree_t;
+
+[[rc::parameters("s: {gmultiset nat}", "p: loc", "v: nat")]]
+[[rc::args("p @ &own<s @ tree_t>", "&own<uninit<24>>", "v @ int<size_t>")]]
+[[rc::requires("{!(v in s)}")]]
+[[rc::ensures("own p : {{[v]} (+) s} @ tree_t")]]
+[[rc::tactics("multiset_solver")]]
+void tree_insert(tree_t* t, void* mem, size_t v) {
+  tree_t* cur = t;
+  [[rc::exists("cp: loc", "cs: {gmultiset nat}")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ tree_t>")]]
+  [[rc::inv_vars("t: p @ &own<wand<own cp : {{[v]} (+) cs} @ tree_t,"
+                 "{{[v]} (+) s} @ tree_t>>")]]
+  [[rc::constraints("{!(v in cs)}")]]
+  while (*cur != NULL) {
+    if (v < (*cur)->value) {
+      cur = &(*cur)->left;
+    } else {
+      cur = &(*cur)->right;
+    }
+  }
+  struct tnode* n = mem;
+  n->value = v;
+  n->left = NULL;
+  n->right = NULL;
+  *cur = n;
+}
+
+[[rc::parameters("s: {gmultiset nat}", "p: loc", "v: nat")]]
+[[rc::args("p @ &own<s @ tree_t>", "v @ int<size_t>")]]
+[[rc::exists("r: bool")]]
+[[rc::returns("r @ bool<i32>")]]
+[[rc::ensures("own p : s @ tree_t")]]
+[[rc::tactics("multiset_solver")]]
+int tree_contains(tree_t* t, size_t v) {
+  tree_t* cur = t;
+  [[rc::exists("cp: loc", "cs: {gmultiset nat}")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ tree_t>")]]
+  [[rc::inv_vars("t: p @ &own<wand<own cp : cs @ tree_t, s @ tree_t>>")]]
+  while (*cur != NULL) {
+    if ((*cur)->value == v) {
+      return 1;
+    }
+    if (v < (*cur)->value) {
+      cur = &(*cur)->left;
+    } else {
+      cur = &(*cur)->right;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  tree_t root = NULL;
+  tree_insert(&root, rc_alloc(24), 5);
+  tree_insert(&root, rc_alloc(24), 2);
+  tree_insert(&root, rc_alloc(24), 8);
+  tree_insert(&root, rc_alloc(24), 6);
+  rc_assert(tree_contains(&root, 5));
+  rc_assert(tree_contains(&root, 6));
+  rc_assert(!tree_contains(&root, 7));
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #3 Binary search tree (layered: specs go through a functional layer of
+// uninterpreted operations whose properties are manual lemmas)
+//===----------------------------------------------------------------------===//
+
+const char *BstLayeredSource = R"(
+typedef struct
+[[rc::refined_by("s: {gmultiset nat}")]]
+[[rc::ptr_type("ltree_t: {s != {[]}} @ optional<&own<...>, null>")]]
+[[rc::exists("v: nat", "ls: {gmultiset nat}", "rs: {gmultiset nat}")]]
+[[rc::constraints("{s = {[v]} (+) (ls (+) rs)}",
+                  "{forall k, k in ls -> k < v}",
+                  "{forall k, k in rs -> v < k}")]]
+lnode {
+  [[rc::field("v @ int<size_t>")]] size_t value;
+  [[rc::field("ls @ ltree_t")]] struct lnode* left;
+  [[rc::field("rs @ ltree_t")]] struct lnode* right;
+}* ltree_t;
+
+// The intermediate functional layer: `tinsert` is an abstract operation on
+// the model, related to the multiset by a manually proved lemma (the
+// paper's layered approach needs substantially more pure reasoning).
+[[rc::parameters("s: {gmultiset nat}", "p: loc", "v: nat")]]
+[[rc::args("p @ &own<s @ ltree_t>", "&own<uninit<24>>", "v @ int<size_t>")]]
+[[rc::requires("{!(v in s)}")]]
+[[rc::lemma("tinsert_elems", "{tinsert(s, v) = {[v]} (+) s}", "64")]]
+[[rc::lemma("tinsert_sorted", "{forall k, k in s -> k in tinsert(s, v)}", "64")]]
+[[rc::ensures("own p : {tinsert(s, v)} @ ltree_t")]]
+[[rc::tactics("multiset_solver")]]
+void ltree_insert(ltree_t* t, void* mem, size_t v) {
+  ltree_t* cur = t;
+  [[rc::exists("cp: loc", "cs: {gmultiset nat}")]]
+  [[rc::inv_vars("cur: cp @ &own<cs @ ltree_t>")]]
+  [[rc::inv_vars("t: p @ &own<wand<own cp : {{[v]} (+) cs} @ ltree_t,"
+                 "{{[v]} (+) s} @ ltree_t>>")]]
+  [[rc::constraints("{!(v in cs)}")]]
+  while (*cur != NULL) {
+    if (v < (*cur)->value) {
+      cur = &(*cur)->left;
+    } else {
+      cur = &(*cur)->right;
+    }
+  }
+  struct lnode* n = mem;
+  n->value = v;
+  n->left = NULL;
+  n->right = NULL;
+  *cur = n;
+}
+
+int main() {
+  ltree_t root = NULL;
+  ltree_insert(&root, rc_alloc(24), 4);
+  ltree_insert(&root, rc_alloc(24), 1);
+  ltree_insert(&root, rc_alloc(24), 9);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #4 Linear probing hashmap (parallel state/key/value arrays)
+//===----------------------------------------------------------------------===//
+
+const char *HashmapSource = R"(
+// Open-addressing hashmap with linear probing over parallel arrays:
+// states[i] (0 = empty, 1 = full), keys[i], vals[i].
+
+// Probe for a key: returns its slot, or the first empty slot on its probe
+// path, or n when the table is saturated.
+[[rc::parameters("ss: {list nat}", "ks: {list nat}", "sp: loc", "kp: loc",
+                 "n: nat", "k: nat")]]
+[[rc::args("sp @ &own<ss @ array<int<size_t>>>",
+           "kp @ &own<ks @ array<int<size_t>>>",
+           "n @ int<size_t>", "k @ int<size_t>")]]
+[[rc::requires("{n = length(ss)}", "{n = length(ks)}", "{0 < n}")]]
+[[rc::exists("i: nat")]]
+[[rc::returns("i @ int<size_t>")]]
+[[rc::ensures("{i <= length(ss)}",
+              "{i < length(ss) -> (ks !! i = k || ss !! i = 0)}",
+              "own sp : ss @ array<int<size_t>>",
+              "own kp : ks @ array<int<size_t>>")]]
+size_t hm_probe(size_t* states, size_t* keys, size_t n, size_t k) {
+  size_t i = k % n;
+  size_t steps = 0;
+  [[rc::exists("j: nat", "c: nat")]]
+  [[rc::inv_vars("i: j @ int<size_t>", "steps: c @ int<size_t>")]]
+  [[rc::constraints("{j < length(ss)}")]]
+  while (steps < n) {
+    if (states[i] == 0) {
+      return i;
+    }
+    if (keys[i] == k) {
+      return i;
+    }
+    i = (i + 1) % n;
+    steps = steps + 1;
+  }
+  return n;
+}
+
+// Insert (or update) a binding; returns the slot used, or n when full.
+[[rc::parameters("ss: {list nat}", "ks: {list nat}", "vs: {list nat}",
+                 "sp: loc", "kp: loc", "vp: loc", "n: nat", "k: nat",
+                 "v: nat")]]
+[[rc::args("sp @ &own<ss @ array<int<size_t>>>",
+           "kp @ &own<ks @ array<int<size_t>>>",
+           "vp @ &own<vs @ array<int<size_t>>>",
+           "n @ int<size_t>", "k @ int<size_t>", "v @ int<size_t>")]]
+[[rc::requires("{n = length(ss)}", "{n = length(ks)}",
+               "{n = length(vs)}", "{0 < n}")]]
+[[rc::exists("i: nat")]]
+[[rc::returns("i @ int<size_t>")]]
+[[rc::ensures("{i <= length(ss)}",
+              "own sp : {i < length(ss) ? update(ss, i, 1) : ss}"
+              " @ array<int<size_t>>",
+              "own kp : {i < length(ss) ? update(ks, i, k) : ks}"
+              " @ array<int<size_t>>",
+              "own vp : {i < length(ss) ? update(vs, i, v) : vs}"
+              " @ array<int<size_t>>")]]
+size_t hm_put(size_t* states, size_t* keys, size_t* vals, size_t n,
+              size_t k, size_t v) {
+  size_t i = hm_probe(states, keys, n, k);
+  if (i < n) {
+    states[i] = 1;
+    keys[i] = k;
+    vals[i] = v;
+  }
+  return i;
+}
+
+// Lookup through the functional layer: `hmval` is the abstract map lookup,
+// related to the arrays by a manually proved lemma (the paper reports the
+// hashmap needs the most manual pure reasoning of all case studies).
+[[rc::parameters("ss: {list nat}", "ks: {list nat}", "vs: {list nat}",
+                 "sp: loc", "kp: loc", "vp: loc", "n: nat", "k: nat")]]
+[[rc::args("sp @ &own<ss @ array<int<size_t>>>",
+           "kp @ &own<ks @ array<int<size_t>>>",
+           "vp @ &own<vs @ array<int<size_t>>>",
+           "n @ int<size_t>", "k @ int<size_t>")]]
+[[rc::requires("{n = length(ss)}", "{n = length(ks)}",
+               "{n = length(vs)}", "{0 < n}")]]
+[[rc::lemma("hm_val_at",
+            "{forall i2, ((ks !! i2) = k) -> (hmval(k) = (vs !! i2))}",
+            "265")]]
+[[rc::exists("r: nat")]]
+[[rc::returns("r @ int<size_t>")]]
+[[rc::ensures("{r = hmval(k) || r = 0}",
+              "own sp : ss @ array<int<size_t>>",
+              "own kp : ks @ array<int<size_t>>",
+              "own vp : vs @ array<int<size_t>>")]]
+size_t hm_get(size_t* states, size_t* keys, size_t* vals, size_t n,
+              size_t k) {
+  size_t i = hm_probe(states, keys, n, k);
+  if (i < n) {
+    if (states[i] == 1) {
+      if (keys[i] == k) {
+        return vals[i];
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  size_t states[8];
+  size_t keys[8];
+  size_t vals[8];
+  for (int i = 0; i < 8; i += 1) { states[i] = 0; keys[i] = 0; vals[i] = 0; }
+  rc_assert(hm_put(states, keys, vals, 8, 3, 30) < 8);
+  rc_assert(hm_put(states, keys, vals, 8, 11, 110) < 8); // collides with 3
+  rc_assert(hm_put(states, keys, vals, 8, 5, 50) < 8);
+  rc_assert(hm_get(states, keys, vals, 8, 3) == 30);
+  rc_assert(hm_get(states, keys, vals, 8, 11) == 110);
+  rc_assert(hm_get(states, keys, vals, 8, 5) == 50);
+  rc_assert(hm_get(states, keys, vals, 8, 4) == 0);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #5 Hafnium-style mpool allocator (freelist of pages behind a spinlock)
+//===----------------------------------------------------------------------===//
+
+const char *MpoolSource = R"(
+// A pool of 4096-byte pages kept in an intrusive freelist (each free page's
+// first bytes hold the list node; rc::size overlays the header on the page,
+// as in Figure 3). Refined by the number of available pages.
+typedef struct
+[[rc::refined_by("c: nat")]]
+[[rc::ptr_type("mpentry_t: {c != 0} @ optional<&own<...>, null>")]]
+[[rc::exists("tail: nat")]]
+[[rc::size("{4096}")]]
+[[rc::constraints("{c = tail + 1}")]]
+mpentry {
+  [[rc::field("tail @ mpentry_t")]] struct mpentry* next;
+}* mpentry_t;
+
+struct [[rc::refined_by("c: nat")]] mpool {
+  [[rc::field("c @ mpentry_t")]] struct mpentry* chunks;
+};
+
+[[rc::global("atomicbool<u32, true, own global(pool) : exists c. c @ mpool>")]]
+unsigned int pool_lock = 0;
+struct mpool pool;
+
+// Allocate one page: lock, pop, unlock (the paper's mpool combines the
+// freelist, padding, and lock techniques).
+[[rc::exists("ok: bool")]]
+[[rc::returns("ok @ optional<&own<uninit<{4096}>>, null>")]]
+void* mpool_alloc(void) {
+  unsigned int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<u32>")]]
+  while (!atomic_compare_exchange_strong(&pool_lock, &expected, 1)) {
+    expected = 0;
+  }
+  struct mpentry* entry = pool.chunks;
+  void* ret = NULL;
+  if (entry != NULL) {
+    pool.chunks = entry->next;
+    ret = entry;
+  }
+  atomic_store(&pool_lock, 0);
+  return ret;
+}
+
+// Return one page to the pool.
+[[rc::args("&own<uninit<{4096}>>")]]
+void mpool_free(void* page) {
+  unsigned int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<u32>")]]
+  while (!atomic_compare_exchange_strong(&pool_lock, &expected, 1)) {
+    expected = 0;
+  }
+  struct mpentry* entry = page;
+  entry->next = pool.chunks;
+  pool.chunks = entry;
+  atomic_store(&pool_lock, 0);
+}
+
+void mworker(void* unused) {
+  void* a = mpool_alloc();
+  if (a != NULL) {
+    unsigned char* b = a;
+    b[0] = 1;
+    b[4095] = 2;
+    mpool_free(a);
+  }
+}
+
+int main() {
+  pool.chunks = NULL;
+  mpool_free(rc_alloc(4096));
+  mpool_free(rc_alloc(4096));
+  int t1 = rc_spawn(mworker, NULL);
+  int t2 = rc_spawn(mworker, NULL);
+  rc_join(t1);
+  rc_join(t2);
+  void* p1 = mpool_alloc();
+  void* p2 = mpool_alloc();
+  void* p3 = mpool_alloc();
+  rc_assert(p1 != NULL);
+  rc_assert(p2 != NULL);
+  rc_assert(p3 == NULL);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #6 Spinlock (protecting a shared counter)
+//===----------------------------------------------------------------------===//
+
+const char *SpinlockSource = R"(
+[[rc::global("atomicbool<u32, true,"
+             "own global(counter) : exists c. c @ int<u64>>")]]
+unsigned int lock = 0;
+size_t counter;
+
+// Acquire: spin on CAS(false -> true); on success the lock's payload (the
+// counter's ownership) transfers to the caller (CAS-BOOL, Figure 6).
+[[rc::ensures("own global(counter) : exists c. c @ int<u64>")]]
+void spin_lock(void) {
+  unsigned int expected = 0;
+  [[rc::inv_vars("expected: {0} @ int<u32>")]]
+  while (!atomic_compare_exchange_strong(&lock, &expected, 1)) {
+    expected = 0;
+  }
+}
+
+// Release: storing false requires handing the payload back.
+[[rc::requires("own global(counter) : exists c. c @ int<u64>")]]
+void spin_unlock(void) {
+  atomic_store(&lock, 0);
+}
+
+// A verified client: increment the shared counter under the lock.
+[[rc::parameters()]]
+void shared_inc(void) {
+  spin_lock();
+  counter = counter + 1;
+  spin_unlock();
+}
+
+void sworker(void* unused) {
+  shared_inc();
+  shared_inc();
+}
+
+int main() {
+  counter = 0;
+  int t1 = rc_spawn(sworker, NULL);
+  int t2 = rc_spawn(sworker, NULL);
+  rc_join(t1);
+  rc_join(t2);
+  spin_lock();
+  size_t v = counter;
+  spin_unlock();
+  rc_assert(v == 4);
+  return (int)v;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// #6 One-time barrier (take-once handoff through an atomic boolean)
+//===----------------------------------------------------------------------===//
+
+const char *BarrierSource = R"(
+[[rc::global("atomicbool<u32,"
+             "own global(payload) : exists v. v @ int<u64>, true>")]]
+unsigned int barrier_flag = 0;
+size_t payload;
+
+// Signal: publish the payload by setting the flag (atomic store of true
+// hands the payload to the barrier).
+[[rc::requires("own global(payload) : exists v. v @ int<u64>")]]
+void barrier_signal(void) {
+  atomic_store(&barrier_flag, 1);
+}
+
+// Wait-and-take: spin until the flag is set, taking the payload exactly
+// once (CAS true -> false receives the payload and clears the flag).
+[[rc::ensures("own global(payload) : exists v. v @ int<u64>")]]
+void barrier_take(void) {
+  unsigned int expected = 1;
+  [[rc::inv_vars("expected: {1} @ int<u32>")]]
+  while (!atomic_compare_exchange_strong(&barrier_flag, &expected, 0)) {
+    expected = 1;
+  }
+}
+
+void bproducer(void* unused) {
+  payload = 42;
+  barrier_signal();
+}
+
+int main() {
+  int t = rc_spawn(bproducer, NULL);
+  barrier_take();
+  size_t v = payload;
+  rc_join(t);
+  rc_assert(v == 42);
+  return (int)v;
+}
+)";
+
+std::vector<CaseStudy> buildAll() {
+  std::vector<CaseStudy> Out;
+  Out.push_back({"slist", "Singly linked list", "#1", "wand, alloc",
+                 SlistSource,
+                 {"slist_push", "slist_pop", "slist_length"},
+                 false, "main"});
+  Out.push_back({"queue", "Queue", "#1", "list segments, alloc", QueueSource,
+                 {"queue_put", "queue_take"}, false, "main"});
+  Out.push_back({"bsearch", "Binary search", "#1", "arrays, func. ptr.",
+                 BsearchSource,
+                 {"cmp_leq", "bsearch_pos", "bsearch_client"}, false,
+                 "main"});
+  Out.push_back({"tsalloc", "Thread-safe allocator", "#2",
+                 "wand, padded, lock", TsAllocSource, {"ts_alloc"}, true,
+                 "main"});
+  Out.push_back({"pagealloc", "Page allocator", "#2", "padded",
+                 PageAllocSource, {"page_get"}, false, "main"});
+  Out.push_back({"bst_layered", "Bin. search tree (layered)", "#3",
+                 "wand, alloc", BstLayeredSource, {"ltree_insert"}, false,
+                 "main"});
+  Out.push_back({"bst_direct", "Bin. search tree (direct)", "#3",
+                 "wand, alloc", BstDirectSource,
+                 {"tree_insert", "tree_contains"}, false, "main"});
+  Out.push_back({"hashmap", "Linear probing hashmap", "#4",
+                 "unions, arrays, alloc", HashmapSource,
+                 {"hm_probe", "hm_put", "hm_get"}, false, "main"});
+  Out.push_back({"mpool", "Hafnium mpool allocator", "#5",
+                 "wand, padded, lock", MpoolSource,
+                 {"mpool_alloc", "mpool_free"}, true, "main"});
+  Out.push_back({"spinlock", "Spinlock", "#6", "atomic Boolean",
+                 SpinlockSource, {"spin_lock", "spin_unlock", "shared_inc"},
+                 true, "main"});
+  Out.push_back({"barrier", "One-time barrier", "#6", "atomic Boolean",
+                 BarrierSource, {"barrier_signal", "barrier_take"}, true,
+                 "main"});
+  return Out;
+}
+
+} // namespace
+
+const std::vector<CaseStudy> &rcc::casestudies::allCaseStudies() {
+  static const std::vector<CaseStudy> All = buildAll();
+  return All;
+}
+
+const CaseStudy *rcc::casestudies::caseStudy(const std::string &Id) {
+  for (const CaseStudy &C : allCaseStudies())
+    if (C.Id == Id)
+      return &C;
+  return nullptr;
+}

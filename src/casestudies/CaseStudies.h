@@ -1,0 +1,53 @@
+//===- CaseStudies.h - The Figure 7 evaluation suite ------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eleven case studies of the paper's evaluation (Section 7, Figure 7),
+/// as annotated C sources embedded in the library:
+///
+///   #1  Singly linked list, Queue, Binary search
+///   #2  Thread-safe allocator, Page allocator
+///   #3  Binary search tree (layered), Binary search tree (direct)
+///   #4  Linear probing hashmap
+///   #5  Hafnium-style mpool allocator
+///   #6  Spinlock, One-time barrier
+///
+/// Each case study records the metadata the Figure 7 reproduction needs
+/// (class, salient types) and, for the concurrent ones, an executable
+/// driver function for the semantic (interpreter) tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_CASESTUDIES_CASESTUDIES_H
+#define RCC_CASESTUDIES_CASESTUDIES_H
+
+#include <string>
+#include <vector>
+
+namespace rcc::casestudies {
+
+struct CaseStudy {
+  std::string Id;        ///< short identifier, e.g. "slist"
+  std::string Name;      ///< Figure 7 row label
+  std::string Class;     ///< "#1" .. "#6"
+  std::string TypesUsed; ///< the Figure 7 "Types used" column
+  std::string Source;    ///< annotated C source
+  std::vector<std::string> Functions; ///< functions to verify, in order
+  bool Concurrent = false;
+  /// Name of an unannotated driver `main` included in Source for the
+  /// semantic-execution tests (empty when none).
+  std::string Driver;
+};
+
+/// All case studies, in Figure 7 order.
+const std::vector<CaseStudy> &allCaseStudies();
+
+/// Looks one up by id; nullptr if unknown.
+const CaseStudy *caseStudy(const std::string &Id);
+
+} // namespace rcc::casestudies
+
+#endif // RCC_CASESTUDIES_CASESTUDIES_H

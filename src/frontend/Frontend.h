@@ -1,0 +1,85 @@
+//===- Frontend.h - Public front-end API ------------------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front end of Figure 2, step (A): compile annotated C source into a
+/// Caesium program plus the annotation tables the RefinedC layer consumes.
+/// Specifications are carried as raw strings here; the refinedc library
+/// parses them against its type grammar (keeping this layer free of any
+/// dependence on the type system, mirroring the paper's layering where the
+/// front end is part of the TCB but the type system is not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_FRONTEND_FRONTEND_H
+#define RCC_FRONTEND_FRONTEND_H
+
+#include "caesium/Ast.h"
+#include "frontend/CAst.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace rcc::front {
+
+/// A struct definition together with its computed physical layout and its
+/// RefinedC annotations (refined_by / field / exists / constraints / size /
+/// ptr_type).
+struct StructInfo {
+  std::string Name;
+  caesium::StructLayout Layout;
+  std::vector<CStructField> Fields; ///< with per-field annotations
+  std::vector<RcAnnot> Annots;
+  std::string PtrTypedefName;
+  rcc::SourceLoc Loc;
+};
+
+/// Function-level metadata: the C signature, the rc:: spec annotations, and
+/// the loop-annotation table indexed by the AnnotId stored on loop-head
+/// blocks during lowering.
+struct FnInfo {
+  std::string Name;
+  CTypePtr RetTy;
+  std::vector<CParam> Params;
+  std::vector<RcAnnot> Annots;
+  std::vector<std::vector<RcAnnot>> LoopAnnots;
+  /// C types of locals by their (possibly uniqued) Caesium slot name.
+  std::map<std::string, CTypePtr> LocalTypes;
+  rcc::SourceLoc Loc;
+  bool HasBody = false;
+};
+
+struct GlobalInfo {
+  std::string Name;
+  CTypePtr Ty;
+  std::vector<RcAnnot> Annots;
+  rcc::SourceLoc Loc;
+};
+
+/// The complete front-end output.
+struct AnnotatedProgram {
+  caesium::Program Prog;
+  std::map<std::string, StructInfo> Structs;
+  std::map<std::string, FnInfo> Fns;
+  std::vector<CTypedef> Typedefs;
+  std::map<std::string, GlobalInfo> Globals;
+  std::string Source;
+
+  const StructInfo *structInfo(const std::string &Name) const {
+    auto It = Structs.find(Name);
+    return It == Structs.end() ? nullptr : &It->second;
+  }
+};
+
+/// Compiles annotated C source. Returns nullptr when \p Diags has errors.
+std::unique_ptr<AnnotatedProgram> compileSource(const std::string &Source,
+                                                rcc::DiagnosticEngine &Diags);
+
+} // namespace rcc::front
+
+#endif // RCC_FRONTEND_FRONTEND_H

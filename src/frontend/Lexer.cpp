@@ -1,0 +1,236 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstring>
+#include <set>
+
+using namespace rcc::front;
+
+namespace {
+
+const std::set<std::string> &keywords() {
+  static const std::set<std::string> KW = {
+      "void",     "char",   "short",    "int",      "long",     "unsigned",
+      "signed",   "struct", "union",    "typedef",  "return",   "if",
+      "else",     "while",  "for",      "do",       "break",    "continue",
+      "goto",     "sizeof", "NULL",     "size_t",   "uint8_t",  "uint16_t",
+      "uint32_t", "uint64_t", "int8_t", "int16_t",  "int32_t",  "int64_t",
+      "bool",     "true",   "false",    "const",    "static",   "switch",
+      "case",     "default", "_Bool",   "uintptr_t"};
+  return KW;
+}
+
+struct LexState {
+  const std::string &Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  rcc::DiagnosticEngine &Diags;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  rcc::SourceLoc loc() const { return {Line, Col}; }
+};
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentCont(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+} // namespace
+
+std::vector<Token> rcc::front::lexSource(const std::string &Source,
+                                         rcc::DiagnosticEngine &Diags) {
+  LexState S{Source, 0, 1, 1, Diags};
+  std::vector<Token> Out;
+
+  // Multi-character punctuators, longest first.
+  static const char *Puncts[] = {
+      "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+      "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "...",
+  };
+
+  while (S.Pos < Source.size()) {
+    char C = S.peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      S.advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && S.peek(1) == '/') {
+      while (S.Pos < Source.size() && S.peek() != '\n')
+        S.advance();
+      continue;
+    }
+    if (C == '/' && S.peek(1) == '*') {
+      S.advance();
+      S.advance();
+      while (S.Pos < Source.size() && !(S.peek() == '*' && S.peek(1) == '/'))
+        S.advance();
+      if (S.Pos < Source.size()) {
+        S.advance();
+        S.advance();
+      }
+      continue;
+    }
+
+    rcc::SourceLoc Loc = S.loc();
+
+    // Attribute brackets.
+    if (C == '[' && S.peek(1) == '[') {
+      S.advance();
+      S.advance();
+      Out.push_back({TokKind::AttrOpen, "[[", 0, Loc});
+      continue;
+    }
+    if (C == ']' && S.peek(1) == ']') {
+      S.advance();
+      S.advance();
+      Out.push_back({TokKind::AttrClose, "]]", 0, Loc});
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (isIdentStart(C)) {
+      std::string Text;
+      while (isIdentCont(S.peek()))
+        Text += S.advance();
+      TokKind K = keywords().count(Text) ? TokKind::Keyword : TokKind::Ident;
+      Out.push_back({K, std::move(Text), 0, Loc});
+      continue;
+    }
+
+    // Numbers (decimal and hex; optional U/L suffixes ignored).
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text;
+      uint64_t Val = 0;
+      if (C == '0' && (S.peek(1) == 'x' || S.peek(1) == 'X')) {
+        Text += S.advance();
+        Text += S.advance();
+        while (std::isxdigit(static_cast<unsigned char>(S.peek()))) {
+          char D = S.advance();
+          Text += D;
+          Val = Val * 16 +
+                (std::isdigit(static_cast<unsigned char>(D))
+                     ? D - '0'
+                     : std::tolower(static_cast<unsigned char>(D)) - 'a' + 10);
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(S.peek()))) {
+          char D = S.advance();
+          Text += D;
+          Val = Val * 10 + (D - '0');
+        }
+      }
+      while (S.peek() == 'u' || S.peek() == 'U' || S.peek() == 'l' ||
+             S.peek() == 'L')
+        S.advance();
+      Out.push_back({TokKind::Number, std::move(Text), Val, Loc});
+      continue;
+    }
+
+    // String literals (the payload of rc:: annotations).
+    if (C == '"') {
+      S.advance();
+      std::string Text;
+      while (S.Pos < Source.size() && S.peek() != '"') {
+        char D = S.advance();
+        if (D == '\\' && S.Pos < Source.size()) {
+          char E = S.advance();
+          switch (E) {
+          case 'n':
+            Text += '\n';
+            break;
+          case 't':
+            Text += '\t';
+            break;
+          case '"':
+            Text += '"';
+            break;
+          case '\\':
+            Text += '\\';
+            break;
+          default:
+            Text += E;
+            break;
+          }
+          continue;
+        }
+        Text += D;
+      }
+      if (S.Pos >= Source.size())
+        Diags.error(Loc, "unterminated string literal");
+      else
+        S.advance(); // closing quote
+      Out.push_back({TokKind::String, std::move(Text), 0, Loc});
+      continue;
+    }
+
+    // Character literals -> integer tokens.
+    if (C == '\'') {
+      S.advance();
+      char V = S.advance();
+      if (V == '\\') {
+        char E = S.advance();
+        V = E == 'n' ? '\n' : E == 't' ? '\t' : E == '0' ? '\0' : E;
+      }
+      if (S.peek() == '\'')
+        S.advance();
+      else
+        Diags.error(Loc, "unterminated character literal");
+      Out.push_back({TokKind::Number, std::string(1, V),
+                     static_cast<uint64_t>(V), Loc});
+      continue;
+    }
+
+    // Multi-character punctuators.
+    bool Matched = false;
+    for (const char *P : Puncts) {
+      size_t Len = std::strlen(P);
+      if (Source.compare(S.Pos, Len, P) == 0) {
+        for (size_t I = 0; I < Len; ++I)
+          S.advance();
+        Out.push_back({TokKind::Punct, P, 0, Loc});
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+
+    // Single-character punctuators.
+    static const std::string Singles = "+-*/%&|^~!<>=(){}[];,.:?";
+    if (Singles.find(C) != std::string::npos) {
+      S.advance();
+      Out.push_back({TokKind::Punct, std::string(1, C), 0, Loc});
+      continue;
+    }
+
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    S.advance();
+  }
+
+  Out.push_back({TokKind::Eof, "", 0, S.loc()});
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- Lexer.h - Lexer for the annotated C subset --------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for the C subset accepted by the front end, including
+/// C2x attribute brackets `[[` `]]` (used for the `[[rc::...]]` annotations of
+/// the paper) and string literals carrying specification DSL text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_FRONTEND_LEXER_H
+#define RCC_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace rcc::front {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Keyword,
+  Number,
+  String,   ///< "..." with escapes resolved
+  Punct,    ///< operators and punctuation, spelled in Text
+  AttrOpen, ///< [[
+  AttrClose ///< ]]
+};
+
+struct Token {
+  TokKind K = TokKind::Eof;
+  std::string Text;
+  uint64_t IntVal = 0;
+  rcc::SourceLoc Loc;
+
+  bool is(TokKind Kind) const { return K == Kind; }
+  bool isPunct(const char *P) const { return K == TokKind::Punct && Text == P; }
+  bool isKeyword(const char *KW) const {
+    return K == TokKind::Keyword && Text == KW;
+  }
+  bool isIdent() const { return K == TokKind::Ident; }
+};
+
+/// Tokenizes \p Source. Errors are reported to \p Diags; lexing continues
+/// best-effort so the parser can report more issues.
+std::vector<Token> lexSource(const std::string &Source,
+                             rcc::DiagnosticEngine &Diags);
+
+} // namespace rcc::front
+
+#endif // RCC_FRONTEND_LEXER_H

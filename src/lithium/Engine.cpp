@@ -1,0 +1,666 @@
+//===- Engine.cpp ---------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lithium/Engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rcc::lithium;
+using namespace rcc::refinedc;
+using namespace rcc::pure;
+
+//===----------------------------------------------------------------------===//
+// Rule registry
+//===----------------------------------------------------------------------===//
+
+const Rule *RuleRegistry::lookup(Engine &E, const Judgment &J,
+                                 std::string &Err) const {
+  auto It = Rules.find(J.K);
+  if (It == Rules.end()) {
+    Err = "no typing rules registered for judgment '" +
+          std::string(judgKindName(J.K)) + "'";
+    return nullptr;
+  }
+  const Rule *Best = nullptr;
+  bool Ambiguous = false;
+  for (const Rule &R : It->second) {
+    if (!R.Matches(E, J))
+      continue;
+    if (!Best || R.Priority > Best->Priority) {
+      Best = &R;
+      Ambiguous = false;
+    } else if (R.Priority == Best->Priority) {
+      Ambiguous = true;
+      Err = "ambiguous typing rules '" + Best->Name + "' and '" + R.Name +
+            "' for " + J.str() +
+            " (Lithium requires a unique applicable rule)";
+    }
+  }
+  if (!Best) {
+    Err = "no typing rule applies to " + J.str();
+    return nullptr;
+  }
+  if (Ambiguous)
+    return nullptr;
+  return Best;
+}
+
+std::vector<const Rule *> RuleRegistry::lookupAll(Engine &E,
+                                                  const Judgment &J,
+                                                  bool Ascending) const {
+  std::vector<const Rule *> Out;
+  auto It = Rules.find(J.K);
+  if (It == Rules.end())
+    return Out;
+  for (const Rule &R : It->second)
+    if (R.Matches(E, J))
+      Out.push_back(&R);
+  std::sort(Out.begin(), Out.end(),
+            [Ascending](const Rule *A, const Rule *B) {
+              return Ascending ? A->Priority < B->Priority
+                               : A->Priority > B->Priority;
+            });
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Failure and context rendering
+//===----------------------------------------------------------------------===//
+
+void Engine::fail(const std::string &Msg, rcc::SourceLoc Loc) {
+  if (!Failure.empty())
+    return; // keep the first (deepest) failure
+  Failure = Msg;
+  FailureLoc = Loc.isValid() ? Loc : CurrentLoc;
+  FailureContext = renderContext();
+}
+
+std::vector<std::string> Engine::renderContext() const {
+  std::vector<std::string> Out;
+  for (TermRef T : Gamma)
+    Out.push_back("H : " + Evars.resolve(T)->str());
+  for (const ResAtom &A : Delta) {
+    ResAtom R = A;
+    if (R.Subject)
+      R.Subject = Evars.resolve(R.Subject);
+    if (R.Ty)
+      R.Ty = resolveType(R.Ty, Evars);
+    Out.push_back(R.str());
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Context manipulation
+//===----------------------------------------------------------------------===//
+
+TermRef Engine::freshUniversal(const std::string &Hint, Sort S) {
+  std::string Name =
+      (Hint.empty() ? "x" : Hint) + "!" + std::to_string(++FreshCounter);
+  return mkVar(Name, S);
+}
+
+TermRef Engine::freshEvar(const std::string &Hint, Sort S) {
+  return Evars.fresh(S, Hint);
+}
+
+void Engine::addFact(TermRef Phi) {
+  for (TermRef F : Solver.simplifier().expandHyp(Evars.resolve(Phi))) {
+    if (F->isFalse())
+      Vacuous = true;
+    Gamma.push_back(F);
+  }
+}
+
+void Engine::pushAtom(ResAtom A) {
+  if (A.K == ResAtom::Pure) {
+    addFact(A.Prop);
+    return;
+  }
+  A.Ty = resolveTy(A.Ty);
+  if (A.Subject)
+    A.Subject = resolve(A.Subject);
+  const RType &T = *A.Ty;
+  switch (T.K) {
+  case TypeKind::Exists: {
+    TermRef X = freshUniversal(T.Binder, T.BinderSort);
+    ResAtom Inner = A;
+    Inner.Ty = substTypeVar(T.Children[0], T.Binder, X);
+    pushAtom(std::move(Inner));
+    return;
+  }
+  case TypeKind::Constraint: {
+    addFact(T.Refn);
+    ResAtom Inner = A;
+    Inner.Ty = T.Children[0];
+    pushAtom(std::move(Inner));
+    return;
+  }
+  case TypeKind::Struct: {
+    if (A.K != ResAtom::LocType)
+      break; // struct values are not split
+    const caesium::StructLayout *L = T.Layout;
+    assert(L && L->Fields.size() == T.Children.size() &&
+           "struct type/layout mismatch");
+    uint64_t Covered = 0;
+    for (size_t I = 0; I < L->Fields.size(); ++I) {
+      const caesium::FieldLayout &F = L->Fields[I];
+      if (F.Offset > Covered)
+        Delta.push_back(ResAtom::loc(locOffset(A.Subject, Covered),
+                                     tyUninit(mkNat(F.Offset - Covered))));
+      pushAtom(ResAtom::loc(locOffset(A.Subject, F.Offset), T.Children[I]));
+      Covered = F.Offset + F.Ly.Size;
+    }
+    if (Covered < L->Size)
+      Delta.push_back(ResAtom::loc(locOffset(A.Subject, Covered),
+                                   tyUninit(mkNat(L->Size - Covered))));
+    return;
+  }
+  case TypeKind::Padded: {
+    if (A.K != ResAtom::LocType)
+      break;
+    uint64_t Inner = knownByteSize(T.Children[0]);
+    if (Inner == 0)
+      break; // cannot split without a known inner size
+    pushAtom(ResAtom::loc(A.Subject, T.Children[0]));
+    TermRef Rest = Solver.simplifier().simplify(
+        mkSub(T.Size, mkNat(static_cast<int64_t>(Inner))));
+    pushAtom(ResAtom::loc(locOffset(A.Subject, Inner), tyUninit(Rest)));
+    return;
+  }
+  default:
+    break;
+  }
+  Delta.push_back(std::move(A));
+}
+
+bool Engine::popValAtom(TermRef V, ResAtom &Out, rcc::SourceLoc Loc) {
+  V = resolve(V);
+  for (size_t I = 0; I < Delta.size(); ++I) {
+    if (Delta[I].K != ResAtom::ValType)
+      continue;
+    if (resolve(Delta[I].Subject) != V)
+      continue;
+    Out = Delta[I];
+    Delta.erase(Delta.begin() + I);
+    record({DerivStep::AtomMatch, "pop-val", Out.str(), nullptr, {}, false});
+    return true;
+  }
+  fail("no ownership found for value " + V->str(), Loc);
+  return false;
+}
+
+bool Engine::popLocAtom(TermRef L, uint64_t Size, ResAtom &Out,
+                        rcc::SourceLoc Loc) {
+  for (int Round = 0; Round < 32; ++Round) {
+    L = resolve(L);
+    // 1. Exact subject match. Composite types (named/struct/padded) whose
+    //    size exceeds the requested access are unfolded/split first, so a
+    //    field access into a folded struct lands on the field atom.
+    bool Reshaped = false;
+    for (size_t I = 0; I < Delta.size(); ++I) {
+      if (Delta[I].K != ResAtom::LocType)
+        continue;
+      if (resolve(Delta[I].Subject) != L)
+        continue;
+      TypeRef Ty = resolveTy(Delta[I].Ty);
+      bool Composite = Ty->K == refinedc::TypeKind::Named ||
+                       Ty->K == refinedc::TypeKind::Struct ||
+                       Ty->K == refinedc::TypeKind::Padded;
+      // Named struct-refining types always unfold on access; named
+      // pointer-typedef types (rc::ptr_type) behave like pointers and move.
+      bool NamedStructLike = Ty->K == refinedc::TypeKind::Named &&
+                             Ty->Def && !Ty->Def->IsPtrType;
+      if (Composite && Size != 0 &&
+          (knownByteSize(Ty) != Size || NamedStructLike)) {
+        ResAtom A = Delta[I];
+        Delta.erase(Delta.begin() + I);
+        if (Ty->K == refinedc::TypeKind::Named)
+          A.Ty = unfoldNamed(*Ty);
+        else
+          A.Ty = Ty;
+        pushAtom(std::move(A)); // normalization splits struct/padded
+        record({DerivStep::RuleApp, "unfold-named", Ty->str(), nullptr, {},
+                false});
+        Reshaped = true;
+        break;
+      }
+      // An uninit/any block larger than the requested access splits into
+      // the accessed prefix and the remaining tail.
+      if ((Ty->K == refinedc::TypeKind::Uninit ||
+           Ty->K == refinedc::TypeKind::Any) &&
+          Size != 0) {
+        TermRef N = Ty->Size;
+        bool Exact = N->isConst() && N->num() == static_cast<int64_t>(Size);
+        if (!Exact) {
+          TermRef SzT = mkNat(static_cast<int64_t>(Size));
+          pure::SolveResult EqR = Solver.prove(Gamma, mkEq(SzT, N), Evars);
+          if (!EqR.Proved) {
+            TermRef Need = mkLe(SzT, N);
+            pure::SolveResult SR = Solver.prove(Gamma, Need, Evars);
+            if (SR.Proved) {
+              std::vector<TermRef> RHyps;
+              for (TermRef H : Gamma)
+                RHyps.push_back(Evars.resolve(H));
+              record({DerivStep::SideCond, SR.Engine, Need->str(),
+                      Evars.resolve(Need), std::move(RHyps), SR.Manual});
+              if (SR.Manual)
+                ++Stats.SideCondManual;
+              else
+                ++Stats.SideCondAuto;
+              bool IsAny = Ty->K == refinedc::TypeKind::Any;
+              TermRef Rest = Solver.simplifier().simplify(
+                  Evars.resolve(mkSub(N, SzT)));
+              Delta.erase(Delta.begin() + I);
+              Delta.push_back(refinedc::ResAtom::loc(
+                  locOffset(L, Size),
+                  IsAny ? refinedc::tyAny(Rest) : refinedc::tyUninit(Rest)));
+              Out = refinedc::ResAtom::loc(
+                  L, IsAny ? refinedc::tyAny(SzT) : refinedc::tyUninit(SzT));
+              record({DerivStep::AtomMatch, "pop-loc-split", Out.str(),
+                      nullptr, {}, false});
+              return true;
+            }
+          }
+        }
+      }
+      Out = Delta[I];
+      Out.Subject = L;
+      Out.Ty = Ty;
+      Delta.erase(Delta.begin() + I);
+      record(
+          {DerivStep::AtomMatch, "pop-loc", Out.str(), nullptr, {}, false});
+      return true;
+    }
+    if (Reshaped)
+      continue;
+
+    TermRef Base;
+    uint64_t Off = 0;
+    bool HaveConstOff = splitLocConst(L, Base, Off);
+
+    // 2. Split a covering uninit/any block.
+    if (HaveConstOff && Size > 0) {
+      bool Split = false;
+      for (size_t I = 0; I < Delta.size(); ++I) {
+        ResAtom &A = Delta[I];
+        if (A.K != ResAtom::LocType)
+          continue;
+        TypeRef Ty = resolveTy(A.Ty);
+        if (Ty->K != TypeKind::Uninit && Ty->K != TypeKind::Any)
+          continue;
+        TermRef ABase;
+        uint64_t AOff = 0;
+        if (!splitLocConst(resolve(A.Subject), ABase, AOff))
+          continue;
+        if (ABase != Base || AOff > Off)
+          continue;
+        uint64_t Lead = Off - AOff;
+        // Need Lead + Size <= n.
+        TermRef N = Ty->Size;
+        TermRef Need =
+            mkLe(mkNat(static_cast<int64_t>(Lead + Size)), N);
+        pure::SolveResult SR = Solver.prove(Gamma, Need, Evars);
+        if (!SR.Proved)
+          continue;
+        std::vector<TermRef> RHyps;
+        for (TermRef H : Gamma)
+          RHyps.push_back(Evars.resolve(H));
+        record({DerivStep::SideCond, SR.Engine, Need->str(),
+                Evars.resolve(Need), std::move(RHyps), SR.Manual});
+        if (SR.Manual)
+          ++Stats.SideCondManual;
+        else
+          ++Stats.SideCondAuto;
+        // Split into [lead][target][rest].
+        bool IsAny = Ty->K == TypeKind::Any;
+        auto Piece = [&](TermRef Sz) {
+          return IsAny ? tyAny(Sz) : tyUninit(Sz);
+        };
+        TermRef SubjA = A.Subject;
+        Delta.erase(Delta.begin() + I);
+        if (Lead > 0)
+          Delta.push_back(ResAtom::loc(SubjA, Piece(mkNat(Lead))));
+        Delta.push_back(
+            ResAtom::loc(L, Piece(mkNat(static_cast<int64_t>(Size)))));
+        TermRef Rest = Solver.simplifier().simplify(
+            mkSub(N, mkNat(static_cast<int64_t>(Lead + Size))));
+        if (!(Rest->isConst() && Rest->num() == 0))
+          Delta.push_back(ResAtom::loc(
+              locOffset(Base, Off + Size), Piece(Rest)));
+        Split = true;
+        break;
+      }
+      if (Split)
+        continue;
+    }
+
+    // 3. Focus: extract the pointee of an &own whose target is our base, or
+    //    unfold a named type sitting at our base.
+    bool Focused = false;
+    for (size_t I = 0; I < Delta.size() && !Focused; ++I) {
+      ResAtom A = Delta[I];
+      TypeRef Ty = resolveTy(A.Ty);
+      // Unfold a named type at the base location.
+      if (A.K == ResAtom::LocType && Ty->K == TypeKind::Named &&
+          resolve(A.Subject) == Base && Base != L) {
+        Delta.erase(Delta.begin() + I);
+        ResAtom N = A;
+        N.Ty = unfoldNamed(*Ty);
+        pushAtom(std::move(N));
+        record({DerivStep::RuleApp, "unfold-named", Ty->str(), nullptr, {},
+                false});
+        Focused = true;
+        break;
+      }
+      if (Ty->K != TypeKind::Own || !Ty->Refn)
+        continue;
+      TermRef Pointee = resolve(Ty->Refn);
+      if (Pointee != Base)
+        continue;
+      // Extract ownership of the pointee.
+      Delta.erase(Delta.begin() + I);
+      if (A.K == ResAtom::LocType)
+        Delta.push_back(ResAtom::loc(
+            A.Subject, tyValueOf(Pointee, mkNat(caesium::PtrBytes))));
+      pushAtom(ResAtom::loc(Pointee, Ty->Children[0]));
+      record({DerivStep::RuleApp, "focus-own", Pointee->str(), nullptr, {},
+              false});
+      Focused = true;
+    }
+    if (Focused)
+      continue;
+
+    // 4. Chase valueOf indirection: a slot containing exactly the pointer
+    //    value `Base` whose ownership sits in a value atom.
+    bool Chased = false;
+    for (size_t I = 0; I < Delta.size(); ++I) {
+      ResAtom &A = Delta[I];
+      if (A.K != ResAtom::ValType)
+        continue;
+      if (resolve(A.Subject) != Base)
+        continue;
+      TypeRef Ty = resolveTy(A.Ty);
+      if (Ty->K == TypeKind::Own) {
+        // The value IS the pointer; its pointee ownership becomes a loc atom.
+        Delta.erase(Delta.begin() + I);
+        pushAtom(ResAtom::loc(Base, Ty->Children[0]));
+        record({DerivStep::RuleApp, "focus-own-val", Base->str(), nullptr,
+                {}, false});
+        Chased = true;
+        break;
+      }
+    }
+    if (Chased)
+      continue;
+
+    break;
+  }
+
+  fail("no ownership found for location " + resolve(L)->str() +
+           " (the location is not accessible in the current context)",
+       Loc);
+  return false;
+}
+
+bool Engine::flushPending(bool Final) {
+  for (size_t I = 0; I < Pending.size();) {
+    auto [Phi, Loc] = Pending[I];
+    bool Ground = !containsEVar(Evars.resolve(Phi));
+    if (!Ground && !Final) {
+      ++I;
+      continue;
+    }
+    pure::SolveResult R = Solver.prove(Gamma, Phi, Evars);
+    if (R.Proved) {
+      std::vector<TermRef> RHyps;
+      for (TermRef H : Gamma)
+        RHyps.push_back(Evars.resolve(H));
+      TermRef RProp = Evars.resolve(Phi);
+      record({DerivStep::SideCond, R.Engine, RProp->str(), RProp,
+              std::move(RHyps), R.Manual});
+      if (R.Manual)
+        ++Stats.SideCondManual;
+      else
+        ++Stats.SideCondAuto;
+      Pending.erase(Pending.begin() + I);
+      continue;
+    }
+    if (Ground || Final) {
+      record({DerivStep::SideCond, "failed", Evars.resolve(Phi)->str(),
+              nullptr, {}, false});
+      fail("Cannot prove side condition!\nGoal: " + resolve(Phi)->str(), Loc);
+      return false;
+    }
+    ++I;
+  }
+  return true;
+}
+
+bool Engine::solveSideCond(TermRef Phi, rcc::SourceLoc Loc) {
+  pure::SolveResult R = Solver.prove(Gamma, Phi, Evars);
+  if (!R.Proved) {
+    // Postpone conditions that still mention unbound evars: the evars are
+    // typically determined by the subsumptions that follow (Section 5).
+    if (containsEVar(Evars.resolve(Phi))) {
+      record({DerivStep::Intro, "postpone", Evars.resolve(Phi)->str(),
+              nullptr, {}, false});
+      Pending.push_back({Phi, Loc});
+      return true;
+    }
+    record({DerivStep::SideCond, "failed", Evars.resolve(Phi)->str(), nullptr,
+            {}, false});
+    fail("Cannot prove side condition!\nGoal: " + resolve(Phi)->str(), Loc);
+    return false;
+  }
+  // Record the *resolved* proposition and hypotheses so the proof checker
+  // can replay the step without the (since-instantiated) evars.
+  std::vector<TermRef> RHyps;
+  RHyps.reserve(Gamma.size());
+  for (TermRef H : Gamma)
+    RHyps.push_back(Evars.resolve(H));
+  TermRef RProp = Evars.resolve(Phi);
+  record({DerivStep::SideCond, R.Engine, RProp->str(), RProp,
+          std::move(RHyps), R.Manual});
+  if (R.Manual)
+    ++Stats.SideCondManual;
+  else
+    ++Stats.SideCondAuto;
+  // Solving may have instantiated evars; postponed conditions may now be
+  // ground (and must then hold).
+  return flushPending(/*Final=*/false);
+}
+
+//===----------------------------------------------------------------------===//
+// The search loop
+//===----------------------------------------------------------------------===//
+
+bool Engine::prove(GoalRef G) {
+  const unsigned MaxSteps = MaxStepsOverride ? MaxStepsOverride : 400000;
+  while (true) {
+    if (std::getenv("RCC_TRACE")) {
+      if (Stats.GoalSteps % 1000 == 0)
+        fprintf(stderr, "[engine] step %u\n", Stats.GoalSteps);
+      if (std::getenv("RCC_TRACE")[0] == '2' && G->K == GoalKind::Judg)
+        fprintf(stderr, "[goal] %.200s\n", G->J->str().c_str());
+    }
+    if (++Stats.GoalSteps > MaxSteps) {
+      fail("proof search exceeded its step budget (diverging rules?)");
+      return false;
+    }
+    if (Vacuous)
+      return true; // the branch assumption is False: holds vacuously
+    switch (G->K) {
+    case GoalKind::True:
+      // All postponed side conditions must close with the goal.
+      return flushPending(/*Final=*/true);
+    case GoalKind::Conj: {
+      // Case 2: fork Γ/Δ (evars are shared, as in sequential Lithium).
+      std::vector<TermRef> SavedG = Gamma;
+      std::vector<ResAtom> SavedD = Delta;
+      auto SavedP = Pending;
+      bool SavedV = Vacuous;
+      if (!prove(G->A))
+        return false;
+      Gamma = std::move(SavedG);
+      Delta = std::move(SavedD);
+      Pending = std::move(SavedP);
+      Vacuous = SavedV;
+      G = G->B;
+      continue;
+    }
+    case GoalKind::All: {
+      TermRef X = freshUniversal(G->Binder, G->BSort);
+      G = G->Body(X);
+      continue;
+    }
+    case GoalKind::Ex: {
+      TermRef X = freshEvar(G->Binder, G->BSort);
+      G = G->Body(X);
+      continue;
+    }
+    case GoalKind::WandH: {
+      // Case 7: normalize the hypotheses into the contexts.
+      for (const ResAtom &A : G->H)
+        pushAtom(A);
+      G = G->Next;
+      continue;
+    }
+    case GoalKind::StarH: {
+      GoalRef Out;
+      if (!proveStar(G->H, G->Next, Out))
+        return false;
+      G = Out;
+      continue;
+    }
+    case GoalKind::Judg: {
+      if (G->J->Loc.isValid())
+        CurrentLoc = G->J->Loc;
+
+      // Ablation baseline: try every matching rule, worst first, with full
+      // rollback between attempts. Unlike the deterministic loop, this
+      // recurses per rule application; cap the depth so pathological
+      // searches fail instead of exhausting the stack.
+      if (BacktrackMode) {
+        if (++BtDepth > 2000) {
+          --BtDepth;
+          fail("backtracking search exceeded its depth budget");
+          return false;
+        }
+        struct DepthGuard {
+          unsigned &D;
+          ~DepthGuard() { --D; }
+        } Guard{BtDepth};
+        std::vector<const Rule *> Cands =
+            Rules.lookupAll(*this, *G->J, /*Ascending=*/true);
+        if (Cands.empty()) {
+          fail("no typing rule applies to " + G->J->str(), G->J->Loc);
+          return false;
+        }
+        for (size_t I = 0; I < Cands.size(); ++I) {
+          std::vector<TermRef> SavedG = Gamma;
+          std::vector<ResAtom> SavedD = Delta;
+          auto SavedP = Pending;
+          bool SavedV = Vacuous;
+          pure::EvarEnv SavedE = Evars;
+          ++Stats.RuleApps;
+          Stats.RulesUsed.insert(Cands[I]->Name);
+          GoalRef Next = Cands[I]->Apply(*this, *G->J);
+          if (Next && prove(Next))
+            return true;
+          // Roll back and try the next candidate.
+          ++BacktrackedSteps;
+          Failure.clear();
+          Gamma = std::move(SavedG);
+          Delta = std::move(SavedD);
+          Pending = std::move(SavedP);
+          Vacuous = SavedV;
+          Evars = SavedE;
+        }
+        fail("backtracking exhausted all rules for " + G->J->str(),
+             G->J->Loc);
+        return false;
+      }
+
+      // Case 5: unique rule application.
+      std::string Err;
+      const Rule *R = Rules.lookup(*this, *G->J, Err);
+      if (!R) {
+        fail(Err, G->J->Loc);
+        return false;
+      }
+      ++Stats.RuleApps;
+      Stats.RulesUsed.insert(R->Name);
+      record({DerivStep::RuleApp, R->Name, G->J->str(), nullptr, {}, false});
+      GoalRef Next = R->Apply(*this, *G->J);
+      if (!Next) {
+        if (Failure.empty())
+          fail("rule '" + R->Name + "' failed on " + G->J->str(), G->J->Loc);
+        return false;
+      }
+      G = Next;
+      continue;
+    }
+    }
+  }
+}
+
+bool Engine::proveStar(const ResList &H, GoalRef Next, GoalRef &Out) {
+  // Case 6: process the first element of H; the rest is re-queued.
+  assert(!H.empty() && "gStar normalizes empty H away");
+  const ResAtom &A = H.front();
+  ResList Rest(H.begin() + 1, H.end());
+  GoalRef Cont = gStar(std::move(Rest), Next);
+
+  if (A.K == ResAtom::Pure) {
+    // Case 6c.
+    if (!solveSideCond(A.Prop, {}))
+      return false;
+    Out = Cont;
+    return true;
+  }
+
+  // Wand goals introduce directly (no related atom needed): assume the
+  // hole, prove the result; whatever the sub-proof consumes is captured by
+  // the wand (Section 2.2's partial data structures).
+  if (A.K == ResAtom::LocType) {
+    TypeRef Ty = resolveTy(A.Ty);
+    while (Ty->K == refinedc::TypeKind::Constraint)
+      Ty = resolveTy(Ty->Children[0]);
+    if (Ty->K == refinedc::TypeKind::Wand) {
+      ResAtom Hole = ResAtom::loc(Ty->WandLoc, Ty->Children[1]);
+      ResAtom Result = ResAtom::loc(A.Subject, Ty->Children[0]);
+      record({DerivStep::RuleApp, "WAND-INTRO-GOAL", A.str(), nullptr, {},
+              false});
+      Out = gWand({Hole}, gStar({Result}, Cont));
+      return true;
+    }
+  }
+
+  // Case 6d: find the related atom and reduce to subsumption.
+  Judgment J;
+  J.V1 = A.Subject;
+  J.T2 = A.Ty;
+  J.KGoal = Cont;
+  if (A.K == ResAtom::ValType) {
+    ResAtom Found;
+    if (!popValAtom(A.Subject, Found, {}))
+      return false;
+    J.K = JudgKind::SubsumeV;
+    J.T1 = Found.Ty;
+  } else {
+    ResAtom Found;
+    uint64_t Size = knownByteSize(A.Ty);
+    if (!popLocAtom(A.Subject, Size, Found, {}))
+      return false;
+    J.K = JudgKind::SubsumeL;
+    J.V1 = Found.Subject;
+    J.T1 = Found.Ty;
+  }
+  Out = gJudg(std::move(J));
+  return true;
+}

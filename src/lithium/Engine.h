@@ -1,0 +1,211 @@
+//===- Engine.h - The Lithium proof-search engine ---------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The goal-directed, non-backtracking proof search of Section 5. The engine
+/// maintains the unrestricted context Γ (pure facts and universals) and the
+/// resource context Δ (typed-location and typed-value atoms) and processes
+/// goals by the seven cases of the paper:
+///
+///   1. True: succeed          2. G1 ∧ G2: fork Δ and prove both
+///   3. ∀x.G: fresh universal  4. ∃x.G: fresh sealed evar
+///   5. F: apply the unique matching typing rule (registry lookup)
+///   6. H ∗ G: pure parts become side conditions (solver may instantiate
+///      evars); atoms find their unique related atom in Δ and reduce to a
+///      subsumption judgment
+///   7. H -∗ G: pure parts enter Γ (normalized); atoms enter Δ (normalized:
+///      existentials open, constraints split, structs split into fields)
+///
+/// There are no choice points: rule lookup must be unambiguous (ties are an
+/// error unless broken by declared priorities, matching footnote 5 of the
+/// paper), and a failed subgoal fails the whole search with a located error.
+///
+/// Every step is recorded in a Derivation, which the independent proof
+/// checker replays (the foundational substitute described in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_LITHIUM_ENGINE_H
+#define RCC_LITHIUM_ENGINE_H
+
+#include "lithium/Goal.h"
+#include "pure/Solver.h"
+
+#include <map>
+#include <set>
+
+namespace rcc::lithium {
+
+class Engine;
+
+/// A typing rule: the unit of extensibility (Section 5, "Extensibility").
+/// Apply returns the premise goal, or nullptr when the rule itself detects
+/// an error (it must then have called Engine::fail).
+struct Rule {
+  std::string Name;
+  JudgKind Kind;
+  int Priority = 0;
+  std::function<bool(Engine &, const Judgment &)> Matches;
+  std::function<GoalRef(Engine &, const Judgment &)> Apply;
+};
+
+/// The rule registry: Coq's typeclass database in the paper's implementation.
+class RuleRegistry {
+public:
+  void add(Rule R) { Rules[R.Kind].push_back(std::move(R)); }
+
+  /// Finds the unique applicable rule (highest priority wins; an unresolved
+  /// tie is an ambiguity error — Lithium must never need to choose).
+  const Rule *lookup(Engine &E, const Judgment &J, std::string &Err) const;
+
+  /// All applicable rules (for the backtracking baseline of the ablation
+  /// study), in the given priority order.
+  std::vector<const Rule *> lookupAll(Engine &E, const Judgment &J,
+                                      bool Ascending) const;
+
+  size_t numRules() const {
+    size_t N = 0;
+    for (const auto &[K, V] : Rules)
+      N += V.size();
+    return N;
+  }
+
+  /// True if a rule with this name is registered (used by the proof
+  /// checker's replay).
+  bool hasRule(const std::string &Name) const {
+    for (const auto &[K, V] : Rules)
+      for (const Rule &R : V)
+        if (R.Name == Name)
+          return true;
+    return false;
+  }
+
+private:
+  std::map<JudgKind, std::vector<Rule>> Rules;
+};
+
+/// One recorded proof step, for statistics and for replay by the proof
+/// checker.
+struct DerivStep {
+  enum SKind : uint8_t { RuleApp, SideCond, AtomMatch, Intro } K;
+  std::string Rule;   ///< rule name / solver engine
+  std::string Text;   ///< rendered judgment / side condition
+  pure::TermRef Prop = nullptr; ///< for SideCond: the proposition proved
+  std::vector<pure::TermRef> Hyps; ///< for SideCond: Γ at that point
+  bool Manual = false;
+};
+
+struct Derivation {
+  std::vector<DerivStep> Steps;
+};
+
+struct EngineStats {
+  unsigned RuleApps = 0;
+  std::set<std::string> RulesUsed;
+  unsigned SideCondAuto = 0;
+  unsigned SideCondManual = 0;
+  unsigned GoalSteps = 0;
+};
+
+/// Opaque verification context: the checker derives from this so that rules
+/// (registered by the RefinedC layer) can reach function-level information
+/// (postconditions, loop invariants, the type environment).
+struct VerifyCtxBase {
+  virtual ~VerifyCtxBase() = default;
+};
+
+class Engine {
+public:
+  Engine(const RuleRegistry &Rules, pure::PureSolver &Solver,
+         pure::EvarEnv &Evars, EngineStats &Stats, Derivation *Deriv)
+      : Rules(Rules), Solver(Solver), Evars(Evars), Stats(Stats),
+        Deriv(Deriv) {}
+
+  std::vector<TermRef> Gamma;
+  std::vector<ResAtom> Delta;
+  VerifyCtxBase *Ctx = nullptr;
+  /// Set when a literal False entered Γ: the branch holds vacuously
+  /// (Section 6: "one holds vacuously by virtue of the new assumption
+  /// False").
+  bool Vacuous = false;
+
+  /// Ablation baseline: when set, rule selection is NOT syntax-directed —
+  /// every matching rule is tried in ascending priority order (i.e. worst
+  /// first) with full state rollback between attempts, the way a naive
+  /// backtracking separation-logic prover would search. Section 5's claim
+  /// is that the typing rules make this unnecessary; the bench quantifies
+  /// the cost of doing it anyway.
+  bool BacktrackMode = false;
+  unsigned BacktrackedSteps = 0; ///< rule attempts undone by backtracking
+  unsigned BtDepth = 0;          ///< recursion depth of the baseline search
+  /// Goal-step budget override (0 = the default 400k). The ablation gives
+  /// the baseline a tight budget: exceeding it is the measured outcome.
+  unsigned MaxStepsOverride = 0;
+
+  /// Runs the search. Returns false with Failure/FailureLoc set on error.
+  bool prove(GoalRef G);
+
+  // --- Failure reporting ---
+  std::string Failure;
+  rcc::SourceLoc FailureLoc;
+  /// The source location of the judgment most recently processed, used when
+  /// a side condition without its own location fails (Section 2.1's located
+  /// error messages).
+  rcc::SourceLoc CurrentLoc;
+  std::vector<std::string> FailureContext;
+  void fail(const std::string &Msg, rcc::SourceLoc Loc = {});
+
+  // --- Utilities for rules ---
+  TermRef freshUniversal(const std::string &Hint, pure::Sort S);
+  TermRef freshEvar(const std::string &Hint, pure::Sort S);
+  void addFact(TermRef Phi);
+  /// Adds an atom to Δ with case-7 normalization.
+  void pushAtom(ResAtom A);
+  /// Removes and returns the atom covering \p Size bytes at location \p L,
+  /// performing uninit splitting and ownership focusing as needed.
+  bool popLocAtom(TermRef L, uint64_t Size, ResAtom &Out, rcc::SourceLoc Loc);
+  /// Removes and returns the value atom for \p V.
+  bool popValAtom(TermRef V, ResAtom &Out, rcc::SourceLoc Loc);
+  /// Proves a pure side condition under Γ (may instantiate evars). A side
+  /// condition that still contains unbound evars after the solver's
+  /// instantiation heuristics fail is postponed: later subsumptions usually
+  /// determine the evars (the paper's left-to-right processing guarantee),
+  /// and all postponed conditions are re-checked before the goal closes.
+  bool solveSideCond(TermRef Phi, rcc::SourceLoc Loc);
+
+  /// Pending (postponed) side conditions of the current branch.
+  std::vector<std::pair<TermRef, rcc::SourceLoc>> Pending;
+  /// Re-attempts pending conditions; when \p Final, all must prove.
+  bool flushPending(bool Final);
+
+  pure::EvarEnv &evars() { return Evars; }
+  pure::PureSolver &solver() { return Solver; }
+  EngineStats &stats() { return Stats; }
+  TermRef resolve(TermRef T) { return Solver.simplifier().simplify(Evars.resolve(T)); }
+  TypeRef resolveTy(TypeRef T) { return refinedc::resolveType(T, Evars); }
+
+  /// Renders Γ and Δ (for error messages, per Section 2.1's example).
+  std::vector<std::string> renderContext() const;
+
+  void record(DerivStep S) {
+    if (Deriv)
+      Deriv->Steps.push_back(std::move(S));
+  }
+
+private:
+  bool proveStar(const ResList &H, GoalRef Next, GoalRef &Out);
+
+  const RuleRegistry &Rules;
+  pure::PureSolver &Solver;
+  pure::EvarEnv &Evars;
+  EngineStats &Stats;
+  Derivation *Deriv;
+  unsigned FreshCounter = 0;
+};
+
+} // namespace rcc::lithium
+
+#endif // RCC_LITHIUM_ENGINE_H

@@ -1,0 +1,61 @@
+//===- EvarEnv.h - Existential variable environment ------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Existential variables (evars) with seals, as described in Section 5 of the
+/// paper ("Handling of evars"): Lithium creates evars *sealed* so they cannot
+/// be instantiated prematurely by unification; only the side-condition solver
+/// unseals and instantiates them through controlled heuristics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_PURE_EVARENV_H
+#define RCC_PURE_EVARENV_H
+
+#include "pure/Term.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rcc::pure {
+
+/// Tracks evar allocation, sealing, and bindings. Terms never store
+/// bindings; resolution substitutes bindings on demand.
+class EvarEnv {
+public:
+  /// Allocates a fresh, sealed evar of sort \p S. \p Hint names it in output.
+  TermRef fresh(Sort S, const std::string &Hint = "");
+
+  bool isBound(int64_t Id) const { return Bindings.count(Id) != 0; }
+  bool isSealed(int64_t Id) const { return Sealed.count(Id) != 0; }
+  void unseal(int64_t Id) { Sealed.erase(Id); }
+  void seal(int64_t Id) { Sealed.insert(Id); }
+
+  /// Binds evar \p Id to \p T. Fails (returns false) if sealed, already
+  /// bound, or if the (resolved) binding contains \p Id (occurs check).
+  bool bind(int64_t Id, TermRef T);
+
+  /// Substitutes all bound evars in \p T, recursively.
+  TermRef resolve(TermRef T) const;
+
+  /// True if the resolved form of \p T still contains unbound evars.
+  bool hasUnresolved(TermRef T) const;
+
+  const std::string &hint(int64_t Id) const;
+  unsigned numInstantiated() const { return NumInstantiated; }
+  int64_t numCreated() const { return NextId; }
+
+private:
+  int64_t NextId = 1;
+  std::unordered_map<int64_t, TermRef> Bindings;
+  std::unordered_set<int64_t> Sealed;
+  std::unordered_map<int64_t, std::string> Hints;
+  unsigned NumInstantiated = 0;
+};
+
+} // namespace rcc::pure
+
+#endif // RCC_PURE_EVARENV_H

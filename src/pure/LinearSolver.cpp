@@ -1,0 +1,511 @@
+//===- LinearSolver.cpp ---------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pure/LinearSolver.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+using namespace rcc::pure;
+
+namespace {
+
+using Wide = __int128;
+
+/// A linear expression: sum of Coeff * Atom plus a constant. Atoms are
+/// arbitrary (nonlinear) terms treated opaquely.
+struct LinExpr {
+  std::map<TermRef, Wide> Coeffs;
+  Wide Const = 0;
+
+  void add(TermRef Atom, Wide C) {
+    if (C == 0)
+      return;
+    Wide &Slot = Coeffs[Atom];
+    Slot += C;
+    if (Slot == 0)
+      Coeffs.erase(Atom);
+  }
+  void addExpr(const LinExpr &O, Wide Scale) {
+    Const += O.Const * Scale;
+    for (const auto &[A, C] : O.Coeffs)
+      add(A, C * Scale);
+  }
+  bool isConst() const { return Coeffs.empty(); }
+};
+
+/// A constraint: Expr <= 0.
+struct Constraint {
+  LinExpr E;
+};
+
+/// Collects the linearization of a term. Out-of-language subterms become
+/// atoms; side constraints about atoms (non-negativity, truncated
+/// subtraction bounds) are appended to \p Side.
+class Linearizer {
+public:
+  std::vector<Constraint> Side;
+  /// Nat-subtraction atoms discovered during linearization, for the
+  /// exactness round: if `b <= a` is derivable, `T = a - b` exactly.
+  std::vector<TermRef> NatSubs;
+  /// Mod atoms with symbolic moduli: if `1 <= m` is derivable, the bound
+  /// `x % m <= m - 1` is added in the tightening round.
+  std::vector<TermRef> SymMods;
+
+  LinExpr run(TermRef T) {
+    LinExpr E;
+    visit(T, E, 1);
+    return E;
+  }
+
+private:
+  std::map<TermRef, bool> SeenAtoms;
+
+  void atom(TermRef T, LinExpr &E, Wide Sign) {
+    E.add(T, Sign);
+    if (SeenAtoms.count(T))
+      return;
+    SeenAtoms[T] = true;
+    // Nat-sorted atoms are non-negative; so are lengths and sizes.
+    if (T->sort() == Sort::Nat || T->kind() == TermKind::LLen ||
+        T->kind() == TermKind::MSize) {
+      Constraint C;
+      C.E.add(T, -1); // -T <= 0 i.e. T >= 0
+      Side.push_back(std::move(C));
+    }
+    // Truncated Nat subtraction: T = a - b contributes T >= a - b, T <= a.
+    if (T->kind() == TermKind::Sub && T->sort() == Sort::Nat) {
+      NatSubs.push_back(T);
+      LinExpr A, B;
+      visit(T->arg(0), A, 1);
+      visit(T->arg(1), B, 1);
+      // a - b - T <= 0
+      Constraint Lo;
+      Lo.E.addExpr(A, 1);
+      Lo.E.addExpr(B, -1);
+      Lo.E.add(T, -1);
+      Side.push_back(std::move(Lo));
+      // T - a <= 0
+      Constraint Hi;
+      Hi.E.add(T, 1);
+      Hi.E.addExpr(A, -1);
+      Side.push_back(std::move(Hi));
+    }
+    // Mod with positive constant modulus: 0 <= T < m.
+    if (T->kind() == TermKind::Mod && T->arg(1)->isConst() &&
+        T->arg(1)->num() > 0) {
+      Constraint Hi;
+      Hi.E.add(T, 1);
+      Hi.E.Const = -(T->arg(1)->num() - 1); // T <= m-1
+      Side.push_back(std::move(Hi));
+    }
+    if (T->kind() == TermKind::Mod && !T->arg(1)->isConst())
+      SymMods.push_back(T);
+    // Division by a positive constant: c*q <= x <= c*q + (c-1).
+    if (T->kind() == TermKind::Div && T->arg(1)->isConst() &&
+        T->arg(1)->num() > 0) {
+      int64_t C = T->arg(1)->num();
+      LinExpr X;
+      visit(T->arg(0), X, 1);
+      Constraint Lo; // c*q - x <= 0
+      Lo.E.add(T, C);
+      Lo.E.addExpr(X, -1);
+      Side.push_back(std::move(Lo));
+      Constraint Hi; // x - c*q - (c-1) <= 0
+      Hi.E.addExpr(X, 1);
+      Hi.E.add(T, -C);
+      Hi.E.Const = -(C - 1);
+      Side.push_back(std::move(Hi));
+    }
+    // min/max bounds.
+    if (T->kind() == TermKind::Min2 || T->kind() == TermKind::Max2) {
+      LinExpr A, B;
+      visit(T->arg(0), A, 1);
+      visit(T->arg(1), B, 1);
+      for (const LinExpr *Branch : {&A, &B}) {
+        Constraint C;
+        if (T->kind() == TermKind::Min2) {
+          C.E.add(T, 1);
+          C.E.addExpr(*Branch, -1); // min <= branch
+        } else {
+          C.E.addExpr(*Branch, 1);
+          C.E.add(T, -1); // branch <= max
+        }
+        Side.push_back(std::move(C));
+      }
+    }
+  }
+
+  void visit(TermRef T, LinExpr &E, Wide Sign) {
+    switch (T->kind()) {
+    case TermKind::NatConst:
+    case TermKind::IntConst:
+      E.Const += Sign * T->num();
+      return;
+    case TermKind::Add:
+      visit(T->arg(0), E, Sign);
+      visit(T->arg(1), E, Sign);
+      return;
+    case TermKind::Sub:
+      if (T->sort() == Sort::Int) {
+        visit(T->arg(0), E, Sign);
+        visit(T->arg(1), E, -Sign);
+        return;
+      }
+      // Nat subtraction truncates; treat as atom with side bounds.
+      atom(T, E, Sign);
+      return;
+    case TermKind::Mul: {
+      TermRef A = T->arg(0), B = T->arg(1);
+      if (A->isConst()) {
+        visit(B, E, Sign * A->num());
+        return;
+      }
+      if (B->isConst()) {
+        visit(A, E, Sign * B->num());
+        return;
+      }
+      atom(T, E, Sign);
+      return;
+    }
+    default:
+      atom(T, E, Sign);
+      return;
+    }
+  }
+};
+
+/// Fourier–Motzkin infeasibility test for a system of constraints E <= 0.
+bool infeasible(std::vector<Constraint> Cs) {
+  constexpr size_t MaxConstraints = 4000;
+  constexpr int MaxRounds = 24;
+
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    // Constant-only constraints: check satisfiability; drop satisfied ones.
+    std::vector<Constraint> Vars;
+    for (Constraint &C : Cs) {
+      if (C.E.isConst()) {
+        if (C.E.Const > 0)
+          return true; // c <= 0 with c > 0: contradiction
+        continue;
+      }
+      Vars.push_back(std::move(C));
+    }
+    Cs = std::move(Vars);
+    if (Cs.empty())
+      return false;
+
+    // Pick the atom minimizing (#upper * #lower) to eliminate.
+    std::map<TermRef, std::pair<int, int>> Counts;
+    for (const Constraint &C : Cs)
+      for (const auto &[A, Co] : C.E.Coeffs) {
+        if (Co > 0)
+          Counts[A].first++; // appears as upper bound on A
+        else
+          Counts[A].second++;
+      }
+    TermRef Best = nullptr;
+    long BestCost = -1;
+    for (const auto &[A, UpLo] : Counts) {
+      long Cost = static_cast<long>(UpLo.first) * UpLo.second;
+      if (!Best || Cost < BestCost) {
+        Best = A;
+        BestCost = Cost;
+      }
+    }
+
+    // Partition on Best's coefficient sign.
+    std::vector<Constraint> Upper, Lower, Rest;
+    for (Constraint &C : Cs) {
+      auto It = C.E.Coeffs.find(Best);
+      if (It == C.E.Coeffs.end())
+        Rest.push_back(std::move(C));
+      else if (It->second > 0)
+        Upper.push_back(std::move(C));
+      else
+        Lower.push_back(std::move(C));
+    }
+
+    // Combine every (upper, lower) pair.
+    for (const Constraint &U : Upper) {
+      Wide CU = U.E.Coeffs.at(Best); // > 0
+      for (const Constraint &L : Lower) {
+        Wide CL = -L.E.Coeffs.at(Best); // > 0
+        Constraint Comb;
+        Comb.E.addExpr(U.E, CL);
+        Comb.E.addExpr(L.E, CU);
+        assert(Comb.E.Coeffs.find(Best) == Comb.E.Coeffs.end() &&
+               "eliminated atom still present");
+        if (Comb.E.isConst()) {
+          if (Comb.E.Const > 0)
+            return true;
+          continue;
+        }
+        Rest.push_back(std::move(Comb));
+        if (Rest.size() > MaxConstraints)
+          return false; // give up rather than blow up
+      }
+    }
+    Cs = std::move(Rest);
+  }
+  return false;
+}
+
+/// Turns a comparison hypothesis into constraints (E <= 0 form). Integer
+/// tightening: a < b becomes a - b + 1 <= 0 (all our numeric sorts are
+/// integral). Returns false if the term is not a usable hypothesis.
+bool factToConstraints(TermRef F, Linearizer &Lin,
+                       std::vector<Constraint> &Out) {
+  auto numericSort = [](TermRef T) {
+    return T->sort() == Sort::Nat || T->sort() == Sort::Int;
+  };
+  switch (F->kind()) {
+  case TermKind::Le: {
+    Constraint C;
+    C.E.addExpr(Lin.run(F->arg(0)), 1);
+    C.E.addExpr(Lin.run(F->arg(1)), -1);
+    Out.push_back(std::move(C));
+    return true;
+  }
+  case TermKind::Lt: {
+    Constraint C;
+    C.E.addExpr(Lin.run(F->arg(0)), 1);
+    C.E.addExpr(Lin.run(F->arg(1)), -1);
+    C.E.Const += 1;
+    Out.push_back(std::move(C));
+    return true;
+  }
+  case TermKind::Eq:
+    if (!numericSort(F->arg(0)) && !numericSort(F->arg(1)))
+      return false;
+    for (int Dir = 0; Dir < 2; ++Dir) {
+      Constraint C;
+      C.E.addExpr(Lin.run(F->arg(Dir)), 1);
+      C.E.addExpr(Lin.run(F->arg(1 - Dir)), -1);
+      Out.push_back(std::move(C));
+    }
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Collects all constraints derivable from \p Facts.
+std::vector<Constraint> collectFacts(const std::vector<TermRef> &Facts,
+                                     Linearizer &Lin) {
+  std::vector<Constraint> Cs;
+  for (TermRef F : Facts)
+    factToConstraints(F, Lin, Cs);
+  return Cs;
+}
+
+/// Exactness round for truncated Nat subtraction: for each Sub atom
+/// `t = a - b`, if `b <= a` follows from the base system (without the goal
+/// negation it might justify), add the equality `t = a - b`.
+void tightenNatSubs(Linearizer &Lin, std::vector<Constraint> &Base) {
+  for (int Round = 0; Round < 2; ++Round) {
+    bool Any = false;
+    // Symbolic moduli: if 1 <= m, add  x % m <= m - 1.
+    std::vector<TermRef> Mods = Lin.SymMods;
+    for (TermRef T : Mods) {
+      LinExpr M = Lin.run(T->arg(1));
+      std::vector<Constraint> Test = Base;
+      Constraint Neg; // m <= 0
+      Neg.E.addExpr(M, 1);
+      Test.push_back(std::move(Neg));
+      for (const Constraint &C : Lin.Side)
+        Test.push_back(C);
+      if (!infeasible(std::move(Test)))
+        continue;
+      Constraint Hi; // T - m + 1 <= 0
+      Hi.E.add(T, 1);
+      Hi.E.addExpr(M, -1);
+      Hi.E.Const += 1;
+      Base.push_back(std::move(Hi));
+      Any = true;
+    }
+    Lin.SymMods.clear();
+    // Snapshot: NatSubs may grow while linearizing a/b.
+    std::vector<TermRef> Subs = Lin.NatSubs;
+    for (TermRef T : Subs) {
+      // Reuse Lin so shared atoms coincide.
+      LinExpr A = Lin.run(T->arg(0));
+      LinExpr B = Lin.run(T->arg(1));
+      // Test: Base /\ (b - a >= 1) infeasible  ==>  b <= a derivable.
+      std::vector<Constraint> Test = Base;
+      Constraint Neg;
+      Neg.E.addExpr(A, 1);
+      Neg.E.addExpr(B, -1);
+      Neg.E.Const += 1; // a - b + 1 <= 0 i.e. a < b, the negation of b <= a
+      Test.push_back(std::move(Neg));
+      for (const Constraint &C : Lin.Side)
+        Test.push_back(C);
+      if (!infeasible(std::move(Test)))
+        continue;
+      // Add t >= a - b is already present; add t <= a - b to make it exact.
+      Constraint Eq;
+      Eq.E.add(T, 1);
+      Eq.E.addExpr(A, -1);
+      Eq.E.addExpr(B, 1);
+      Base.push_back(std::move(Eq));
+      Any = true;
+    }
+    if (!Any)
+      break;
+  }
+}
+
+/// Core entailment: Facts /\ not(A <= B + Slack) infeasible?
+/// not(a <= b) over integers is b + 1 <= a, i.e. b - a + 1 <= 0.
+bool proveLe(const std::vector<TermRef> &Facts, TermRef A, TermRef B,
+             Wide Strict) {
+  Linearizer Lin;
+  std::vector<Constraint> Cs = collectFacts(Facts, Lin);
+  Constraint Neg;
+  Neg.E.addExpr(Lin.run(B), 1);
+  Neg.E.addExpr(Lin.run(A), -1);
+  Neg.E.Const += 1 - Strict; // Strict=0: prove a<=b; Strict=1: prove a<b
+  tightenNatSubs(Lin, Cs);
+  Cs.push_back(std::move(Neg));
+  for (Constraint &C : Lin.Side)
+    Cs.push_back(std::move(C));
+  return infeasible(std::move(Cs));
+}
+
+} // namespace
+
+bool LinearSolver::inconsistent(const std::vector<TermRef> &Facts) {
+  Linearizer Lin;
+  std::vector<Constraint> Cs = collectFacts(Facts, Lin);
+  for (Constraint &C : Lin.Side)
+    Cs.push_back(std::move(C));
+  return infeasible(std::move(Cs));
+}
+
+static bool proveWithNeSplits(const std::vector<TermRef> &Facts,
+                              TermRef Goal, int Depth);
+
+bool LinearSolver::prove(const std::vector<TermRef> &Facts, TermRef Goal) {
+  return proveWithNeSplits(Facts, Goal, 0);
+}
+
+/// Disequality hypotheses over integers split into the two strict orders;
+/// the goal must hold in both branches (bounded depth).
+static bool proveNoSplit(const std::vector<TermRef> &Facts, TermRef Goal);
+
+static bool containsSubterm(TermRef T, TermRef Sub) {
+  if (T == Sub)
+    return true;
+  for (TermRef A : T->args())
+    if (containsSubterm(A, Sub))
+      return true;
+  return false;
+}
+
+/// Bounded congruence: for pairs of uninterpreted applications f(x̄), f(ȳ)
+/// occurring in the problem, if every argument pair is derivably equal, add
+/// f(x̄) = f(ȳ). One round; keeps `hmval(k)` and `hmval(ks !! i)` connected
+/// after the hypothesis-substitution pass rewrote one of them.
+static void addCongruences(std::vector<TermRef> &Facts, TermRef Goal) {
+  std::vector<TermRef> Apps;
+  auto Collect = [&](TermRef T, auto &&Self) -> void {
+    if (T->kind() == TermKind::App && T->numArgs() > 0 &&
+        std::find(Apps.begin(), Apps.end(), T) == Apps.end())
+      Apps.push_back(T);
+    for (TermRef A : T->args())
+      Self(A, Self);
+  };
+  Collect(Goal, Collect);
+  for (TermRef F : Facts)
+    Collect(F, Collect);
+  if (Apps.size() > 8)
+    return; // keep the pre-pass cheap
+  for (size_t I = 0; I < Apps.size(); ++I) {
+    for (size_t J = I + 1; J < Apps.size(); ++J) {
+      TermRef A = Apps[I], B = Apps[J];
+      if (A->name() != B->name() || A->numArgs() != B->numArgs())
+        continue;
+      bool AllEq = true;
+      for (unsigned K = 0; K < A->numArgs() && AllEq; ++K)
+        if (A->arg(K) != B->arg(K) &&
+            !proveNoSplit(Facts, mkEq(A->arg(K), B->arg(K))))
+          AllEq = false;
+      if (AllEq)
+        Facts.push_back(mkEq(A, B));
+    }
+  }
+}
+
+static bool proveWithNeSplits(const std::vector<TermRef> &Facts0,
+                              TermRef Goal, int Depth) {
+  std::vector<TermRef> Facts = Facts0;
+  if (Depth == 0)
+    addCongruences(Facts, Goal);
+  if (proveNoSplit(Facts, Goal))
+    return true;
+  if (Depth >= 1)
+    return false;
+  // Only split disequalities whose operands actually occur in the goal
+  // (cheap relevance filter; splitting is quadratic in FM calls).
+  bool Cmp = Goal->kind() == TermKind::Le || Goal->kind() == TermKind::Lt ||
+             Goal->kind() == TermKind::Eq;
+  if (!Cmp)
+    return false;
+  unsigned Tried = 0;
+  for (size_t I = 0; I < Facts.size() && Tried < 4; ++I) {
+    TermRef F = Facts[I];
+    if (F->kind() != TermKind::Ne)
+      continue;
+    Sort SA = F->arg(0)->sort(), SB = F->arg(1)->sort();
+    bool Num = SA == Sort::Nat || SA == Sort::Int || SB == Sort::Nat ||
+               SB == Sort::Int;
+    if (!Num)
+      continue;
+    if (!containsSubterm(Goal, F->arg(0)) &&
+        !containsSubterm(Goal, F->arg(1)))
+      continue;
+    ++Tried;
+    std::vector<TermRef> Lo = Facts, Hi = Facts;
+    Lo[I] = mkLt(F->arg(0), F->arg(1));
+    Hi[I] = mkLt(F->arg(1), F->arg(0));
+    if (proveNoSplit(Lo, Goal) && proveNoSplit(Hi, Goal))
+      return true;
+  }
+  return false;
+}
+
+static bool proveNoSplit(const std::vector<TermRef> &Facts, TermRef Goal) {
+  if (Goal->isTrue())
+    return true;
+  // A contradictory context proves anything.
+  if (LinearSolver::inconsistent(Facts))
+    return true;
+  switch (Goal->kind()) {
+  case TermKind::Le:
+    return proveLe(Facts, Goal->arg(0), Goal->arg(1), 0);
+  case TermKind::Lt:
+    return proveLe(Facts, Goal->arg(0), Goal->arg(1), 1);
+  case TermKind::Eq: {
+    TermRef A = Goal->arg(0), B = Goal->arg(1);
+    bool Num = A->sort() == Sort::Nat || A->sort() == Sort::Int ||
+               B->sort() == Sort::Nat || B->sort() == Sort::Int;
+    if (!Num)
+      return false;
+    return proveLe(Facts, A, B, 0) && proveLe(Facts, B, A, 0);
+  }
+  case TermKind::Ne: {
+    TermRef A = Goal->arg(0), B = Goal->arg(1);
+    bool Num = A->sort() == Sort::Nat || A->sort() == Sort::Int ||
+               B->sort() == Sort::Nat || B->sort() == Sort::Int;
+    if (!Num)
+      return false;
+    return proveLe(Facts, A, B, 1) || proveLe(Facts, B, A, 1);
+  }
+  default:
+    return false;
+  }
+}

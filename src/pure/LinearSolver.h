@@ -1,0 +1,45 @@
+//===- LinearSolver.h - Linear arithmetic decision procedure ---*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The default pure solver's linear-arithmetic core (the paper's default
+/// solver "currently only targets linear arithmetic and Coq lists"). It
+/// proves goals of the form Γ ⊢ a ⋈ b (⋈ ∈ {<, ≤, =, ≠}) over Nat/Int terms
+/// by refutation: the negated goal is added to the linearized hypotheses and
+/// infeasibility is decided with Fourier–Motzkin elimination over rationals
+/// (sound for integers; integer-tightening of strict bounds is applied on
+/// entry). Nonlinear subterms become opaque atoms; Nat-sorted atoms get an
+/// implicit `0 ≤ x` bound, and Nat truncated subtraction `a - b` contributes
+/// the valid bounds `a-b ≤ x ≤ a` and `0 ≤ x` (plus `x = a-b` when `b ≤ a`
+/// is itself derivable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_PURE_LINEARSOLVER_H
+#define RCC_PURE_LINEARSOLVER_H
+
+#include "pure/Term.h"
+
+#include <vector>
+
+namespace rcc::pure {
+
+/// Decides linear-arithmetic entailments.
+class LinearSolver {
+public:
+  /// Proves \p Goal (a comparison/equality/disequality over Nat/Int, or a
+  /// boolean constant) from the numeric content of \p Facts.
+  /// Returns false when the goal is not linear-arithmetic or not derivable.
+  static bool prove(const std::vector<TermRef> &Facts, TermRef Goal);
+
+  /// True if the facts are contradictory on their own (e.g. 3 <= n and
+  /// n <= 2); anything is derivable then.
+  static bool inconsistent(const std::vector<TermRef> &Facts);
+};
+
+} // namespace rcc::pure
+
+#endif // RCC_PURE_LINEARSOLVER_H

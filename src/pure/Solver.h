@@ -1,0 +1,97 @@
+//===- Solver.h - The pure side-condition solver ---------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The orchestrating solver for pure verification conditions (step C of the
+/// paper's Figure 2). A goal is first simplified and its evars eliminated via
+/// the Section 5 heuristics (equality unification, goal transforms such as
+/// `?xs != [] ~> ?xs := y :: ys`); then the *default* solver (linear
+/// arithmetic and lists) attempts it. Goals the default solver cannot prove
+/// may be discharged by enabled extra solvers (`multiset_solver`,
+/// `set_solver`; counted as manual, matching the Figure 7 accounting) or by
+/// registered lemmas, which model manual Coq proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_PURE_SOLVER_H
+#define RCC_PURE_SOLVER_H
+
+#include "pure/EvarEnv.h"
+#include "pure/Simplify.h"
+#include "pure/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace rcc::pure {
+
+/// Outcome of a side-condition proof attempt.
+struct SolveResult {
+  bool Proved = false;
+  bool Manual = false;   ///< required an extra solver or a lemma
+  std::string Engine;    ///< "default", "multiset_solver", "lemma:<name>", ...
+  std::string FailureReason;
+};
+
+/// A registered fact modeling a manual Coq proof (e.g. properties of the
+/// hashmap's functional probing function). PureLines feeds the Figure 7
+/// "Pure" column.
+struct Lemma {
+  std::string Name;
+  TermRef Prop;
+  unsigned PureLines = 0;
+};
+
+struct SolverStats {
+  unsigned AutoProved = 0;
+  unsigned ManualProved = 0;
+  unsigned Failed = 0;
+};
+
+class PureSolver {
+public:
+  PureSolver();
+
+  /// Enables a named extra solver ("multiset_solver" / "set_solver"),
+  /// corresponding to the paper's rc::tactics annotation.
+  void enableSolver(const std::string &Name);
+  bool solverEnabled(const std::string &Name) const;
+  void clearExtraSolvers() { ExtraSolvers.clear(); }
+
+  void addLemma(Lemma L) { Lemmas.push_back(std::move(L)); }
+  const std::vector<Lemma> &lemmas() const { return Lemmas; }
+  void clearLemmas() { Lemmas.clear(); }
+
+  /// Proves \p Goal under hypotheses \p Hyps, possibly instantiating evars
+  /// in \p Env (this is the only place sealed evars get unsealed).
+  SolveResult prove(const std::vector<TermRef> &Hyps, TermRef Goal,
+                    EvarEnv &Env);
+
+  Simplifier &simplifier() { return Simp; }
+  SolverStats &stats() { return Stats; }
+  const SolverStats &stats() const { return Stats; }
+  void resetStats() { Stats = SolverStats(); }
+
+private:
+  SolveResult proveCore(std::vector<TermRef> Hyps, TermRef Goal, EvarEnv &Env,
+                        int Depth);
+  bool tryDefault(const std::vector<TermRef> &Hyps, TermRef Goal);
+  bool tryCollections(const std::vector<TermRef> &Hyps, TermRef Goal,
+                      std::string &EngineOut);
+  bool tryLemmas(const std::vector<TermRef> &Hyps, TermRef Goal,
+                 std::string &EngineOut);
+  std::vector<TermRef> preprocessHyps(std::vector<TermRef> Hyps,
+                                      const EvarEnv &Env, TermRef &Goal);
+
+  Simplifier Simp;
+  std::vector<std::string> ExtraSolvers;
+  std::vector<Lemma> Lemmas;
+  SolverStats Stats;
+};
+
+} // namespace rcc::pure
+
+#endif // RCC_PURE_SOLVER_H

@@ -1,0 +1,66 @@
+//===- Unify.cpp ----------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pure/Unify.h"
+
+using namespace rcc::pure;
+
+static bool tryBind(TermRef EV, TermRef Other, EvarEnv &Env) {
+  assert(EV->kind() == TermKind::EVar && "tryBind expects an evar");
+  Env.unseal(EV->num());
+  return Env.bind(EV->num(), Other);
+}
+
+bool rcc::pure::unifyTerms(TermRef A, TermRef B, EvarEnv &Env) {
+  A = Env.resolve(A);
+  B = Env.resolve(B);
+  if (A == B)
+    return true;
+  if (A->kind() == TermKind::EVar)
+    return tryBind(A, B, Env);
+  if (B->kind() == TermKind::EVar)
+    return tryBind(B, A, Env);
+
+  // Simple arithmetic inversion: unify (?x + c) with a constant d.
+  auto invertAdd = [&](TermRef Sum, TermRef Const) -> int {
+    if (Sum->kind() != TermKind::Add || !Const->isConst())
+      return -1;
+    TermRef L = Sum->arg(0), R = Sum->arg(1);
+    if (L->kind() == TermKind::EVar && R->isConst())
+      return tryBind(L,
+                     Sum->sort() == Sort::Nat
+                         ? mkNat(Const->num() - R->num())
+                         : mkInt(Const->num() - R->num()),
+                     Env)
+                 ? 1
+                 : 0;
+    if (R->kind() == TermKind::EVar && L->isConst())
+      return tryBind(R,
+                     Sum->sort() == Sort::Nat
+                         ? mkNat(Const->num() - L->num())
+                         : mkInt(Const->num() - L->num()),
+                     Env)
+                 ? 1
+                 : 0;
+    return -1;
+  };
+  if (int R = invertAdd(A, B); R >= 0)
+    return R == 1;
+  if (int R = invertAdd(B, A); R >= 0)
+    return R == 1;
+
+  if (A->kind() != B->kind() || A->name() != B->name() ||
+      A->num() != B->num() || A->numArgs() != B->numArgs())
+    return false;
+  for (unsigned I = 0; I < A->numArgs(); ++I)
+    if (!unifyTerms(A->arg(I), B->arg(I), Env))
+      return false;
+  return true;
+}
+
+bool rcc::pure::resolvedEqual(TermRef A, TermRef B, const EvarEnv &Env) {
+  return Env.resolve(A) == Env.resolve(B);
+}

@@ -1,0 +1,36 @@
+//===- Unify.h - Evar unification ------------------------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-order unification over terms with evars, used by the side-condition
+/// solver's first evar heuristic (Section 5): when a side condition is an
+/// equality, remove the seals from the evars in it and unify both sides. As
+/// the paper notes, this can instantiate an evar under a non-injective symbol
+/// (e.g. `length ?x = length l` binds `?x := l`); this is by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_PURE_UNIFY_H
+#define RCC_PURE_UNIFY_H
+
+#include "pure/EvarEnv.h"
+#include "pure/Term.h"
+
+namespace rcc::pure {
+
+/// Attempts to unify \p A and \p B, unsealing and binding evars as needed.
+/// Returns true on success; on failure, bindings made along the way are NOT
+/// rolled back (Lithium never backtracks; a failed unification makes the
+/// enclosing side condition fail, which fails verification with an error).
+bool unifyTerms(TermRef A, TermRef B, EvarEnv &Env);
+
+/// Syntactic match: can \p A and \p B be unified *without* binding anything
+/// (i.e. are their resolved forms equal)?
+bool resolvedEqual(TermRef A, TermRef B, const EvarEnv &Env);
+
+} // namespace rcc::pure
+
+#endif // RCC_PURE_UNIFY_H

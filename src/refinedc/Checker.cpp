@@ -1,0 +1,555 @@
+//===- Checker.cpp --------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "refinedc/Checker.h"
+
+#include "caesium/Ast.h"
+#include "support/Util.h"
+
+#include <sstream>
+
+using namespace rcc;
+using namespace rcc::refinedc;
+using namespace rcc::lithium;
+using namespace rcc::pure;
+
+//===----------------------------------------------------------------------===//
+// FnResult rendering (the Section 2.1 error-message format)
+//===----------------------------------------------------------------------===//
+
+std::string FnResult::renderError(const std::string &Source) const {
+  std::ostringstream OS;
+  OS << "Verification of `" << Name << "` failed!\n";
+  OS << "---------------------------------------\n";
+  OS << Error << "\n";
+  if (ErrorLoc.isValid()) {
+    OS << "Location: [" << ErrorLoc.Line << ":" << ErrorLoc.Col << "]\n";
+    // Echo the offending source line.
+    std::vector<std::string> Lines = splitString(Source, '\n');
+    if (ErrorLoc.Line >= 1 && ErrorLoc.Line <= Lines.size())
+      OS << "  | " << Lines[ErrorLoc.Line - 1] << "\n";
+  }
+  if (!ErrorContext.empty()) {
+    OS << "Up-to-date context:\n";
+    for (const std::string &C : ErrorContext)
+      OS << "  " << C << "\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Checker
+//===----------------------------------------------------------------------===//
+
+Checker::Checker(const front::AnnotatedProgram &AP,
+                 rcc::DiagnosticEngine &Diags)
+    : AP(AP), Diags(Diags) {
+  registerStandardRules(Rules);
+}
+
+Checker::~Checker() {
+  // Break the definition cycles of recursive named types (Body -> Named ->
+  // Def -> Body) so the shared type graph is reclaimed.
+  for (auto &[Name, Def] : Env.Named)
+    std::const_pointer_cast<NamedTypeDef>(Def)->Body = nullptr;
+}
+
+static const front::RcAnnot *findAnnot(const std::vector<front::RcAnnot> &As,
+                                       const std::string &Kind) {
+  for (const front::RcAnnot &A : As)
+    if (A.Kind == Kind)
+      return &A;
+  return nullptr;
+}
+
+bool Checker::buildNamedTypes() {
+  // Pass 1: create definition shells so recursive references resolve.
+  for (const auto &[SName, SI] : AP.Structs) {
+    Env.Layouts[SName] = &SI.Layout;
+    auto Def = std::make_shared<NamedTypeDef>();
+    Def->Layout = &SI.Layout;
+    std::string DefName = SName;
+    if (const front::RcAnnot *PT = findAnnot(SI.Annots, "ptr_type")) {
+      // "name: <type>"
+      const std::string &S = PT->Args.empty() ? std::string() : PT->Args[0];
+      size_t Colon = S.find(':');
+      if (Colon != std::string::npos)
+        DefName = trim(S.substr(0, Colon));
+      Def->IsPtrType = true;
+    }
+    Def->Name = DefName;
+    Def->RefnVar = "_r";
+    Def->RefnSort = Sort::Nat;
+    if (const front::RcAnnot *RB = findAnnot(SI.Annots, "refined_by")) {
+      if (RB->Args.size() != 1) {
+        Diags.error(RB->Loc,
+                    "rc::refined_by expects exactly one binder here");
+        return false;
+      }
+      if (!parseBinder(RB->Args[0], Def->RefnVar, Def->RefnSort, Diags,
+                       RB->Loc))
+        return false;
+    }
+    Env.Named[DefName] = Def;
+  }
+
+  // Pass 2: parse bodies.
+  for (const auto &[SName, SI] : AP.Structs) {
+    // Find the def registered for this struct.
+    std::shared_ptr<NamedTypeDef> Def;
+    for (auto &[DN, D] : Env.Named)
+      if (D->Layout == &SI.Layout)
+        Def = std::const_pointer_cast<NamedTypeDef>(
+            std::static_pointer_cast<const NamedTypeDef>(D));
+    if (!Def)
+      continue;
+
+    SpecScope Scope;
+    Scope[Def->RefnVar] = Def->RefnSort;
+    std::vector<std::pair<std::string, Sort>> ExVars;
+    for (const front::RcAnnot &A : SI.Annots) {
+      if (A.Kind != "exists")
+        continue;
+      for (const std::string &B : A.Args) {
+        std::string N;
+        Sort S;
+        if (!parseBinder(B, N, S, Diags, A.Loc))
+          return false;
+        ExVars.push_back({N, S});
+        Scope[N] = S;
+      }
+    }
+
+    // Field types.
+    std::vector<TypeRef> Fields;
+    for (const front::CStructField &F : SI.Fields) {
+      const front::RcAnnot *FA = findAnnot(F.Annots, "field");
+      if (!FA || FA->Args.empty()) {
+        // Unannotated fields get their physical size as uninitialized data.
+        const caesium::FieldLayout *FL = SI.Layout.field(F.Name);
+        Fields.push_back(
+            tyUninit(mkNat(static_cast<int64_t>(FL ? FL->Ly.Size : 0))));
+        continue;
+      }
+      SpecParser P(FA->Args[0], Env, Scope, Diags, FA->Loc);
+      TypeRef T = P.parseTypeFull();
+      if (P.hadError())
+        return false;
+      Fields.push_back(T);
+    }
+    TypeRef Body = tyStruct(&SI.Layout, std::move(Fields));
+
+    // rc::size wraps in padding.
+    if (const front::RcAnnot *SZ = findAnnot(SI.Annots, "size")) {
+      SpecParser P(SZ->Args[0], Env, Scope, Diags, SZ->Loc);
+      TermRef N = P.parseTermFull();
+      if (P.hadError())
+        return false;
+      Body = tyPadded(Body, N);
+    }
+    // rc::constraints wrap.
+    for (const front::RcAnnot &A : SI.Annots) {
+      if (A.Kind != "constraints")
+        continue;
+      for (const std::string &CS : A.Args) {
+        SpecParser P(CS, Env, Scope, Diags, A.Loc);
+        TermRef Phi = P.parseTermFull();
+        if (P.hadError())
+          return false;
+        Body = tyConstraint(Body, Phi);
+      }
+    }
+    // rc::exists wrap (innermost binder declared last).
+    for (auto It = ExVars.rbegin(); It != ExVars.rend(); ++It)
+      Body = tyExists(It->first, It->second, Body);
+
+    // rc::ptr_type: the definition refines the pointer typedef; '...'
+    // denotes the struct body built above.
+    if (const front::RcAnnot *PT = findAnnot(SI.Annots, "ptr_type")) {
+      const std::string &S = PT->Args[0];
+      size_t Colon = S.find(':');
+      std::string TypeStr =
+          Colon == std::string::npos ? S : S.substr(Colon + 1);
+      SpecScope PScope;
+      PScope[Def->RefnVar] = Def->RefnSort;
+      SpecParser P(TypeStr, Env, PScope, Diags, PT->Loc);
+      P.SelfStructType = Body;
+      TypeRef PtrBody = P.parseTypeFull();
+      if (P.hadError())
+        return false;
+      Def->Body = PtrBody;
+    } else {
+      Def->Body = Body;
+    }
+  }
+  return true;
+}
+
+/// Parses function-style annotations (on functions and on fn typedefs) into
+/// a FnSpec. Returns nullptr if the annotation list carries no spec.
+static std::shared_ptr<FnSpec>
+parseFnSpec(const std::string &Name, const std::vector<front::RcAnnot> &As,
+            size_t NumCArgs, TypeEnv &Env, rcc::DiagnosticEngine &Diags,
+            unsigned *PureLines) {
+  bool Any = false;
+  for (const front::RcAnnot &A : As)
+    if (A.Kind == "parameters" || A.Kind == "args" || A.Kind == "returns" ||
+        A.Kind == "requires" || A.Kind == "ensures" || A.Kind == "trust_me")
+      Any = true;
+  if (!Any)
+    return nullptr;
+
+  auto S = std::make_shared<FnSpec>();
+  S->Name = Name;
+  SpecScope Scope;
+
+  for (const front::RcAnnot &A : As) {
+    if (A.Kind == "parameters") {
+      for (const std::string &B : A.Args) {
+        std::string N;
+        Sort Srt;
+        if (!parseBinder(B, N, Srt, Diags, A.Loc))
+          return nullptr;
+        S->Params.push_back({N, Srt});
+        Scope[N] = Srt;
+      }
+    }
+    if (A.Kind == "exists") {
+      for (const std::string &B : A.Args) {
+        std::string N;
+        Sort Srt;
+        if (!parseBinder(B, N, Srt, Diags, A.Loc))
+          return nullptr;
+        S->RetExists.push_back({N, Srt});
+        Scope[N] = Srt;
+      }
+    }
+  }
+
+  for (const front::RcAnnot &A : As) {
+    if (A.Kind == "args") {
+      for (const std::string &T : A.Args) {
+        SpecParser P(T, Env, Scope, Diags, A.Loc);
+        TypeRef Ty = P.parseTypeFull();
+        if (P.hadError())
+          return nullptr;
+        S->Args.push_back(Ty);
+      }
+    } else if (A.Kind == "returns") {
+      SpecParser P(A.Args[0], Env, Scope, Diags, A.Loc);
+      S->Ret = P.parseTypeFull();
+      if (P.hadError())
+        return nullptr;
+    } else if (A.Kind == "requires") {
+      for (const std::string &T : A.Args) {
+        SpecParser P(T, Env, Scope, Diags, A.Loc);
+        ResAtom At;
+        if (!P.parseAtomFull(At))
+          return nullptr;
+        S->Requires.push_back(At);
+      }
+    } else if (A.Kind == "ensures") {
+      for (const std::string &T : A.Args) {
+        SpecParser P(T, Env, Scope, Diags, A.Loc);
+        ResAtom At;
+        if (!P.parseAtomFull(At))
+          return nullptr;
+        S->Ensures.push_back(At);
+      }
+    } else if (A.Kind == "tactics") {
+      for (const std::string &T : A.Args) {
+        for (const char *Known : {"multiset_solver", "set_solver"})
+          if (T.find(Known) != std::string::npos)
+            S->Tactics.push_back(Known);
+      }
+    } else if (A.Kind == "trust_me") {
+      S->TrustMe = true;
+    } else if (A.Kind == "lemma") {
+      // rc::lemma("name", "prop", "pure-lines") models a manual Coq proof.
+      if (A.Args.size() < 2) {
+        Diags.error(A.Loc, "rc::lemma expects a name and a proposition");
+        return nullptr;
+      }
+      // Lemma propositions may quantify over their own variables.
+      SpecParser P(A.Args[1], Env, Scope, Diags, A.Loc);
+      TermRef Prop = P.parseTermFull();
+      if (P.hadError())
+        return nullptr;
+      unsigned Lines = 1;
+      if (A.Args.size() >= 3)
+        Lines = static_cast<unsigned>(std::atoi(A.Args[2].c_str()));
+      if (PureLines)
+        *PureLines += Lines;
+      S->Lemmas.push_back({A.Args[0], Prop, Lines});
+    }
+  }
+
+  if (!S->Args.empty() && S->Args.size() != NumCArgs) {
+    Diags.error({}, "function '" + Name + "' declares " +
+                        std::to_string(NumCArgs) + " C parameters but " +
+                        std::to_string(S->Args.size()) + " rc::args types");
+    return nullptr;
+  }
+  return S;
+}
+
+bool Checker::buildFnSpecs() {
+  // Function-type typedefs first (so fn<...> references resolve), then
+  // functions.
+  for (const front::CTypedef &TD : AP.Typedefs) {
+    if (TD.Annots.empty() || !TD.Ty || !TD.Ty->isFunc())
+      continue;
+    auto S = parseFnSpec(TD.Name, TD.Annots, TD.Ty->Params.size(), Env,
+                         Diags, &PureLines);
+    if (!S && Diags.hasErrors())
+      return false;
+    if (S)
+      Env.FnSpecs[TD.Name] = S;
+  }
+  for (const auto &[Name, FI] : AP.Fns) {
+    auto S = parseFnSpec(Name, FI.Annots, FI.Params.size(), Env, Diags,
+                         &PureLines);
+    if (!S && Diags.hasErrors())
+      return false;
+    if (S)
+      Env.FnSpecs[Name] = S;
+  }
+  return true;
+}
+
+bool Checker::buildGlobals() {
+  for (const auto &[Name, GI] : AP.Globals) {
+    const front::RcAnnot *GA = findAnnot(GI.Annots, "global");
+    if (!GA || GA->Args.empty())
+      continue;
+    SpecScope Scope;
+    SpecParser P(GA->Args[0], Env, Scope, Diags, GA->Loc);
+    TypeRef T = P.parseTypeFull();
+    if (P.hadError())
+      return false;
+    GlobalAtoms.push_back(
+        ResAtom::loc(mkVar("&g:" + Name, Sort::Loc), T));
+  }
+  return true;
+}
+
+bool Checker::buildEnv() {
+  return buildNamedTypes() && buildFnSpecs() && buildGlobals();
+}
+
+std::optional<LoopInv>
+Checker::parseLoopInv(const std::vector<front::RcAnnot> &As,
+                      const SpecScope &BaseScope) {
+  LoopInv Inv;
+  SpecScope Scope = BaseScope;
+  for (const front::RcAnnot &A : As) {
+    if (A.Kind != "exists")
+      continue;
+    for (const std::string &B : A.Args) {
+      std::string N;
+      Sort S;
+      if (!parseBinder(B, N, S, Diags, A.Loc))
+        return std::nullopt;
+      Inv.ExVars.push_back({N, S});
+      Scope[N] = S;
+    }
+  }
+  for (const front::RcAnnot &A : As) {
+    if (A.Kind == "inv_vars") {
+      for (const std::string &VS : A.Args) {
+        SpecParser P(VS, Env, Scope, Diags, A.Loc);
+        std::string Var;
+        TypeRef Ty;
+        if (!P.parseInvVarFull(Var, Ty))
+          return std::nullopt;
+        Inv.InvVars.push_back({Var, Ty});
+      }
+    } else if (A.Kind == "constraints") {
+      for (const std::string &CS : A.Args) {
+        SpecParser P(CS, Env, Scope, Diags, A.Loc);
+        TermRef Phi = P.parseTermFull();
+        if (P.hadError())
+          return std::nullopt;
+        Inv.Constraints.push_back(Phi);
+      }
+    }
+  }
+  return Inv;
+}
+
+FnResult Checker::verifyFunction(const std::string &Name) {
+  FnResult Res;
+  Res.Name = Name;
+
+  auto SIt = Env.FnSpecs.find(Name);
+  if (SIt == Env.FnSpecs.end()) {
+    Res.Error = "function '" + Name + "' has no RefinedC specification";
+    return Res;
+  }
+  std::shared_ptr<FnSpec> Spec = SIt->second;
+  if (Spec->TrustMe) {
+    // Assumed specification (possibly a body-less prototype): nothing to
+    // check; callers may use the spec.
+    Res.Verified = true;
+    Res.Trusted = true;
+    return Res;
+  }
+  auto FIt = AP.Fns.find(Name);
+  const caesium::Function *Fn = AP.Prog.function(Name);
+  if (FIt == AP.Fns.end() || !Fn) {
+    Res.Error = "unknown function '" + Name + "'";
+    return Res;
+  }
+  const front::FnInfo &FI = FIt->second;
+  if (Spec->Args.size() != FI.Params.size()) {
+    Res.Error = "specification/parameter arity mismatch for '" + Name + "'";
+    return Res;
+  }
+
+  // Configure the solver for this function (rc::tactics, lemmas).
+  Solver.clearExtraSolvers();
+  Solver.clearLemmas();
+  for (const std::string &T : Spec->Tactics) {
+    if (T == "multiset_solver" || T == "set_solver")
+      Solver.enableSolver(T);
+  }
+  for (const auto &[LName, LProp, LLines] : Spec->Lemmas)
+    Solver.addLemma({LName, LProp, LLines});
+
+  VerifyCtx C;
+  C.AP = &AP;
+  C.Env = &Env;
+  C.Fn = Fn;
+  C.FI = &FI;
+  C.Spec = Spec;
+  C.GlobalAtoms = GlobalAtoms;
+
+  // Spec scope for loop invariants: parameters and ret-existentials.
+  SpecScope Scope;
+  for (const auto &[N, S] : Spec->Params)
+    Scope[N] = S;
+
+  // Entry slot types: argument specs, uninit for locals.
+  std::map<std::string, TypeRef> EntryTypes;
+  for (size_t I = 0; I < Fn->Params.size(); ++I)
+    EntryTypes[Fn->Params[I].first] = Spec->Args[I];
+  for (const auto &[LName, LSize] : Fn->Locals)
+    EntryTypes[LName] = tyUninit(mkNat(static_cast<int64_t>(LSize)));
+
+  // Parse loop invariants; unlisted slots implicitly keep their entry types
+  // (they must not have changed, which the proof at the cut point checks).
+  for (const auto &As : FI.LoopAnnots) {
+    auto Inv = parseLoopInv(As, Scope);
+    if (!Inv) {
+      Res.Error = "failed to parse a loop invariant in '" + Name + "'";
+      return Res;
+    }
+    std::set<std::string> Listed;
+    for (const auto &[V, T] : Inv->InvVars)
+      Listed.insert(V);
+    for (const auto &[SlotName, Ty] : EntryTypes)
+      if (!Listed.count(SlotName))
+        Inv->InvVars.push_back({SlotName, Ty});
+    C.LoopInvs.push_back(std::move(*Inv));
+  }
+
+  pure::EvarEnv Evars;
+  Engine E(Rules, Solver, Evars, Res.Stats, &Res.Deriv);
+  E.Ctx = &C;
+  E.BacktrackMode = Backtracking;
+  if (Backtracking)
+    E.MaxStepsOverride = 20000;
+
+  // Seed the initial contexts: argument atoms, local slots, requires.
+  for (size_t I = 0; I < Fn->Params.size(); ++I)
+    E.pushAtom(ResAtom::loc(mkVar("&" + Fn->Params[I].first, Sort::Loc),
+                            Spec->Args[I]));
+  for (const auto &[LName, LSize] : Fn->Locals)
+    E.pushAtom(ResAtom::loc(mkVar("&" + LName, Sort::Loc),
+                            tyUninit(mkNat(static_cast<int64_t>(LSize)))));
+  for (const ResAtom &A : Spec->Requires)
+    E.pushAtom(A);
+  for (const ResAtom &A : GlobalAtoms)
+    E.pushAtom(A);
+  C.Gamma0 = E.Gamma;
+
+  // The entry path.
+  lithium::Judgment J0;
+  J0.K = JudgKind::Stmt;
+  J0.Fn = Fn;
+  J0.BlockId = 0;
+  J0.StmtIdx = 0;
+  bool Ok = E.prove(gJudg(std::move(J0)));
+
+  // Each loop-invariant block, once, from the invariant.
+  while (Ok && !C.PendingBlocks.empty()) {
+    unsigned B = C.PendingBlocks.back();
+    C.PendingBlocks.pop_back();
+    int Id = Fn->Blocks[B].AnnotId;
+    const LoopInv &Inv = C.LoopInvs[Id];
+
+    Engine E2(Rules, Solver, Evars, Res.Stats, &Res.Deriv);
+    E2.Ctx = &C;
+    E2.BacktrackMode = Backtracking;
+    if (Backtracking)
+      E2.MaxStepsOverride = 20000;
+    E2.Gamma = C.Gamma0;
+    // Existentials of the invariant become universals when assuming it.
+    std::map<std::string, TermRef> Subst;
+    for (const auto &[N, S] : Inv.ExVars)
+      Subst[N] = E2.freshUniversal(N, S);
+    for (const auto &[SlotName, Ty] : Inv.InvVars) {
+      TypeRef T = Ty;
+      for (const auto &[N2, R2] : Subst)
+        T = substTypeVar(T, N2, R2);
+      E2.pushAtom(
+          ResAtom::loc(mkVar("&" + SlotName, Sort::Loc), T));
+    }
+    for (TermRef Phi : Inv.Constraints) {
+      TermRef P = Phi;
+      for (const auto &[N2, R2] : Subst)
+        P = substVar(P, N2, R2);
+      E2.addFact(P);
+    }
+    for (const ResAtom &A : GlobalAtoms)
+      E2.pushAtom(A);
+
+    lithium::Judgment JB;
+    JB.K = JudgKind::Stmt;
+    JB.Fn = Fn;
+    JB.BlockId = B;
+    JB.StmtIdx = 0;
+    Ok = E2.prove(gJudg(std::move(JB)));
+    Res.BacktrackedSteps += E2.BacktrackedSteps;
+    if (!Ok) {
+      Res.Error = E2.Failure;
+      Res.ErrorLoc = E2.FailureLoc;
+      Res.ErrorContext = E2.FailureContext;
+    }
+  }
+  Res.BacktrackedSteps += E.BacktrackedSteps;
+
+  if (!Ok && Res.Error.empty()) {
+    Res.Error = E.Failure;
+    Res.ErrorLoc = E.FailureLoc;
+    Res.ErrorContext = E.FailureContext;
+  }
+  Res.Verified = Ok;
+  Res.EvarsInstantiated = Evars.numInstantiated();
+  return Res;
+}
+
+std::vector<FnResult> Checker::verifyAll() {
+  std::vector<FnResult> Out;
+  for (const auto &[Name, FI] : AP.Fns) {
+    if (!Env.FnSpecs.count(Name))
+      continue; // unannotated functions (e.g. test mains) are not verified
+    if (!FI.HasBody && !Env.FnSpecs[Name]->TrustMe)
+      continue;
+    Out.push_back(verifyFunction(Name));
+  }
+  return Out;
+}

@@ -1,0 +1,133 @@
+//===- Checker.h - The RefinedC verification driver -------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives verification (Figure 2, steps B and C): builds the specification
+/// environment from the front end's annotation tables (named types from
+/// struct annotations, function specs, loop invariants, lemmas, enabled
+/// solvers), seeds the Lithium engine with the function's initial contexts
+/// (argument atoms, local slots, requires clause), runs the proof search on
+/// the entry block, and then checks each loop-invariant cut point once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_REFINEDC_CHECKER_H
+#define RCC_REFINEDC_CHECKER_H
+
+#include "frontend/Frontend.h"
+#include "lithium/Engine.h"
+#include "refinedc/SpecParser.h"
+
+#include <optional>
+
+namespace rcc::refinedc {
+
+/// A parsed loop invariant (rc::exists / rc::inv_vars / rc::constraints).
+struct LoopInv {
+  std::vector<std::pair<std::string, pure::Sort>> ExVars;
+  std::vector<std::pair<std::string, TypeRef>> InvVars; ///< slot -> type
+  std::vector<TermRef> Constraints;
+};
+
+/// Verification context handed to the typing rules through the engine.
+struct VerifyCtx : lithium::VerifyCtxBase {
+  const front::AnnotatedProgram *AP = nullptr;
+  const TypeEnv *Env = nullptr;
+  const caesium::Function *Fn = nullptr;
+  const front::FnInfo *FI = nullptr;
+  std::shared_ptr<const FnSpec> Spec;
+  std::vector<LoopInv> LoopInvs; ///< indexed by Block::AnnotId
+
+  /// Pure facts available at every cut point (requires + argument-type
+  /// constraints). Γ is unrestricted, so these survive loop boundaries.
+  std::vector<TermRef> Gamma0;
+  /// Atoms of annotated globals (persistent; re-seeded at cut points).
+  ResList GlobalAtoms;
+
+  /// Blocks with invariants that still need a separate check.
+  std::vector<unsigned> PendingBlocks;
+  std::set<unsigned> QueuedBlocks;
+  /// Inline-visit counters: re-entering an unannotated block too often means
+  /// a loop without an invariant annotation.
+  std::map<unsigned, unsigned> InlineCount;
+
+  void queueBlock(unsigned B) {
+    if (QueuedBlocks.insert(B).second)
+      PendingBlocks.push_back(B);
+  }
+};
+
+/// Result of verifying one function.
+struct FnResult {
+  std::string Name;
+  bool Verified = false;
+  bool Trusted = false; ///< rc::trust_me
+  std::string Error;
+  rcc::SourceLoc ErrorLoc;
+  std::vector<std::string> ErrorContext;
+  lithium::EngineStats Stats;
+  lithium::Derivation Deriv;
+  unsigned EvarsInstantiated = 0;
+  unsigned BacktrackedSteps = 0; ///< nonzero only in the ablation baseline
+
+  /// Renders the Section 2.1-style error message.
+  std::string renderError(const std::string &Source) const;
+};
+
+/// Whole-program verification driver.
+class Checker {
+public:
+  Checker(const front::AnnotatedProgram &AP, rcc::DiagnosticEngine &Diags);
+
+  /// Recursive named types form intentional shared_ptr cycles
+  /// (NamedTypeDef::Body mentions the definition). The destructor breaks
+  /// them so the whole type graph is reclaimed; unfolding named types is
+  /// therefore only valid while the owning Checker is alive.
+  ~Checker();
+
+  /// Builds the type environment from annotations. False on spec errors.
+  bool buildEnv();
+
+  /// Verifies one function against its annotations.
+  FnResult verifyFunction(const std::string &Name);
+
+  /// Verifies every annotated function; returns per-function results.
+  std::vector<FnResult> verifyAll();
+
+  TypeEnv &env() { return Env; }
+  const lithium::RuleRegistry &rules() const { return Rules; }
+  pure::PureSolver &solver() { return Solver; }
+
+  /// Ablation: run the engines in naive-backtracking mode (see Engine).
+  bool Backtracking = false;
+
+  /// Registered lemma line counts (Figure 7 "Pure" column).
+  unsigned pureLines() const { return PureLines; }
+
+private:
+  bool buildNamedTypes();
+  bool buildFnSpecs();
+  bool buildGlobals();
+  std::optional<LoopInv> parseLoopInv(const std::vector<front::RcAnnot> &As,
+                                      const SpecScope &Scope);
+
+  const front::AnnotatedProgram &AP;
+  rcc::DiagnosticEngine &Diags;
+  TypeEnv Env;
+  lithium::RuleRegistry Rules;
+  pure::PureSolver Solver;
+  ResList GlobalAtoms;
+  unsigned PureLines = 0;
+};
+
+/// Registers the RefinedC standard library of typing rules (Section 6 and
+/// the supporting rules; the paper's library has ~200 rules, keyed so that
+/// at most one applies to any judgment).
+void registerStandardRules(lithium::RuleRegistry &R);
+
+} // namespace rcc::refinedc
+
+#endif // RCC_REFINEDC_CHECKER_H

@@ -1,0 +1,68 @@
+//===- ProofChecker.cpp ---------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "refinedc/ProofChecker.h"
+
+using namespace rcc;
+using namespace rcc::refinedc;
+using namespace rcc::lithium;
+
+ProofCheckResult ProofChecker::check(const Derivation &D,
+                                     const std::vector<pure::Lemma> &Lemmas) {
+  ProofCheckResult R;
+
+  // A fresh, independent solver: the engine's solver state (enabled
+  // tactics) is not trusted; the replay enables everything a Coq-side
+  // checker would accept (registered decision procedures and the statements
+  // of manually proved lemmas).
+  pure::PureSolver Solver;
+  Solver.enableSolver("multiset_solver");
+  Solver.enableSolver("set_solver");
+  for (const pure::Lemma &L : Lemmas)
+    Solver.addLemma(L);
+
+  for (const DerivStep &S : D.Steps) {
+    switch (S.K) {
+    case DerivStep::RuleApp:
+      // The rule must exist in the registry; built-in engine
+      // transformations are whitelisted.
+      if (S.Rule != "unfold-named" && S.Rule != "focus-own" &&
+          S.Rule != "focus-own-val" && S.Rule != "WAND-INTRO-GOAL" &&
+          S.Rule != "O-ARRAY-READ" && S.Rule != "O-ARRAY-WRITE" &&
+          !Rules.hasRule(S.Rule)) {
+        R.Error = "derivation applies unknown rule '" + S.Rule + "'";
+        return R;
+      }
+      ++R.RuleSteps;
+      break;
+    case DerivStep::SideCond: {
+      if (S.Rule == "failed") {
+        R.Error = "derivation contains a failed side condition: " + S.Text;
+        return R;
+      }
+      if (!S.Prop)
+        break;
+      pure::EvarEnv Env; // evars in recorded props are already resolved
+      pure::SolveResult SR = Solver.prove(S.Hyps, S.Prop, Env);
+      if (!SR.Proved) {
+        R.Error = "side condition failed to re-check: " + S.Text;
+        return R;
+      }
+      ++R.SideConds;
+      break;
+    }
+    case DerivStep::AtomMatch:
+    case DerivStep::Intro:
+      break;
+    }
+  }
+  if (D.Steps.empty()) {
+    R.Error = "empty derivation";
+    return R;
+  }
+  R.Ok = true;
+  return R;
+}

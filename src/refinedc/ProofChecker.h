@@ -1,0 +1,50 @@
+//===- ProofChecker.h - Independent derivation re-checking -----*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The foundational substitute described in DESIGN.md: the search engine is
+/// untrusted; every successful verification yields a Derivation, and this
+/// module replays it independently. It checks that (a) every applied rule
+/// exists in the registry, (b) every pure side condition re-proves from the
+/// hypotheses recorded at that step using a fresh solver instance, and (c)
+/// the derivation is structurally well-formed. This mirrors the paper's
+/// argument that "the Lithium interpreter need not be trusted since it
+/// generates proofs" (Section 3) — here the proof object is the derivation
+/// and the checker is the smaller trusted component.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_REFINEDC_PROOFCHECKER_H
+#define RCC_REFINEDC_PROOFCHECKER_H
+
+#include "lithium/Engine.h"
+
+namespace rcc::refinedc {
+
+struct ProofCheckResult {
+  bool Ok = false;
+  std::string Error;
+  unsigned RuleSteps = 0;
+  unsigned SideConds = 0;
+};
+
+class ProofChecker {
+public:
+  explicit ProofChecker(const lithium::RuleRegistry &Rules) : Rules(Rules) {}
+
+  /// Replays \p D. \p Lemmas are re-registered before replay: they model
+  /// manual proofs, which a Coq checker also accepts from their (already
+  /// checked) statements rather than re-deriving them.
+  ProofCheckResult check(const lithium::Derivation &D,
+                         const std::vector<pure::Lemma> &Lemmas = {});
+
+private:
+  const lithium::RuleRegistry &Rules;
+};
+
+} // namespace rcc::refinedc
+
+#endif // RCC_REFINEDC_PROOFCHECKER_H

@@ -1,0 +1,76 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace rcc;
+
+void DiagnosticEngine::addContext(std::string Line) {
+  if (Diags.empty())
+    return;
+  Diags.back().Context.push_back(std::move(Line));
+}
+
+bool DiagnosticEngine::hasErrors() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Level == DiagLevel::Error)
+      return true;
+  return false;
+}
+
+static const char *levelName(DiagLevel L) {
+  switch (L) {
+  case DiagLevel::Note:
+    return "note";
+  case DiagLevel::Warning:
+    return "warning";
+  case DiagLevel::Error:
+    return "error";
+  }
+  return "diag";
+}
+
+/// Extracts 1-based line \p N from \p Source, or an empty string.
+static std::string sourceLine(const std::string &Source, uint32_t N) {
+  if (N == 0)
+    return "";
+  uint32_t Cur = 1;
+  size_t Pos = 0;
+  while (Cur < N) {
+    Pos = Source.find('\n', Pos);
+    if (Pos == std::string::npos)
+      return "";
+    ++Pos;
+    ++Cur;
+  }
+  size_t End = Source.find('\n', Pos);
+  return Source.substr(Pos, End == std::string::npos ? End : End - Pos);
+}
+
+std::string DiagnosticEngine::render(const std::string &Source) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << levelName(D.Level) << ": ";
+    if (D.Loc.isValid())
+      OS << D.Loc.str() << ": ";
+    OS << D.Message << "\n";
+    if (!Source.empty() && D.Loc.isValid()) {
+      std::string Line = sourceLine(Source, D.Loc.Line);
+      if (!Line.empty()) {
+        OS << "  | " << Line << "\n";
+        OS << "  | ";
+        for (uint32_t I = 1; I < D.Loc.Col; ++I)
+          OS << ' ';
+        OS << "^\n";
+      }
+    }
+    for (const std::string &C : D.Context)
+      OS << "    " << C << "\n";
+  }
+  return OS.str();
+}

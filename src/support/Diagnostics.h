@@ -1,0 +1,74 @@
+//===- Diagnostics.h - Diagnostic collection and rendering -----*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Both the front end (parse/sema errors) and the
+/// verifier (failed side conditions, unprovable goals) report through this,
+/// so a user sees uniformly formatted, source-located messages in the style
+/// of the paper's Section 2.1 error-message example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_SUPPORT_DIAGNOSTICS_H
+#define RCC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace rcc {
+
+enum class DiagLevel { Note, Warning, Error };
+
+/// A single diagnostic message with an optional location and optional
+/// free-form context lines (used by the verifier to render the goal state
+/// at the point of failure).
+struct Diagnostic {
+  DiagLevel Level = DiagLevel::Error;
+  SourceLoc Loc;
+  std::string Message;
+  std::vector<std::string> Context;
+};
+
+/// Collects diagnostics for one compilation / verification run.
+class DiagnosticEngine {
+public:
+  void report(DiagLevel Level, SourceLoc Loc, std::string Message) {
+    Diags.push_back({Level, Loc, std::move(Message), {}});
+  }
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Error, Loc, std::move(Message));
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Warning, Loc, std::move(Message));
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Note, Loc, std::move(Message));
+  }
+
+  /// Attaches context lines to the most recently reported diagnostic.
+  void addContext(std::string Line);
+
+  bool hasErrors() const;
+  size_t size() const { return Diags.size(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  void clear() { Diags.clear(); }
+
+  /// Renders all diagnostics into a single human-readable string. When
+  /// \p Source is non-empty, error lines are echoed with a caret marker.
+  std::string render(const std::string &Source = "") const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace rcc
+
+#endif // RCC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,51 @@
+//===- SourceLoc.h - Source locations for diagnostics ----------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight 1-based line/column source locations and ranges, used by the
+/// front end, the annotation parsers, and the verifier's error messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_SUPPORT_SOURCELOC_H
+#define RCC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace rcc {
+
+/// A position in a source buffer. Line and column are 1-based; a value of 0
+/// in both means "unknown location".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders as "line:col", or "<unknown>" for invalid locations.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+/// A half-open range of source positions.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace rcc
+
+#endif // RCC_SUPPORT_SOURCELOC_H

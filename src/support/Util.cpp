@@ -1,0 +1,184 @@
+//===- Util.cpp -----------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Util.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace rcc;
+
+std::string rcc::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::vector<std::string> rcc::splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  Out.push_back(Cur);
+  return Out;
+}
+
+std::string rcc::trim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+bool rcc::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() && S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+/// Annotation kinds classified for Figure 7 accounting.
+namespace {
+enum class AnnotClass { FnSpec, StructInv, Loop, Other, NotAnnot };
+} // namespace
+
+static AnnotClass classifyAnnotLine(const std::string &Line) {
+  std::string T = trim(Line);
+  // Continuation lines of a multi-line annotation are handled by the caller
+  // (which tracks bracket depth); here we classify lines that open [[rc::.
+  size_t Pos = T.find("[[rc::");
+  if (Pos == std::string::npos)
+    return AnnotClass::NotAnnot;
+  std::string Kind;
+  for (size_t I = Pos + 6; I < T.size() && (std::isalnum((unsigned char)T[I]) ||
+                                            T[I] == '_');
+       ++I)
+    Kind += T[I];
+  if (Kind == "parameters" || Kind == "args" || Kind == "returns" ||
+      Kind == "requires" || Kind == "ensures")
+    return AnnotClass::FnSpec;
+  if (Kind == "refined_by" || Kind == "field" || Kind == "size" ||
+      Kind == "ptr_type" || Kind == "typedef" || Kind == "fn_type")
+    return AnnotClass::StructInv;
+  if (Kind == "inv_vars")
+    return AnnotClass::Loop;
+  // "exists" and "constraints" are ambiguous between struct invariants and
+  // loop invariants; disambiguated by the caller from surrounding context.
+  if (Kind == "exists" || Kind == "constraints")
+    return AnnotClass::StructInv; // caller may override
+  return AnnotClass::Other;
+}
+
+SourceLineStats rcc::countSourceLines(const std::string &Source) {
+  SourceLineStats Stats;
+  std::vector<std::string> Lines = splitString(Source, '\n');
+
+  // First pass: find, for each line index, whether the next non-annotation
+  // code line begins a loop ("while"/"for") or a struct/typedef/function.
+  auto nextCodeStartsLoop = [&](size_t I) {
+    for (size_t J = I + 1; J < Lines.size(); ++J) {
+      std::string T = trim(Lines[J]);
+      if (T.empty() || startsWith(T, "//") || startsWith(T, "[["))
+        continue;
+      return startsWith(T, "while") || startsWith(T, "for") ||
+             startsWith(T, "do");
+    }
+    return false;
+  };
+  auto nextCodeStartsStruct = [&](size_t I) {
+    for (size_t J = I + 1; J < Lines.size(); ++J) {
+      std::string T = trim(Lines[J]);
+      if (T.empty() || startsWith(T, "//"))
+        continue;
+      if (startsWith(T, "[["))
+        continue;
+      // A line of the struct body (field decl) or the struct keyword itself.
+      return true;
+    }
+    return false;
+  };
+  (void)nextCodeStartsStruct;
+
+  bool InStruct = false;
+  int StructBraceDepth = 0;
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    std::string T = trim(Lines[I]);
+    if (T.empty() || startsWith(T, "//"))
+      continue;
+
+    AnnotClass AC = classifyAnnotLine(T);
+    bool StartsWithAnnot = startsWith(T, "[[rc::");
+    if (AC == AnnotClass::NotAnnot || !StartsWithAnnot) {
+      // Pure code lines, and mixed lines where code precedes an inline
+      // attribute (e.g. `struct [[rc::refined_by(...)]] mem_t {`), count as
+      // implementation; a mixed line additionally counts its annotation.
+      Stats.Impl += 1;
+      // Track whether we are inside a struct body, to classify the ambiguous
+      // exists/constraints annotations.
+      if (T.find("struct") != std::string::npos &&
+          T.find('{') != std::string::npos)
+        InStruct = true;
+      for (char C : T) {
+        if (C == '{' && InStruct)
+          ++StructBraceDepth;
+        if (C == '}' && InStruct) {
+          --StructBraceDepth;
+          if (StructBraceDepth <= 0)
+            InStruct = false;
+        }
+      }
+      if (AC == AnnotClass::NotAnnot)
+        continue;
+    }
+
+    // Disambiguate exists/constraints: loop if the next code line is a loop.
+    if ((T.find("rc::exists") != std::string::npos ||
+         T.find("rc::constraints") != std::string::npos) &&
+        !InStruct && nextCodeStartsLoop(I))
+      AC = AnnotClass::Loop;
+    if ((T.find("rc::exists") != std::string::npos ||
+         T.find("rc::constraints") != std::string::npos) &&
+        !InStruct && !nextCodeStartsLoop(I)) {
+      // exists/constraints before a function belong to the function spec; we
+      // approximate: if any parameters/args annotation is nearby (within 6
+      // lines before), count as fn spec.
+      bool NearFn = false;
+      for (size_t J = I >= 6 ? I - 6 : 0; J < I; ++J)
+        if (Lines[J].find("rc::parameters") != std::string::npos ||
+            Lines[J].find("rc::args") != std::string::npos)
+          NearFn = true;
+      AC = NearFn ? AnnotClass::FnSpec : AnnotClass::StructInv;
+    }
+
+    switch (AC) {
+    case AnnotClass::FnSpec:
+      Stats.FnSpec += 1;
+      break;
+    case AnnotClass::StructInv:
+      Stats.StructInv += 1;
+      break;
+    case AnnotClass::Loop:
+      Stats.Loop += 1;
+      break;
+    case AnnotClass::Other:
+      Stats.OtherAnnot += 1;
+      break;
+    case AnnotClass::NotAnnot:
+      break;
+    }
+  }
+  return Stats;
+}

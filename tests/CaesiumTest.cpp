@@ -1,0 +1,690 @@
+//===- CaesiumTest.cpp - Unit tests for the Caesium core language ---------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc::caesium;
+
+//===----------------------------------------------------------------------===//
+// Layouts
+//===----------------------------------------------------------------------===//
+
+TEST(Layout, IntTypeRanges) {
+  EXPECT_EQ(intI8().minVal(), -128);
+  EXPECT_EQ(intI8().maxVal(), 127u);
+  EXPECT_EQ(intU8().maxVal(), 255u);
+  EXPECT_TRUE(intU64().inRange(0));
+  EXPECT_FALSE(intU32().inRange(-1));
+  EXPECT_TRUE(intI64().inRange(INT64_MIN));
+}
+
+TEST(Layout, StructLayoutPaddingAndAlignment) {
+  // struct { size_t len; unsigned char *buffer; } -- the Figure 1 struct.
+  StructLayout S;
+  S.Name = "mem_t";
+  S.Fields = {{"len", layoutOfInt(intSizeT()), 0}, {"buffer", layoutOfPtr(), 0}};
+  S.computeLayout();
+  EXPECT_EQ(S.Size, 16u);
+  EXPECT_EQ(S.Align, 8u);
+  EXPECT_EQ(S.field("buffer")->Offset, 8u);
+
+  // struct { char c; int x; char d; } has internal and tail padding.
+  StructLayout P;
+  P.Fields = {{"c", layoutOfInt(intI8()), 0},
+              {"x", layoutOfInt(intI32()), 0},
+              {"d", layoutOfInt(intI8()), 0}};
+  P.computeLayout();
+  EXPECT_EQ(P.field("x")->Offset, 4u);
+  EXPECT_EQ(P.field("d")->Offset, 8u);
+  EXPECT_EQ(P.Size, 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Values and byte encoding
+//===----------------------------------------------------------------------===//
+
+TEST(Value, IntRoundTrip) {
+  RtVal V = RtVal::fromInt(intI32(), -5);
+  auto Bytes = encodeValue(V, 4);
+  RtVal W = decodeValue(Bytes.data(), 4);
+  EXPECT_TRUE(W.isInt());
+  EXPECT_EQ(W.asSigned(), -5);
+}
+
+TEST(Value, PointerRoundTripPreservesProvenance) {
+  RtVal V = RtVal::ptr(MemLoc{42, 16});
+  auto Bytes = encodeValue(V, PtrBytes);
+  RtVal W = decodeValue(Bytes.data(), PtrBytes);
+  ASSERT_TRUE(W.isPtr());
+  EXPECT_EQ(W.Loc.Alloc, 42u);
+  EXPECT_EQ(W.Loc.Off, 16u);
+}
+
+TEST(Value, PartialPointerBytesDecodeToPoison) {
+  RtVal V = RtVal::ptr(MemLoc{42, 16});
+  auto Bytes = encodeValue(V, PtrBytes);
+  // Reading only 4 of the 8 fragments cannot reconstitute the pointer.
+  RtVal W = decodeValue(Bytes.data(), 4);
+  EXPECT_TRUE(W.isPoison());
+}
+
+TEST(Value, PoisonEncodesToPoisonBytes) {
+  auto Bytes = encodeValue(RtVal::poison(), 4);
+  for (const MemByte &B : Bytes)
+    EXPECT_EQ(B.K, ByteKind::Poison);
+  EXPECT_TRUE(decodeValue(Bytes.data(), 4).isPoison());
+}
+
+TEST(Value, SignedInterpretation) {
+  RtVal V = RtVal::fromUInt(0xff, 1);
+  EXPECT_EQ(V.asSigned(), -1);
+  EXPECT_EQ(V.asUnsigned(), 0xffu);
+  EXPECT_EQ(V.interp(intU8()), 255);
+  EXPECT_EQ(V.interp(intI8()), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+TEST(Memory, AllocateLoadStore) {
+  Memory M;
+  MemLoc L = M.allocate(16, AllocKind::Heap, "buf");
+  // Fresh memory is poison.
+  MemResult R0 = M.load(L, 8);
+  ASSERT_TRUE(R0.Ok);
+  EXPECT_TRUE(R0.Val.isPoison());
+  ASSERT_TRUE(M.store(L, RtVal::fromInt(intU64(), 77), 8).Ok);
+  MemResult R1 = M.load(L, 8);
+  ASSERT_TRUE(R1.Ok);
+  EXPECT_EQ(R1.Val.asUnsigned(), 77u);
+}
+
+TEST(Memory, OutOfBoundsIsUB) {
+  Memory M;
+  MemLoc L = M.allocate(4, AllocKind::Heap, "small");
+  EXPECT_FALSE(M.load(MemLoc{L.Alloc, 2}, 4).Ok);
+  EXPECT_FALSE(M.store(MemLoc{L.Alloc, 4}, RtVal::fromInt(intU8(), 1), 1).Ok);
+  EXPECT_TRUE(M.load(MemLoc{L.Alloc, 0}, 4).Ok);
+}
+
+TEST(Memory, UseAfterFreeIsUB) {
+  Memory M;
+  MemLoc L = M.allocate(8, AllocKind::Heap, "x");
+  EXPECT_TRUE(M.deallocate(L.Alloc));
+  EXPECT_FALSE(M.load(L, 8).Ok);
+  EXPECT_FALSE(M.deallocate(L.Alloc)) << "double free";
+}
+
+TEST(Memory, NullAccessIsUB) {
+  Memory M;
+  EXPECT_FALSE(M.load(MemLoc{0, 0}, 1).Ok);
+}
+
+TEST(Memory, CopyPreservesPoisonAndFragments) {
+  Memory M;
+  MemLoc A = M.allocate(16, AllocKind::Heap, "a");
+  MemLoc B = M.allocate(16, AllocKind::Heap, "b");
+  M.store(A, RtVal::ptr(MemLoc{7, 3}), 8); // bytes 0..8 pointer, 8..16 poison
+  ASSERT_TRUE(M.copy(B, A, 16).Ok);
+  MemResult P = M.load(B, 8);
+  ASSERT_TRUE(P.Ok);
+  EXPECT_TRUE(P.Val.isPtr());
+  EXPECT_EQ(P.Val.Loc.Alloc, 7u);
+  MemResult Q = M.load(MemLoc{B.Alloc, 8}, 8);
+  ASSERT_TRUE(Q.Ok);
+  EXPECT_TRUE(Q.Val.isPoison());
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter: program-building helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds: size_t add3(size_t a, size_t b) { return a + b + 3; }
+std::unique_ptr<Function> buildAdd3() {
+  auto F = std::make_unique<Function>();
+  F->Name = "add3";
+  F->Params = {{"a", 8}, {"b", 8}};
+  F->RetSize = 8;
+  Block B;
+  Stmt Ret;
+  Ret.K = StmtKind::Return;
+  Ret.E = mkBinOp(
+      BinOpKind::Add, intU64(),
+      mkBinOp(BinOpKind::Add, intU64(), mkUse(8, mkAddrLocal("a")),
+              mkUse(8, mkAddrLocal("b"))),
+      mkConstInt(intU64(), 3));
+  B.Stmts.push_back(std::move(Ret));
+  F->Blocks.push_back(std::move(B));
+  return F;
+}
+
+Stmt stmtExpr(ExprPtr E) {
+  Stmt S;
+  S.K = StmtKind::ExprS;
+  S.E = std::move(E);
+  return S;
+}
+Stmt stmtReturn(ExprPtr E) {
+  Stmt S;
+  S.K = StmtKind::Return;
+  S.E = std::move(E);
+  return S;
+}
+Stmt stmtGoto(unsigned Target) {
+  Stmt S;
+  S.K = StmtKind::Goto;
+  S.Target1 = Target;
+  return S;
+}
+Stmt stmtCondGoto(ExprPtr Cond, unsigned Then, unsigned Else) {
+  Stmt S;
+  S.K = StmtKind::CondGoto;
+  S.E = std::move(Cond);
+  S.Target1 = Then;
+  S.Target2 = Else;
+  return S;
+}
+
+} // namespace
+
+TEST(Interp, StraightLineArithmeticAndCall) {
+  Program P;
+  P.Functions["add3"] = buildAdd3();
+
+  // main: return add3(10, 20);
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->RetSize = 8;
+  Block B;
+  std::vector<ExprPtr> Args;
+  Args.push_back(mkConstInt(intU64(), 10));
+  Args.push_back(mkConstInt(intU64(), 20));
+  B.Stmts.push_back(stmtReturn(mkCall(mkAddrGlobal("add3"), std::move(Args))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.MainRet.asUnsigned(), 33u);
+}
+
+TEST(Interp, LoopViaCondGoto) {
+  // main: i = 0; sum = 0; while (i != 10) { sum += i; i += 1; } return sum;
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"i", 8}, {"sum", 8}};
+  Main->RetSize = 8;
+
+  Block B0; // init
+  B0.Stmts.push_back(
+      stmtExpr(mkStore(8, mkAddrLocal("i"), mkConstInt(intU64(), 0))));
+  B0.Stmts.push_back(
+      stmtExpr(mkStore(8, mkAddrLocal("sum"), mkConstInt(intU64(), 0))));
+  B0.Stmts.push_back(stmtGoto(1));
+
+  Block B1; // loop head
+  B1.Stmts.push_back(stmtCondGoto(
+      mkBinOp(BinOpKind::NeOp, intU64(), mkUse(8, mkAddrLocal("i")),
+              mkConstInt(intU64(), 10)),
+      2, 3));
+
+  Block B2; // body
+  B2.Stmts.push_back(stmtExpr(mkStore(
+      8, mkAddrLocal("sum"),
+      mkBinOp(BinOpKind::Add, intU64(), mkUse(8, mkAddrLocal("sum")),
+              mkUse(8, mkAddrLocal("i"))))));
+  B2.Stmts.push_back(stmtExpr(mkStore(
+      8, mkAddrLocal("i"),
+      mkBinOp(BinOpKind::Add, intU64(), mkUse(8, mkAddrLocal("i")),
+              mkConstInt(intU64(), 1)))));
+  B2.Stmts.push_back(stmtGoto(1));
+
+  Block B3; // exit
+  B3.Stmts.push_back(stmtReturn(mkUse(8, mkAddrLocal("sum"))));
+
+  Main->Blocks.push_back(std::move(B0));
+  Main->Blocks.push_back(std::move(B1));
+  Main->Blocks.push_back(std::move(B2));
+  Main->Blocks.push_back(std::move(B3));
+  P.Functions["main"] = std::move(Main);
+
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.MainRet.asUnsigned(), 45u);
+}
+
+TEST(Interp, UninitializedBranchIsUB) {
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"x", 4}};
+  Block B0;
+  B0.Stmts.push_back(stmtCondGoto(mkUse(4, mkAddrLocal("x")), 1, 1));
+  Block B1;
+  B1.Stmts.push_back(stmtReturn(nullptr));
+  Main->Blocks.push_back(std::move(B0));
+  Main->Blocks.push_back(std::move(B1));
+  P.Functions["main"] = std::move(Main);
+
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  EXPECT_EQ(R.C, ExecResult::Code::UB);
+  EXPECT_NE(R.Message.find("uninitialized"), std::string::npos);
+}
+
+TEST(Interp, SignedOverflowIsUB) {
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Block B;
+  B.Stmts.push_back(stmtReturn(
+      mkBinOp(BinOpKind::Add, intI32(), mkConstInt(intI32(), INT32_MAX),
+              mkConstInt(intI32(), 1))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  EXPECT_EQ(R.C, ExecResult::Code::UB);
+  EXPECT_NE(R.Message.find("overflow"), std::string::npos);
+}
+
+TEST(Interp, UnsignedWraps) {
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Block B;
+  B.Stmts.push_back(stmtReturn(
+      mkBinOp(BinOpKind::Add, intU32(), mkConstInt(intU32(), 0xffffffff),
+              mkConstInt(intU32(), 1))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.MainRet.asUnsigned(), 0u);
+}
+
+TEST(Interp, DivisionByZeroIsUB) {
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Block B;
+  B.Stmts.push_back(stmtReturn(mkBinOp(BinOpKind::Div, intI32(),
+                                       mkConstInt(intI32(), 4),
+                                       mkConstInt(intI32(), 0))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+  Machine M(P);
+  EXPECT_EQ(M.run("main", {}).C, ExecResult::Code::UB);
+}
+
+TEST(Interp, PointerArithmeticWithinAllocation) {
+  // main: p = rc_alloc(16); *(p+8) = 5; return *(size_t*)(p+8);
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"p", 8}};
+  Block B;
+  std::vector<ExprPtr> AllocArgs;
+  AllocArgs.push_back(mkConstInt(intU64(), 16));
+  B.Stmts.push_back(stmtExpr(
+      mkStore(8, mkAddrLocal("p"),
+              mkCall(mkAddrGlobal("rc_alloc"), std::move(AllocArgs)))));
+  B.Stmts.push_back(stmtExpr(mkStore(
+      8,
+      mkPtrOp(BinOpKind::PtrAdd, 1, mkUse(8, mkAddrLocal("p")),
+              mkConstInt(intU64(), 8)),
+      mkConstInt(intU64(), 5))));
+  B.Stmts.push_back(stmtReturn(
+      mkUse(8, mkPtrOp(BinOpKind::PtrAdd, 1, mkUse(8, mkAddrLocal("p")),
+                       mkConstInt(intU64(), 8)))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.MainRet.asUnsigned(), 5u);
+}
+
+TEST(Interp, PointerArithmeticOutOfBoundsIsUB) {
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"x", 4}};
+  Block B;
+  B.Stmts.push_back(stmtReturn(mkPtrOp(BinOpKind::PtrAdd, 1,
+                                       mkAddrLocal("x"),
+                                       mkConstInt(intU64(), 5))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+  Machine M(P);
+  EXPECT_EQ(M.run("main", {}).C, ExecResult::Code::UB);
+}
+
+TEST(Interp, StackSlotDiesAtReturn) {
+  // leak: return &x;  main: p = leak(); return *p;  -- use after frame death.
+  Program P;
+  auto Leak = std::make_unique<Function>();
+  Leak->Name = "leak";
+  Leak->Locals = {{"x", 8}};
+  Leak->RetSize = 8;
+  Block LB;
+  LB.Stmts.push_back(stmtReturn(mkAddrLocal("x")));
+  Leak->Blocks.push_back(std::move(LB));
+  P.Functions["leak"] = std::move(Leak);
+
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Block B;
+  B.Stmts.push_back(
+      stmtReturn(mkUse(8, mkCall(mkAddrGlobal("leak"), {}))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  EXPECT_EQ(R.C, ExecResult::Code::UB);
+  EXPECT_NE(R.Message.find("use-after-free"), std::string::npos);
+}
+
+TEST(Interp, GlobalsAreInitialized) {
+  Program P;
+  GlobalDef G;
+  G.Name = "counter";
+  G.Size = 8;
+  G.HasInit = true;
+  G.Init = RtVal::fromInt(intU64(), 9);
+  P.Globals.push_back(G);
+
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Block B;
+  B.Stmts.push_back(stmtReturn(mkUse(8, mkAddrGlobal("counter"))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.MainRet.asUnsigned(), 9u);
+}
+
+TEST(Interp, AssertBuiltin) {
+  Program P;
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Block B;
+  std::vector<ExprPtr> Args;
+  Args.push_back(mkConstInt(intI32(), 0));
+  B.Stmts.push_back(
+      stmtExpr(mkCall(mkAddrGlobal("rc_assert"), std::move(Args))));
+  B.Stmts.push_back(stmtReturn(nullptr));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  EXPECT_EQ(R.C, ExecResult::Code::UB);
+  EXPECT_NE(R.Message.find("rc_assert"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a worker `void w(void* p) { ... }` that stores 1 to the global
+/// "shared" (non-atomically when Atomic is false).
+std::unique_ptr<Function> buildWriter(MemOrder Ord) {
+  auto F = std::make_unique<Function>();
+  F->Name = "writer";
+  F->Params = {{"p", 8}};
+  Block B;
+  B.Stmts.push_back(stmtExpr(mkStore(8, mkAddrGlobal("shared"),
+                                     mkConstInt(intU64(), 1), Ord)));
+  B.Stmts.push_back(stmtReturn(nullptr));
+  F->Blocks.push_back(std::move(B));
+  return F;
+}
+
+std::unique_ptr<Function> buildSpawnTwoWritersMain() {
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"t1", 4}, {"t2", 4}};
+  Block B;
+  for (const char *Slot : {"t1", "t2"}) {
+    std::vector<ExprPtr> SpawnArgs;
+    SpawnArgs.push_back(mkAddrGlobal("writer"));
+    SpawnArgs.push_back(mkNullPtr());
+    B.Stmts.push_back(stmtExpr(mkStore(
+        4, mkAddrLocal(Slot),
+        mkCall(mkAddrGlobal("rc_spawn"), std::move(SpawnArgs)))));
+  }
+  for (const char *Slot : {"t1", "t2"}) {
+    std::vector<ExprPtr> JoinArgs;
+    JoinArgs.push_back(mkUse(4, mkAddrLocal(Slot)));
+    B.Stmts.push_back(
+        stmtExpr(mkCall(mkAddrGlobal("rc_join"), std::move(JoinArgs))));
+  }
+  B.Stmts.push_back(stmtReturn(mkUse(8, mkAddrGlobal("shared"))));
+  Main->Blocks.push_back(std::move(B));
+  return Main;
+}
+
+} // namespace
+
+TEST(Interp, NonAtomicRacingWritesAreUB) {
+  Program P;
+  GlobalDef G;
+  G.Name = "shared";
+  G.Size = 8;
+  G.HasInit = true;
+  G.Init = RtVal::fromInt(intU64(), 0);
+  P.Globals.push_back(G);
+  P.Functions["writer"] = buildWriter(MemOrder::NonAtomic);
+  P.Functions["main"] = buildSpawnTwoWritersMain();
+
+  // A race is a property of some interleaving; our detector flags the
+  // unsynchronized conflict on whichever schedule the seed produces.
+  bool SawRace = false;
+  for (uint64_t Seed = 0; Seed < 32 && !SawRace; ++Seed) {
+    Machine M(P, Seed);
+    ExecResult R = M.run("main", {});
+    if (R.C == ExecResult::Code::UB &&
+        R.Message.find("data race") != std::string::npos)
+      SawRace = true;
+  }
+  EXPECT_TRUE(SawRace);
+}
+
+TEST(Interp, AtomicWritesDoNotRace) {
+  Program P;
+  GlobalDef G;
+  G.Name = "shared";
+  G.Size = 8;
+  G.HasInit = true;
+  G.Init = RtVal::fromInt(intU64(), 0);
+  P.Globals.push_back(G);
+  P.Functions["writer"] = buildWriter(MemOrder::SeqCst);
+  P.Functions["main"] = buildSpawnTwoWritersMain();
+
+  for (uint64_t Seed = 0; Seed < 16; ++Seed) {
+    Machine M(P, Seed);
+    ExecResult R = M.run("main", {});
+    ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Message;
+    EXPECT_EQ(R.MainRet.asUnsigned(), 1u);
+  }
+}
+
+TEST(Interp, JoinSynchronizesNonAtomicAccess) {
+  // main writes non-atomically after joining the writer: no race.
+  Program P;
+  GlobalDef G;
+  G.Name = "shared";
+  G.Size = 8;
+  G.HasInit = true;
+  G.Init = RtVal::fromInt(intU64(), 0);
+  P.Globals.push_back(G);
+  P.Functions["writer"] = buildWriter(MemOrder::NonAtomic);
+
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"t1", 4}};
+  Block B;
+  std::vector<ExprPtr> SpawnArgs;
+  SpawnArgs.push_back(mkAddrGlobal("writer"));
+  SpawnArgs.push_back(mkNullPtr());
+  B.Stmts.push_back(stmtExpr(
+      mkStore(4, mkAddrLocal("t1"),
+              mkCall(mkAddrGlobal("rc_spawn"), std::move(SpawnArgs)))));
+  std::vector<ExprPtr> JoinArgs;
+  JoinArgs.push_back(mkUse(4, mkAddrLocal("t1")));
+  B.Stmts.push_back(
+      stmtExpr(mkCall(mkAddrGlobal("rc_join"), std::move(JoinArgs))));
+  B.Stmts.push_back(stmtReturn(mkUse(8, mkAddrGlobal("shared"))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+
+  for (uint64_t Seed = 0; Seed < 16; ++Seed) {
+    Machine M(P, Seed);
+    ExecResult R = M.run("main", {});
+    ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Message;
+    EXPECT_EQ(R.MainRet.asUnsigned(), 1u);
+  }
+}
+
+TEST(Interp, CasSucceedsAndFails) {
+  // main: atom=0 (global); exp=0; if CAS(&atom,&exp,1) then CAS again (which
+  // must fail and write the current value 1 into exp); return exp.
+  Program P;
+  GlobalDef G;
+  G.Name = "atom";
+  G.Size = 4;
+  G.HasInit = true;
+  G.Init = RtVal::fromInt(intU32(), 0);
+  P.Globals.push_back(G);
+
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"exp", 4}, {"ok", 4}};
+  Block B;
+  B.Stmts.push_back(
+      stmtExpr(mkStore(4, mkAddrLocal("exp"), mkConstInt(intU32(), 0))));
+  B.Stmts.push_back(stmtExpr(mkStore(
+      4, mkAddrLocal("ok"),
+      mkCAS(4, mkAddrGlobal("atom"), mkAddrLocal("exp"),
+            mkConstInt(intU32(), 1)))));
+  // ok must be 1; assert it.
+  {
+    std::vector<ExprPtr> Args;
+    Args.push_back(mkUse(4, mkAddrLocal("ok")));
+    B.Stmts.push_back(
+        stmtExpr(mkCall(mkAddrGlobal("rc_assert"), std::move(Args))));
+  }
+  // Second CAS with exp=0 must fail and write 1 into exp.
+  B.Stmts.push_back(stmtExpr(mkStore(
+      4, mkAddrLocal("ok"),
+      mkCAS(4, mkAddrGlobal("atom"), mkAddrLocal("exp"),
+            mkConstInt(intU32(), 7)))));
+  {
+    std::vector<ExprPtr> Args;
+    Args.push_back(mkUnOp(UnOpKind::LogicalNot, intI32(),
+                          mkUse(4, mkAddrLocal("ok"))));
+    B.Stmts.push_back(
+        stmtExpr(mkCall(mkAddrGlobal("rc_assert"), std::move(Args))));
+  }
+  B.Stmts.push_back(stmtReturn(mkUse(4, mkAddrLocal("exp"))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+
+  Machine M(P);
+  ExecResult R = M.run("main", {});
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.MainRet.asUnsigned(), 1u);
+}
+
+TEST(Interp, SpinlockMutualExclusionUnderManySchedules) {
+  // lock: while (!CAS(&lock, &exp0, 1)) { exp0 = 0; }   (expected resets)
+  // Two workers each increment a non-atomic counter inside the lock.
+  Program P;
+  for (const char *Name : {"lock", "counter"}) {
+    GlobalDef G;
+    G.Name = Name;
+    G.Size = 4;
+    G.HasInit = true;
+    G.Init = RtVal::fromInt(intU32(), 0);
+    P.Globals.push_back(G);
+  }
+
+  auto W = std::make_unique<Function>();
+  W->Name = "worker";
+  W->Params = {{"p", 8}};
+  W->Locals = {{"exp", 4}};
+  // b0: exp = 0; goto b1
+  Block B0;
+  B0.Stmts.push_back(
+      stmtExpr(mkStore(4, mkAddrLocal("exp"), mkConstInt(intU32(), 0))));
+  B0.Stmts.push_back(stmtGoto(1));
+  // b1: if CAS(&lock,&exp,1) goto b2 else goto b0 (reset expected)
+  Block B1;
+  B1.Stmts.push_back(stmtCondGoto(
+      mkCAS(4, mkAddrGlobal("lock"), mkAddrLocal("exp"),
+            mkConstInt(intU32(), 1)),
+      2, 0));
+  // b2: counter += 1 (non-atomic); release: lock = 0 (SC store); return
+  Block B2;
+  B2.Stmts.push_back(stmtExpr(mkStore(
+      4, mkAddrGlobal("counter"),
+      mkBinOp(BinOpKind::Add, intU32(),
+              mkUse(4, mkAddrGlobal("counter")),
+              mkConstInt(intU32(), 1)))));
+  B2.Stmts.push_back(stmtExpr(mkStore(4, mkAddrGlobal("lock"),
+                                      mkConstInt(intU32(), 0),
+                                      MemOrder::SeqCst)));
+  B2.Stmts.push_back(stmtReturn(nullptr));
+  W->Blocks.push_back(std::move(B0));
+  W->Blocks.push_back(std::move(B1));
+  W->Blocks.push_back(std::move(B2));
+  P.Functions["worker"] = std::move(W);
+
+  auto Main = std::make_unique<Function>();
+  Main->Name = "main";
+  Main->Locals = {{"t1", 4}, {"t2", 4}};
+  Block B;
+  for (const char *Slot : {"t1", "t2"}) {
+    std::vector<ExprPtr> SpawnArgs;
+    SpawnArgs.push_back(mkAddrGlobal("worker"));
+    SpawnArgs.push_back(mkNullPtr());
+    B.Stmts.push_back(stmtExpr(mkStore(
+        4, mkAddrLocal(Slot),
+        mkCall(mkAddrGlobal("rc_spawn"), std::move(SpawnArgs)))));
+  }
+  for (const char *Slot : {"t1", "t2"}) {
+    std::vector<ExprPtr> JoinArgs;
+    JoinArgs.push_back(mkUse(4, mkAddrLocal(Slot)));
+    B.Stmts.push_back(
+        stmtExpr(mkCall(mkAddrGlobal("rc_join"), std::move(JoinArgs))));
+  }
+  B.Stmts.push_back(stmtReturn(mkUse(4, mkAddrGlobal("counter"))));
+  Main->Blocks.push_back(std::move(B));
+  P.Functions["main"] = std::move(Main);
+
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    Machine M(P, Seed);
+    ExecResult R = M.run("main", {});
+    ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Message;
+    EXPECT_EQ(R.MainRet.asUnsigned(), 2u) << "lost update under seed " << Seed;
+  }
+}

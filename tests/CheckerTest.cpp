@@ -1,0 +1,257 @@
+//===- CheckerTest.cpp - Verification-driver behaviors --------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the checker's orchestration: pure facts from `requires` persist
+/// across loop cut points (Γ is unrestricted), unlisted variables implicitly
+/// keep their entry types, nested loops need nested invariants, multiple
+/// returns each prove the postcondition, and spec-level error paths report
+/// usable diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc;
+using namespace rcc::refinedc;
+
+namespace {
+FnResult verify(const std::string &Src, const std::string &Fn,
+                std::string *Err = nullptr) {
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  EXPECT_TRUE(AP != nullptr) << Diags.render(Src);
+  if (!AP)
+    return FnResult();
+  Checker C(*AP, Diags);
+  EXPECT_TRUE(C.buildEnv()) << Diags.render(Src);
+  FnResult R = C.verifyFunction(Fn);
+  if (Err && !R.Verified)
+    *Err = R.renderError(Src);
+  return R;
+}
+} // namespace
+
+TEST(Checker, RequiresFactsSurviveLoopCutPoints) {
+  // The body after the loop uses `8 <= n` from requires; the invariant does
+  // not restate it (Γ is duplicable and persists, Section 5's contexts).
+  std::string Src = R"(
+[[rc::parameters("n: nat", "q: loc")]]
+[[rc::args("q @ &own<uninit<n>>", "n @ int<size_t>")]]
+[[rc::requires("{8 <= n}")]]
+[[rc::ensures("own q : uninit<n>")]]
+void touch_after_loop(unsigned char* p, size_t n) {
+  size_t i = 0;
+  [[rc::exists("k: nat")]]
+  [[rc::inv_vars("i: k @ int<size_t>")]]
+  while (i < 4) {
+    i += 1;
+  }
+  p[7] = 1;  // needs 8 <= n
+}
+)";
+  std::string Err;
+  FnResult R = verify(Src, "touch_after_loop", &Err);
+  EXPECT_TRUE(R.Verified) << Err;
+}
+
+TEST(Checker, UnlistedVariablesKeepEntryTypes) {
+  // `q` is not listed in the invariant; its argument type carries across
+  // the loop implicitly (and must be re-established at every back edge).
+  std::string Src = R"(
+[[rc::parameters("n: nat", "q: loc")]]
+[[rc::args("q @ &own<uninit<16>>", "n @ int<size_t>")]]
+[[rc::ensures("own q : uninit<16>")]]
+void busy(unsigned char* p, size_t n) {
+  size_t i = 0;
+  [[rc::exists("k: nat")]]
+  [[rc::inv_vars("i: k @ int<size_t>")]]
+  while (i < n) {
+    i += 1;
+  }
+  p[0] = 1;
+}
+)";
+  std::string Err;
+  FnResult R = verify(Src, "busy", &Err);
+  EXPECT_TRUE(R.Verified) << Err;
+}
+
+TEST(Checker, NestedLoopsWithInvariants) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::requires("{n <= 100}")]]
+[[rc::exists("r: nat")]]
+[[rc::returns("r @ int<size_t>")]]
+size_t grid(size_t n) {
+  size_t total = 0;
+  size_t i = 0;
+  [[rc::exists("k: nat", "t: nat")]]
+  [[rc::inv_vars("i: k @ int<size_t>", "total: t @ int<size_t>")]]
+  [[rc::constraints("{t <= k}", "{k <= n}")]]
+  while (i < n) {
+    size_t j = 0;
+    // The inner invariant must carry everything the outer re-proof needs
+    // about i and total (existentials do not scope across cut points).
+    [[rc::exists("k2: nat", "ki: nat", "ti: nat")]]
+    [[rc::inv_vars("j: k2 @ int<size_t>", "i: ki @ int<size_t>",
+                   "total: ti @ int<size_t>")]]
+    [[rc::constraints("{ti <= ki}", "{ki < n}", "{k2 <= n}")]]
+    while (j < n) {
+      j += 1;
+    }
+    i += 1;
+    total += 1;
+  }
+  return total;
+}
+)";
+  std::string Err;
+  FnResult R = verify(Src, "grid", &Err);
+  EXPECT_TRUE(R.Verified) << Err;
+}
+
+TEST(Checker, MultipleReturnsEachProveThePostcondition) {
+  std::string Src = R"(
+[[rc::parameters("a: nat", "b: nat")]]
+[[rc::args("a @ int<size_t>", "b @ int<size_t>")]]
+[[rc::exists("m: nat")]]
+[[rc::returns("m @ int<size_t>")]]
+[[rc::ensures("{a <= m}", "{b <= m}")]]
+size_t maxsz(size_t a, size_t b) {
+  if (a < b) return b;
+  return a;
+}
+)";
+  std::string Err;
+  FnResult R = verify(Src, "maxsz", &Err);
+  EXPECT_TRUE(R.Verified) << Err;
+}
+
+TEST(Checker, VerifyAllCoversAnnotatedBodies) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n} @ int<size_t>")]]
+size_t idf(size_t x) { return x; }
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n + 1} @ int<size_t>")]]
+size_t succf(size_t x) { return x + 1; }
+
+int main() { return (int)succf(idf(1)); }
+)";
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  ASSERT_TRUE(AP != nullptr);
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  std::vector<FnResult> Rs = C.verifyAll();
+  ASSERT_EQ(Rs.size(), 2u) << "main is unannotated and must be skipped";
+  for (const FnResult &R : Rs)
+    EXPECT_TRUE(R.Verified) << R.Name;
+}
+
+TEST(Checker, SpecArityMismatchIsReported) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>", "n @ int<size_t>")]]
+[[rc::returns("{n} @ int<size_t>")]]
+size_t one_arg(size_t x) { return x; }
+)";
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  ASSERT_TRUE(AP != nullptr);
+  Checker C(*AP, Diags);
+  EXPECT_FALSE(C.buildEnv());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Checker, UnknownFunctionAndMissingSpec) {
+  std::string Src = "int plain(int x) { return x; }";
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  ASSERT_TRUE(AP != nullptr);
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  EXPECT_FALSE(C.verifyFunction("nope").Verified);
+  FnResult R = C.verifyFunction("plain");
+  EXPECT_FALSE(R.Verified);
+  EXPECT_NE(R.Error.find("no RefinedC specification"), std::string::npos);
+}
+
+TEST(Checker, RenderErrorContainsContextAndLocation) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n} @ int<size_t>")]]
+size_t wrong(size_t x) {
+  return x + 1;
+}
+)";
+  std::string Err;
+  FnResult R = verify(Src, "wrong", &Err);
+  ASSERT_FALSE(R.Verified);
+  EXPECT_NE(Err.find("Verification of `wrong` failed!"), std::string::npos);
+  EXPECT_NE(Err.find("Location:"), std::string::npos);
+  EXPECT_NE(Err.find("return x + 1;"), std::string::npos)
+      << "the offending source line is echoed";
+  EXPECT_NE(Err.find("context"), std::string::npos);
+}
+
+TEST(Checker, CallerSeesCalleeEnsuresFacts) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::exists("m: nat")]]
+[[rc::returns("m @ int<size_t>")]]
+[[rc::ensures("{n <= m}")]]
+size_t at_least(size_t x) { return x; }
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::exists("r: nat")]]
+[[rc::returns("r @ int<size_t>")]]
+[[rc::ensures("{n <= r + 1}")]]
+size_t client(size_t x) {
+  return at_least(x);
+}
+)";
+  std::string Err;
+  FnResult R = verify(Src, "client", &Err);
+  EXPECT_TRUE(R.Verified) << Err;
+}
+
+TEST(Checker, StatsAreMonotoneInProgramSize) {
+  auto Count = [](int Copies) {
+    std::string Src;
+    for (int I = 0; I < Copies; ++I) {
+      std::string N = std::to_string(I);
+      Src += "[[rc::parameters(\"n: nat\")]]\n"
+             "[[rc::args(\"n @ int<size_t>\")]]\n"
+             "[[rc::returns(\"{n}\" \" @ int<size_t>\")]]\n"
+             "size_t f" + N + "(size_t x) { return x; }\n";
+    }
+    DiagnosticEngine Diags;
+    auto AP = front::compileSource(Src, Diags);
+    EXPECT_TRUE(AP != nullptr) << Diags.render(Src);
+    Checker C(*AP, Diags);
+    EXPECT_TRUE(C.buildEnv());
+    unsigned Apps = 0;
+    for (const FnResult &R : C.verifyAll()) {
+      EXPECT_TRUE(R.Verified);
+      Apps += R.Stats.RuleApps;
+    }
+    return Apps;
+  };
+  unsigned One = Count(1), Four = Count(4);
+  EXPECT_EQ(Four, 4 * One) << "verification is per-function and modular";
+}

@@ -1,0 +1,361 @@
+//===- FrontendTest.cpp - Front-end unit/integration tests ----------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Interp.h"
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc;
+using namespace rcc::front;
+using namespace rcc::caesium;
+
+namespace {
+std::unique_ptr<AnnotatedProgram> compileOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto AP = compileSource(Src, Diags);
+  EXPECT_TRUE(AP != nullptr) << Diags.render(Src);
+  return AP;
+}
+
+RtVal runMain(const AnnotatedProgram &AP, std::vector<RtVal> Args = {},
+              uint64_t Seed = 0) {
+  Machine M(AP.Prog, Seed);
+  ExecResult R = M.run("main", std::move(Args));
+  EXPECT_TRUE(R.ok()) << R.Message;
+  return R.MainRet;
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokenKinds) {
+  DiagnosticEngine Diags;
+  auto Toks = lexSource("size_t x = 0x1f; // comment\n p->next != NULL",
+                        Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Toks[0].isKeyword("size_t"));
+  EXPECT_TRUE(Toks[1].isIdent());
+  EXPECT_TRUE(Toks[2].isPunct("="));
+  EXPECT_EQ(Toks[3].IntVal, 0x1fu);
+  EXPECT_TRUE(Toks[5].isIdent());
+  EXPECT_TRUE(Toks[6].isPunct("->"));
+}
+
+TEST(Lexer, AttributesAndStrings) {
+  DiagnosticEngine Diags;
+  auto Toks = lexSource("[[rc::field(\"a @ int<size_t>\")]]", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].K, TokKind::AttrOpen);
+  EXPECT_TRUE(Toks[1].isIdent());
+  size_t StrIdx = 0;
+  for (size_t I = 0; I < Toks.size(); ++I)
+    if (Toks[I].is(TokKind::String))
+      StrIdx = I;
+  EXPECT_EQ(Toks[StrIdx].Text, "a @ int<size_t>");
+  EXPECT_EQ(Toks.back().K, TokKind::Eof);
+  EXPECT_EQ(Toks[Toks.size() - 2].K, TokKind::AttrClose);
+}
+
+TEST(Lexer, LocationsTrackLines) {
+  DiagnosticEngine Diags;
+  auto Toks = lexSource("a\nbb\n  c", Diags);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[2].Loc.Line, 3u);
+  EXPECT_EQ(Toks[2].Loc.Col, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Structs, layouts, annotations
+//===----------------------------------------------------------------------===//
+
+TEST(Frontend, StructLayoutAndAnnotations) {
+  auto AP = compileOk(R"(
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+)");
+  ASSERT_TRUE(AP);
+  const StructInfo *SI = AP->structInfo("mem_t");
+  ASSERT_NE(SI, nullptr);
+  EXPECT_EQ(SI->Layout.Size, 16u);
+  ASSERT_EQ(SI->Annots.size(), 1u);
+  EXPECT_EQ(SI->Annots[0].Kind, "refined_by");
+  EXPECT_EQ(SI->Annots[0].Args[0], "a: nat");
+  ASSERT_EQ(SI->Fields.size(), 2u);
+  EXPECT_EQ(SI->Fields[1].Annots[0].Args[0], "&own<uninit<a>>");
+}
+
+TEST(Frontend, TypedefPtrStruct) {
+  auto AP = compileOk(R"(
+typedef struct [[rc::refined_by("s: {gmultiset nat}")]] chunk {
+  [[rc::field("n @ int<size_t>")]] size_t size;
+  [[rc::field("tail @ chunks_t")]] struct chunk* next;
+}* chunks_t;
+)");
+  ASSERT_TRUE(AP);
+  const StructInfo *SI = AP->structInfo("chunk");
+  ASSERT_NE(SI, nullptr);
+  EXPECT_EQ(SI->PtrTypedefName, "chunks_t");
+  EXPECT_EQ(SI->Layout.Size, 16u);
+}
+
+TEST(Frontend, FunctionAnnotationsCollected) {
+  auto AP = compileOk(R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n} @ int<size_t>")]]
+size_t id(size_t n) { return n; }
+)");
+  ASSERT_TRUE(AP);
+  const FnInfo &FI = AP->Fns.at("id");
+  ASSERT_EQ(FI.Annots.size(), 3u);
+  EXPECT_EQ(FI.Annots[0].Kind, "parameters");
+  EXPECT_EQ(FI.Annots[2].Kind, "returns");
+}
+
+TEST(Frontend, LoopAnnotationsAttachToLoopHead) {
+  auto AP = compileOk(R"(
+void f(size_t n) {
+  size_t i = 0;
+  [[rc::exists("k: nat")]]
+  [[rc::inv_vars("i: k @ int<size_t>")]]
+  while (i < n) { i += 1; }
+}
+)");
+  ASSERT_TRUE(AP);
+  const FnInfo &FI = AP->Fns.at("f");
+  ASSERT_EQ(FI.LoopAnnots.size(), 1u);
+  EXPECT_EQ(FI.LoopAnnots[0].size(), 2u);
+  // Some block carries AnnotId 0.
+  const caesium::Function *F = AP->Prog.function("f");
+  ASSERT_NE(F, nullptr);
+  bool Found = false;
+  for (const Block &B : F->Blocks)
+    if (B.AnnotId == 0)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution of compiled programs
+//===----------------------------------------------------------------------===//
+
+TEST(Frontend, ArithmeticAndCalls) {
+  auto AP = compileOk(R"(
+int sq(int x) { return x * x; }
+int main() { return sq(7) + 1; }
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 50);
+}
+
+TEST(Frontend, WhileLoopSum) {
+  auto AP = compileOk(R"(
+int main() {
+  int sum = 0;
+  int i = 0;
+  while (i < 10) { sum += i; i += 1; }
+  return sum;
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 45);
+}
+
+TEST(Frontend, ForLoopAndBreakContinue) {
+  auto AP = compileOk(R"(
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 100; i += 1) {
+    if (i % 2 == 0) continue;
+    if (i > 10) break;
+    sum += i;
+  }
+  return sum;
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(Frontend, ShortCircuitEvaluation) {
+  // The rhs of && must not execute when the lhs is false (otherwise the
+  // division by zero would be UB).
+  auto AP = compileOk(R"(
+int main() {
+  int zero = 0;
+  int ok = 0;
+  if (zero != 0 && 10 / zero > 0) { ok = 1; } else { ok = 2; }
+  return ok;
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 2);
+}
+
+TEST(Frontend, ConditionalExpression) {
+  auto AP = compileOk(R"(
+int main() {
+  int a = 3;
+  return a > 2 ? 10 : 20;
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 10);
+}
+
+TEST(Frontend, GotoAndLabels) {
+  auto AP = compileOk(R"(
+int main() {
+  int x = 0;
+again:
+  x += 1;
+  if (x < 3) goto again;
+  return x;
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 3);
+}
+
+TEST(Frontend, StructFieldAccessThroughPointer) {
+  auto AP = compileOk(R"(
+struct pair { int a; int b; };
+struct pair g;
+int main() {
+  struct pair* p = &g;
+  p->a = 4;
+  p->b = 38;
+  return p->a + p->b;
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 42);
+}
+
+TEST(Frontend, PointerArithmeticAndSizeof) {
+  auto AP = compileOk(R"(
+int main() {
+  unsigned char* p = rc_alloc(16);
+  *(p + 3) = 7;
+  unsigned char* q = p + 3;
+  return *q + (int)sizeof(size_t);
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 15);
+}
+
+TEST(Frontend, FunctionPointerCall) {
+  auto AP = compileOk(R"(
+typedef int binop_t(int, int);
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(binop_t* f, int x, int y) { return f(x, y); }
+int main() { return apply(add, 2, 3) + apply(mul, 2, 3); }
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 11);
+}
+
+TEST(Frontend, ArrayIndexing) {
+  auto AP = compileOk(R"(
+size_t arr[4];
+int main() {
+  for (int i = 0; i < 4; i += 1) { arr[i] = (size_t)(i * i); }
+  return (int)(arr[0] + arr[1] + arr[2] + arr[3]);
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 0 + 1 + 4 + 9);
+}
+
+TEST(Frontend, AtomicBuiltins) {
+  auto AP = compileOk(R"(
+int lock = 0;
+int main() {
+  int expected = 0;
+  int ok = atomic_compare_exchange_strong(&lock, &expected, 1);
+  int v = atomic_load(&lock);
+  atomic_store(&lock, 0);
+  return ok * 10 + v;
+}
+)");
+  ASSERT_TRUE(AP);
+  EXPECT_EQ(runMain(*AP).asSigned(), 11);
+}
+
+TEST(Frontend, UninitializedUseIsCaught) {
+  auto AP = compileOk(R"(
+int main() {
+  int x;
+  return x + 1;
+}
+)");
+  ASSERT_TRUE(AP);
+  Machine M(AP->Prog);
+  ExecResult R = M.run("main", {});
+  EXPECT_EQ(R.C, ExecResult::Code::UB);
+}
+
+TEST(Frontend, CompileErrorsAreReported) {
+  DiagnosticEngine Diags;
+  auto AP = compileSource("int main() { return undeclared_var; }", Diags);
+  EXPECT_EQ(AP, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's Figure 1 allocator, compiled and executed
+//===----------------------------------------------------------------------===//
+
+static const char *AllocSource = R"(
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("{n <= a} @ optional<&own<uninit<n>>, null>")]]
+[[rc::ensures("own p : {n <= a ? a - n : a} @ mem_t")]]
+void* alloc(struct mem_t* d, size_t sz) {
+  if (sz > d->len) return NULL;
+  d->len -= sz;
+  return d->buffer + d->len;
+}
+
+struct mem_t pool;
+
+int main() {
+  pool.len = 64;
+  pool.buffer = rc_alloc(64);
+  unsigned char* p1 = alloc(&pool, 16);
+  unsigned char* p2 = alloc(&pool, 48);
+  unsigned char* p3 = alloc(&pool, 1);
+  rc_assert(p1 != NULL);
+  rc_assert(p2 != NULL);
+  rc_assert(p3 == NULL);
+  p1[0] = 1; p1[15] = 2;
+  p2[0] = 3; p2[47] = 4;
+  return p1[0] + p1[15] + p2[0] + p2[47];
+}
+)";
+
+TEST(Frontend, Figure1AllocCompilesAndRuns) {
+  auto AP = compileOk(AllocSource);
+  ASSERT_TRUE(AP);
+  // Annotations present on alloc.
+  const FnInfo &FI = AP->Fns.at("alloc");
+  EXPECT_EQ(FI.Annots.size(), 4u);
+  EXPECT_EQ(runMain(*AP).asSigned(), 10);
+}

@@ -1,0 +1,255 @@
+//===- SolverPropertyTest.cpp - Property-based solver tests ---------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style sweeps over the pure solvers: soundness of the linear
+/// solver against brute-force evaluation on small domains, exactness of the
+/// truncated-subtraction and division/modulo tightening, and algebraic
+/// properties of the collection normal forms. These guard the solvers that
+/// every verification run leans on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pure/CollectionSolver.h"
+#include "pure/LinearSolver.h"
+#include "pure/Simplify.h"
+#include "pure/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc::pure;
+
+namespace {
+TermRef X() { return mkVar("x", Sort::Nat); }
+TermRef Y() { return mkVar("y", Sort::Nat); }
+
+/// Evaluates a Nat term under an assignment (brute-force reference).
+int64_t evalT(TermRef T, int64_t VX, int64_t VY) {
+  switch (T->kind()) {
+  case TermKind::NatConst:
+  case TermKind::IntConst:
+    return T->num();
+  case TermKind::Var:
+    return T->name() == "x" ? VX : VY;
+  case TermKind::Add:
+    return evalT(T->arg(0), VX, VY) + evalT(T->arg(1), VX, VY);
+  case TermKind::Sub: {
+    int64_t R = evalT(T->arg(0), VX, VY) - evalT(T->arg(1), VX, VY);
+    return R < 0 ? 0 : R; // Nat truncation
+  }
+  case TermKind::Mul:
+    return evalT(T->arg(0), VX, VY) * evalT(T->arg(1), VX, VY);
+  case TermKind::Div: {
+    int64_t D = evalT(T->arg(1), VX, VY);
+    return D == 0 ? 0 : evalT(T->arg(0), VX, VY) / D;
+  }
+  case TermKind::Mod: {
+    int64_t D = evalT(T->arg(1), VX, VY);
+    return D == 0 ? 0 : evalT(T->arg(0), VX, VY) % D;
+  }
+  default:
+    ADD_FAILURE() << "unexpected kind in evalT";
+    return 0;
+  }
+}
+
+bool evalP(TermRef P, int64_t VX, int64_t VY) {
+  switch (P->kind()) {
+  case TermKind::BoolConst:
+    return P->num() != 0;
+  case TermKind::Le:
+    return evalT(P->arg(0), VX, VY) <= evalT(P->arg(1), VX, VY);
+  case TermKind::Lt:
+    return evalT(P->arg(0), VX, VY) < evalT(P->arg(1), VX, VY);
+  case TermKind::Eq:
+    return evalT(P->arg(0), VX, VY) == evalT(P->arg(1), VX, VY);
+  case TermKind::Ne:
+    return evalT(P->arg(0), VX, VY) != evalT(P->arg(1), VX, VY);
+  default:
+    ADD_FAILURE() << "unexpected kind in evalP";
+    return false;
+  }
+}
+
+/// Soundness: if the solver proves Hyp |- Goal, every small model of Hyp
+/// satisfies Goal.
+void checkSound(TermRef Hyp, TermRef Goal) {
+  if (!LinearSolver::prove({Hyp}, Goal))
+    return; // nothing claimed
+  for (int64_t VX = 0; VX <= 12; ++VX) {
+    for (int64_t VY = 0; VY <= 12; ++VY) {
+      if (evalP(Hyp, VX, VY)) {
+        EXPECT_TRUE(evalP(Goal, VX, VY))
+            << "unsound: " << Hyp->str() << " |- " << Goal->str()
+            << " fails at x=" << VX << " y=" << VY;
+      }
+    }
+  }
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Linear solver: soundness sweep
+//===----------------------------------------------------------------------===//
+
+class LinearSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearSweep, SoundOnSmallDomain) {
+  // A deterministic pseudo-random family of hypothesis/goal pairs built
+  // from +, truncated -, constants, and x/y.
+  int Seed = GetParam();
+  auto Pick = [&](int I) {
+    unsigned H = static_cast<unsigned>(Seed * 2654435761u + I * 40503u);
+    return H >> 16;
+  };
+  auto SmallTerm = [&](int I) -> TermRef {
+    switch (Pick(I) % 5) {
+    case 0:
+      return X();
+    case 1:
+      return Y();
+    case 2:
+      return mkNat(Pick(I + 1) % 7);
+    case 3:
+      return mkAdd(X(), mkNat(Pick(I + 2) % 5));
+    default:
+      return mkSub(Y(), mkNat(Pick(I + 3) % 5));
+    }
+  };
+  auto SmallProp = [&](int I) -> TermRef {
+    TermRef A = SmallTerm(I), B = SmallTerm(I + 10);
+    switch (Pick(I + 20) % 4) {
+    case 0:
+      return mkLe(A, B);
+    case 1:
+      return mkLt(A, B);
+    case 2:
+      return mkEq(A, B);
+    default:
+      return mkNe(A, B);
+    }
+  };
+  for (int I = 0; I < 24; ++I)
+    checkSound(SmallProp(I), SmallProp(I + 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearSweep, ::testing::Range(1, 13));
+
+//===----------------------------------------------------------------------===//
+// Targeted tightening properties
+//===----------------------------------------------------------------------===//
+
+TEST(LinearProperties, TruncatedSubExactUnderGuard) {
+  // y <= x  |-  (x - y) + y = x, for the Nat-truncated subtraction.
+  std::vector<TermRef> Facts = {mkLe(Y(), X())};
+  EXPECT_TRUE(
+      LinearSolver::prove(Facts, mkEq(mkAdd(mkSub(X(), Y()), Y()), X())));
+  // Without the guard it must NOT be provable (x=0, y=1 refutes it).
+  EXPECT_FALSE(
+      LinearSolver::prove({}, mkEq(mkAdd(mkSub(X(), Y()), Y()), X())));
+}
+
+TEST(LinearProperties, DivBoundsForConstantDivisor) {
+  // q = x / 2: 2q <= x <= 2q + 1, hence q <= x and x <= 2q + 1.
+  TermRef Q = mkDiv(X(), mkNat(2));
+  EXPECT_TRUE(LinearSolver::prove({}, mkLe(Q, X())));
+  EXPECT_TRUE(LinearSolver::prove(
+      {}, mkLe(X(), mkAdd(mkMul(mkNat(2), Q), mkNat(1)))));
+  // And the binary-search midpoint property: x < y |- x + (y-x)/2 < y.
+  TermRef Mid = mkAdd(X(), mkDiv(mkSub(Y(), X()), mkNat(2)));
+  EXPECT_TRUE(LinearSolver::prove({mkLt(X(), Y())}, mkLt(Mid, Y())));
+  EXPECT_FALSE(LinearSolver::prove({mkLe(X(), Y())}, mkLt(Mid, Y())));
+}
+
+TEST(LinearProperties, SymbolicModBoundUnderPositivity) {
+  TermRef M = mkMod(X(), Y());
+  EXPECT_TRUE(LinearSolver::prove({mkLt(mkNat(0), Y())}, mkLt(M, Y())));
+  EXPECT_FALSE(LinearSolver::prove({}, mkLt(M, Y())))
+      << "without 0 < y the bound is unsound";
+}
+
+TEST(LinearProperties, CongruenceConnectsApplications) {
+  TermRef K = mkVar("k", Sort::Nat);
+  TermRef L = mkVar("l", Sort::Nat);
+  TermRef FK = mkApp("f", Sort::Nat, {K});
+  TermRef FL = mkApp("f", Sort::Nat, {L});
+  EXPECT_TRUE(LinearSolver::prove({mkEq(K, L)}, mkEq(FK, FL)));
+  EXPECT_FALSE(LinearSolver::prove({}, mkEq(FK, FL)));
+}
+
+TEST(LinearProperties, NeSplitDerivesStrictness) {
+  TermRef A = mkVar("a", Sort::Nat), B = mkVar("b", Sort::Nat);
+  std::vector<TermRef> Facts = {mkLe(A, B), mkNe(A, B)};
+  EXPECT_TRUE(LinearSolver::prove(Facts, mkLt(A, B)));
+}
+
+//===----------------------------------------------------------------------===//
+// Collection normal forms
+//===----------------------------------------------------------------------===//
+
+class MSetAlgebra
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MSetAlgebra, UnionIsCommutativeAndAssociativeInNF) {
+  auto [A, B, C] = GetParam();
+  TermRef MA = A == 0 ? mkMEmpty() : mkMSingle(mkNat(A));
+  TermRef MB = B == 0 ? mkVar("m", Sort::MSet) : mkMSingle(mkNat(B));
+  TermRef MC = mkMSingle(mkNat(C));
+  TermRef L = mkMUnion(mkMUnion(MA, MB), MC);
+  TermRef R = mkMUnion(MC, mkMUnion(MB, MA));
+  EXPECT_EQ(normalizeCollection(L, false), normalizeCollection(R, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MSetAlgebra,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 3),
+                                            ::testing::Values(4, 5)));
+
+TEST(Collections, DiffOnlyCancelsContainedParts) {
+  TermRef M = mkVar("m", Sort::MSet);
+  TermRef U = mkMUnion(mkMSingle(mkNat(3)), M);
+  // (({3} ⊎ m) ∖ {3}) normalizes back to m.
+  CollectionNF NF = normalizeCollection(mkMDiff(U, mkMSingle(mkNat(3))),
+                                        /*IsSet=*/false);
+  CollectionNF MN = normalizeCollection(M, false);
+  EXPECT_EQ(NF, MN);
+  // Subtracting something not provably contained stays opaque (no cancel).
+  CollectionNF Opaque = normalizeCollection(
+      mkMDiff(M, mkMSingle(mkNat(3))), /*IsSet=*/false);
+  EXPECT_EQ(Opaque.Atoms.size(), 1u);
+  EXPECT_TRUE(Opaque.Elems.empty());
+}
+
+TEST(Collections, SetSemanticsIsIdempotent) {
+  TermRef S = mkVar("s", Sort::Set);
+  TermRef U = mkSUnion(S, mkSUnion(S, mkSSingle(mkNat(1))));
+  CollectionNF NF = normalizeCollection(U, /*IsSet=*/true);
+  EXPECT_EQ(NF.Atoms.at(S), 1);
+  EXPECT_EQ(NF.Elems.at(mkNat(1)), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Simplifier round-trips
+//===----------------------------------------------------------------------===//
+
+class SimplifyConstFold
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SimplifyConstFold, MatchesSemantics) {
+  auto [A, B] = GetParam();
+  Simplifier S;
+  EXPECT_EQ(S.simplify(mkAdd(mkNat(A), mkNat(B))), mkNat(A + B));
+  EXPECT_EQ(S.simplify(mkSub(mkNat(A), mkNat(B))),
+            mkNat(A >= B ? A - B : 0));
+  EXPECT_EQ(S.simplify(mkMul(mkNat(A), mkNat(B))), mkNat(A * B));
+  EXPECT_EQ(S.simplify(mkLe(mkNat(A), mkNat(B))), mkBool(A <= B));
+  EXPECT_EQ(S.simplify(mkIte(mkBool(A % 2 == 0), mkNat(A), mkNat(B))),
+            mkNat(A % 2 == 0 ? A : B));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, SimplifyConstFold,
+                         ::testing::Combine(::testing::Values(0, 1, 5, 9),
+                                            ::testing::Values(0, 2, 5, 7)));

@@ -1,0 +1,87 @@
+//===- SupportTest.cpp - Unit tests for the support library ---------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Util.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc;
+
+TEST(Diagnostics, CollectsAndRenders) {
+  DiagnosticEngine DE;
+  EXPECT_FALSE(DE.hasErrors());
+  DE.error({3, 5}, "cannot prove side condition");
+  DE.addContext("goal: n <= a");
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.size(), 1u);
+
+  std::string Src = "line one\nline two\nint x = y;\n";
+  std::string Out = DE.render(Src);
+  EXPECT_NE(Out.find("error: 3:5: cannot prove side condition"),
+            std::string::npos);
+  EXPECT_NE(Out.find("int x = y;"), std::string::npos);
+  EXPECT_NE(Out.find("goal: n <= a"), std::string::npos);
+}
+
+TEST(Diagnostics, WarningIsNotError) {
+  DiagnosticEngine DE;
+  DE.warning({1, 1}, "expression may be non-deterministic");
+  EXPECT_FALSE(DE.hasErrors());
+}
+
+TEST(Util, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+}
+
+TEST(Util, Trim) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Util, CountSourceLinesClassifiesAnnotations) {
+  std::string Src = R"(
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+};
+
+[[rc::parameters("a: nat")]]
+[[rc::args("p @ &own<a @ mem_t>")]]
+[[rc::returns("{a} @ int<size_t>")]]
+size_t get(struct mem_t* d) {
+  return d->len;
+}
+)";
+  SourceLineStats S = countSourceLines(Src);
+  EXPECT_EQ(S.FnSpec, 3u);
+  EXPECT_GE(S.StructInv, 2u);
+  EXPECT_EQ(S.Loop, 0u);
+  // struct line, field line, closing brace, fn header, return, closing brace
+  EXPECT_GE(S.Impl, 5u);
+}
+
+TEST(Util, CountSourceLinesLoopAnnotations) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+void f(size_t n) {
+  size_t i = 0;
+  [[rc::exists("k: nat")]]
+  [[rc::inv_vars("i: k @ int<size_t>")]]
+  while (i < n) {
+    i += 1;
+  }
+}
+)";
+  SourceLineStats S = countSourceLines(Src);
+  EXPECT_EQ(S.Loop, 2u);
+  EXPECT_EQ(S.FnSpec, 2u);
+}

@@ -1,0 +1,285 @@
+//===- VerifierNegativeTest.cpp - Programs that must NOT verify -----------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Soundness-side tests: buggy programs and wrong specifications must be
+/// rejected by the verifier, and (where a driver exists) the corresponding
+/// undefined behaviour must be observable on the interpreter — the two
+/// halves of the differential-testing substitute for Iris adequacy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "caesium/Interp.h"
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc;
+using namespace rcc::refinedc;
+
+namespace {
+
+/// Returns the verification error (empty when it unexpectedly verified).
+std::string rejects(const std::string &Src, const std::string &Fn) {
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  EXPECT_TRUE(AP != nullptr) << Diags.render(Src);
+  if (!AP)
+    return "front end failed";
+  Checker C(*AP, Diags);
+  EXPECT_TRUE(C.buildEnv()) << Diags.render(Src);
+  FnResult R = C.verifyFunction(Fn);
+  return R.Verified ? std::string() : R.Error;
+}
+
+bool interpTrapsUB(const std::string &Src, uint64_t Seeds = 16) {
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  if (!AP)
+    return false;
+  for (uint64_t S = 1; S <= Seeds; ++S) {
+    caesium::Machine M(AP->Prog, S);
+    if (M.run("main", {}).C == caesium::ExecResult::Code::UB)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(Negative, MissingBoundsCheckIsRejectedAndTraps) {
+  // alloc without the len check: the uninit split side condition n <= a is
+  // unprovable, and running it overflows the buffer.
+  std::string Src = R"(
+struct [[rc::refined_by("a: nat")]] mem_t {
+  [[rc::field("a @ int<size_t>")]] size_t len;
+  [[rc::field("&own<uninit<a>>")]] unsigned char* buffer;
+};
+
+[[rc::parameters("a: nat", "n: nat", "p: loc")]]
+[[rc::args("p @ &own<a @ mem_t>", "n @ int<size_t>")]]
+[[rc::returns("&own<uninit<n>>")]]
+[[rc::ensures("own p : {a - n} @ mem_t")]]
+void* alloc(struct mem_t* d, size_t sz) {
+  d->len -= sz;
+  return d->buffer + d->len;
+}
+
+struct mem_t pool;
+int main() {
+  pool.len = 8;
+  pool.buffer = rc_alloc(8);
+  unsigned char* p = alloc(&pool, 16);
+  p[0] = 1;
+  return 0;
+}
+)";
+  std::string Err = rejects(Src, "alloc");
+  EXPECT_FALSE(Err.empty());
+  EXPECT_NE(Err.find("side condition"), std::string::npos) << Err;
+  EXPECT_TRUE(interpTrapsUB(Src));
+}
+
+TEST(Negative, UseAfterMoveIsRejected) {
+  // Returning the same owned pointer twice: the second use finds no
+  // ownership.
+  std::string Src = R"(
+[[rc::parameters("n: nat", "q: loc")]]
+[[rc::args("q @ &own<uninit<n>>")]]
+[[rc::returns("q @ &own<uninit<n>>")]]
+[[rc::ensures("own q : uninit<n>")]]
+void* dup(void* p) {
+  return p;
+}
+)";
+  std::string Err = rejects(Src, "dup");
+  EXPECT_FALSE(Err.empty());
+  EXPECT_NE(Err.find("no ownership"), std::string::npos) << Err;
+}
+
+TEST(Negative, ReadingUninitializedMemoryIsRejectedAndTraps) {
+  std::string Src = R"(
+[[rc::parameters("q: loc")]]
+[[rc::args("q @ &own<uninit<8>>")]]
+[[rc::exists("v: nat")]]
+[[rc::returns("v @ int<size_t>")]]
+size_t peek(size_t* p) {
+  return *p;
+}
+
+int main() {
+  size_t x;
+  return (int)peek(&x);
+}
+)";
+  std::string Err = rejects(Src, "peek");
+  EXPECT_NE(Err.find("uninitialized"), std::string::npos) << Err;
+  EXPECT_TRUE(interpTrapsUB(Src));
+}
+
+TEST(Negative, DereferencingPossiblyNullIsRejected) {
+  std::string Src = R"(
+typedef struct
+[[rc::refined_by("s: {gmultiset nat}")]]
+[[rc::ptr_type("slist_t: {s != {[]}} @ optional<&own<...>, null>")]]
+[[rc::exists("v: nat", "tail: {gmultiset nat}")]]
+[[rc::constraints("{s = {[v]} (+) tail}")]]
+snode {
+  [[rc::field("v @ int<size_t>")]] size_t value;
+  [[rc::field("tail @ slist_t")]] struct snode* next;
+}* slist_t;
+
+// No `requires s != {[]}`: dereferencing the head may be NULL.
+[[rc::parameters("s: {gmultiset nat}", "p: loc")]]
+[[rc::args("p @ &own<s @ slist_t>")]]
+[[rc::exists("v: nat")]]
+[[rc::returns("v @ int<size_t>")]]
+[[rc::ensures("own p : s @ slist_t")]]
+[[rc::tactics("multiset_solver")]]
+size_t head_of(slist_t* l) {
+  struct snode* h = *l;
+  return h->value;
+}
+)";
+  std::string Err = rejects(Src, "head_of");
+  EXPECT_NE(Err.find("NULL"), std::string::npos) << Err;
+}
+
+TEST(Negative, WrongPostconditionIsRejected) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n + 2} @ int<size_t>")]]
+size_t inc(size_t x) {
+  return x + 1;
+}
+)";
+  std::string Err = rejects(Src, "inc");
+  EXPECT_NE(Err.find("side condition"), std::string::npos) << Err;
+}
+
+TEST(Negative, LoopWithoutInvariantIsRejected) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{0} @ int<size_t>")]]
+size_t spin(size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    i += 1;
+  }
+  return 0;
+}
+)";
+  std::string Err = rejects(Src, "spin");
+  EXPECT_NE(Err.find("invariant"), std::string::npos) << Err;
+}
+
+TEST(Negative, SignedOverflowIsRejectedAndTraps) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<i32>")]]
+[[rc::exists("r: int")]]
+[[rc::returns("r @ int<i32>")]]
+int bump(int x) {
+  return x + 1;
+}
+
+int main() {
+  return bump(2147483647);
+}
+)";
+  std::string Err = rejects(Src, "bump");
+  EXPECT_NE(Err.find("side condition"), std::string::npos) << Err;
+  EXPECT_TRUE(interpTrapsUB(Src));
+}
+
+TEST(Negative, ReleasingLockWithoutPayloadIsRejected) {
+  // Storing 0 (unlocked) into the lock requires handing the counter back.
+  std::string Src = R"(
+[[rc::global("atomicbool<u32, true,"
+             "own global(counter) : exists c. c @ int<u64>>")]]
+unsigned int lock = 0;
+size_t counter;
+
+[[rc::parameters()]]
+void bogus_unlock(void) {
+  atomic_store(&lock, 0);
+}
+)";
+  std::string Err = rejects(Src, "bogus_unlock");
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Negative, NonAtomicAccessToAtomicLocationIsRejected) {
+  std::string Src = R"(
+[[rc::global("atomicbool<u32, true, true>")]]
+unsigned int flag = 0;
+
+[[rc::parameters()]]
+void poke(void) {
+  flag = 1;  // plain (non-atomic) store to an atomic boolean
+}
+)";
+  std::string Err = rejects(Src, "poke");
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Negative, UnsignedUnderflowIsRejected) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::exists("r: nat")]]
+[[rc::returns("r @ int<size_t>")]]
+size_t dec(size_t x) {
+  return x - 1;  // underflows when x = 0
+}
+)";
+  std::string Err = rejects(Src, "dec");
+  EXPECT_NE(Err.find("side condition"), std::string::npos) << Err;
+}
+
+TEST(Negative, DivisionByPossiblyZeroIsRejected) {
+  std::string Src = R"(
+[[rc::parameters("a: nat", "b: nat")]]
+[[rc::args("a @ int<size_t>", "b @ int<size_t>")]]
+[[rc::exists("r: nat")]]
+[[rc::returns("r @ int<size_t>")]]
+size_t quot(size_t a, size_t b) {
+  return a / b;
+}
+)";
+  std::string Err = rejects(Src, "quot");
+  EXPECT_NE(Err.find("side condition"), std::string::npos) << Err;
+  // With the precondition it verifies.
+  std::string Fixed = R"(
+[[rc::parameters("a: nat", "b: nat")]]
+[[rc::args("a @ int<size_t>", "b @ int<size_t>")]]
+[[rc::requires("{0 < b}")]]
+[[rc::exists("r: nat")]]
+[[rc::returns("r @ int<size_t>")]]
+size_t quot(size_t a, size_t b) {
+  return a / b;
+}
+)";
+  EXPECT_EQ(rejects(Fixed, "quot"), "");
+}
+
+TEST(Negative, ArrayIndexOutOfBoundsIsRejected) {
+  std::string Src = R"(
+[[rc::parameters("xs: {list nat}", "a: loc")]]
+[[rc::args("a @ &own<xs @ array<int<size_t>>>", "{length(xs)} @ int<size_t>")]]
+[[rc::exists("r: nat")]]
+[[rc::returns("r @ int<size_t>")]]
+[[rc::ensures("own a : xs @ array<int<size_t>>")]]
+size_t last_plus_one(size_t* arr, size_t n) {
+  return arr[n];  // one past the end
+}
+)";
+  std::string Err = rejects(Src, "last_plus_one");
+  EXPECT_NE(Err.find("side condition"), std::string::npos) << Err;
+}
