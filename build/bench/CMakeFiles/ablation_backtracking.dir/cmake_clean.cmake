@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backtracking.dir/ablation_backtracking.cpp.o"
+  "CMakeFiles/ablation_backtracking.dir/ablation_backtracking.cpp.o.d"
+  "ablation_backtracking"
+  "ablation_backtracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backtracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_messages.dir/error_messages.cpp.o"
+  "CMakeFiles/error_messages.dir/error_messages.cpp.o.d"
+  "error_messages"
+  "error_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_table.dir/figure7_table.cpp.o"
+  "CMakeFiles/figure7_table.dir/figure7_table.cpp.o.d"
+  "figure7_table"
+  "figure7_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

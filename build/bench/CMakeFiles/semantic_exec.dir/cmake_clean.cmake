@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_exec.dir/semantic_exec.cpp.o"
+  "CMakeFiles/semantic_exec.dir/semantic_exec.cpp.o.d"
+  "semantic_exec"
+  "semantic_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_time.dir/verify_time.cpp.o"
+  "CMakeFiles/verify_time.dir/verify_time.cpp.o.d"
+  "verify_time"
+  "verify_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

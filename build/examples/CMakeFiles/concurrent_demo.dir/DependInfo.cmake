@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/concurrent_demo.cpp" "examples/CMakeFiles/concurrent_demo.dir/concurrent_demo.cpp.o" "gcc" "examples/CMakeFiles/concurrent_demo.dir/concurrent_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/refinedc/CMakeFiles/rcc_refinedc.dir/DependInfo.cmake"
+  "/root/repo/build/src/caesium/CMakeFiles/rcc_caesium.dir/DependInfo.cmake"
+  "/root/repo/build/src/casestudies/CMakeFiles/rcc_casestudies.dir/DependInfo.cmake"
+  "/root/repo/build/src/lithium/CMakeFiles/rcc_lithium.dir/DependInfo.cmake"
+  "/root/repo/build/src/refinedc/CMakeFiles/rcc_rctypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/pure/CMakeFiles/rcc_pure.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rcc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

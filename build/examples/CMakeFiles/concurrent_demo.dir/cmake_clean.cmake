@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_demo.dir/concurrent_demo.cpp.o"
+  "CMakeFiles/concurrent_demo.dir/concurrent_demo.cpp.o.d"
+  "concurrent_demo"
+  "concurrent_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freelist_demo.dir/freelist_demo.cpp.o"
+  "CMakeFiles/freelist_demo.dir/freelist_demo.cpp.o.d"
+  "freelist_demo"
+  "freelist_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freelist_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_tool.dir/verify_tool.cpp.o"
+  "CMakeFiles/verify_tool.dir/verify_tool.cpp.o.d"
+  "verify_tool"
+  "verify_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caesium/Ast.cpp" "src/caesium/CMakeFiles/rcc_caesium.dir/Ast.cpp.o" "gcc" "src/caesium/CMakeFiles/rcc_caesium.dir/Ast.cpp.o.d"
+  "/root/repo/src/caesium/Interp.cpp" "src/caesium/CMakeFiles/rcc_caesium.dir/Interp.cpp.o" "gcc" "src/caesium/CMakeFiles/rcc_caesium.dir/Interp.cpp.o.d"
+  "/root/repo/src/caesium/Layout.cpp" "src/caesium/CMakeFiles/rcc_caesium.dir/Layout.cpp.o" "gcc" "src/caesium/CMakeFiles/rcc_caesium.dir/Layout.cpp.o.d"
+  "/root/repo/src/caesium/Memory.cpp" "src/caesium/CMakeFiles/rcc_caesium.dir/Memory.cpp.o" "gcc" "src/caesium/CMakeFiles/rcc_caesium.dir/Memory.cpp.o.d"
+  "/root/repo/src/caesium/RaceDetector.cpp" "src/caesium/CMakeFiles/rcc_caesium.dir/RaceDetector.cpp.o" "gcc" "src/caesium/CMakeFiles/rcc_caesium.dir/RaceDetector.cpp.o.d"
+  "/root/repo/src/caesium/Value.cpp" "src/caesium/CMakeFiles/rcc_caesium.dir/Value.cpp.o" "gcc" "src/caesium/CMakeFiles/rcc_caesium.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

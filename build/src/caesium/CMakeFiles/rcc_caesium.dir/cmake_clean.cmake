@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_caesium.dir/Ast.cpp.o"
+  "CMakeFiles/rcc_caesium.dir/Ast.cpp.o.d"
+  "CMakeFiles/rcc_caesium.dir/Interp.cpp.o"
+  "CMakeFiles/rcc_caesium.dir/Interp.cpp.o.d"
+  "CMakeFiles/rcc_caesium.dir/Layout.cpp.o"
+  "CMakeFiles/rcc_caesium.dir/Layout.cpp.o.d"
+  "CMakeFiles/rcc_caesium.dir/Memory.cpp.o"
+  "CMakeFiles/rcc_caesium.dir/Memory.cpp.o.d"
+  "CMakeFiles/rcc_caesium.dir/RaceDetector.cpp.o"
+  "CMakeFiles/rcc_caesium.dir/RaceDetector.cpp.o.d"
+  "CMakeFiles/rcc_caesium.dir/Value.cpp.o"
+  "CMakeFiles/rcc_caesium.dir/Value.cpp.o.d"
+  "librcc_caesium.a"
+  "librcc_caesium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_caesium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_casestudies.dir/CaseStudies.cpp.o"
+  "CMakeFiles/rcc_casestudies.dir/CaseStudies.cpp.o.d"
+  "CMakeFiles/rcc_casestudies.dir/Evaluate.cpp.o"
+  "CMakeFiles/rcc_casestudies.dir/Evaluate.cpp.o.d"
+  "librcc_casestudies.a"
+  "librcc_casestudies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcc_casestudies.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rcc_casestudies.
+# This may be replaced when dependencies are built.

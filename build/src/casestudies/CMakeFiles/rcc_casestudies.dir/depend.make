@@ -1,0 +1,2 @@
+# Empty dependencies file for rcc_casestudies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/rcc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/rcc_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/rcc_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/rcc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/rcc_frontend.dir/Parser.cpp.o.d"
+  "librcc_frontend.a"
+  "librcc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

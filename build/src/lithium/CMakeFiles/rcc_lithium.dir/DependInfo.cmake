@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lithium/Engine.cpp" "src/lithium/CMakeFiles/rcc_lithium.dir/Engine.cpp.o" "gcc" "src/lithium/CMakeFiles/rcc_lithium.dir/Engine.cpp.o.d"
+  "/root/repo/src/lithium/Goal.cpp" "src/lithium/CMakeFiles/rcc_lithium.dir/Goal.cpp.o" "gcc" "src/lithium/CMakeFiles/rcc_lithium.dir/Goal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/refinedc/CMakeFiles/rcc_rctypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/pure/CMakeFiles/rcc_pure.dir/DependInfo.cmake"
+  "/root/repo/build/src/caesium/CMakeFiles/rcc_caesium.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_lithium.dir/Engine.cpp.o"
+  "CMakeFiles/rcc_lithium.dir/Engine.cpp.o.d"
+  "CMakeFiles/rcc_lithium.dir/Goal.cpp.o"
+  "CMakeFiles/rcc_lithium.dir/Goal.cpp.o.d"
+  "librcc_lithium.a"
+  "librcc_lithium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_lithium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pure/CollectionSolver.cpp" "src/pure/CMakeFiles/rcc_pure.dir/CollectionSolver.cpp.o" "gcc" "src/pure/CMakeFiles/rcc_pure.dir/CollectionSolver.cpp.o.d"
+  "/root/repo/src/pure/EvarEnv.cpp" "src/pure/CMakeFiles/rcc_pure.dir/EvarEnv.cpp.o" "gcc" "src/pure/CMakeFiles/rcc_pure.dir/EvarEnv.cpp.o.d"
+  "/root/repo/src/pure/LinearSolver.cpp" "src/pure/CMakeFiles/rcc_pure.dir/LinearSolver.cpp.o" "gcc" "src/pure/CMakeFiles/rcc_pure.dir/LinearSolver.cpp.o.d"
+  "/root/repo/src/pure/Simplify.cpp" "src/pure/CMakeFiles/rcc_pure.dir/Simplify.cpp.o" "gcc" "src/pure/CMakeFiles/rcc_pure.dir/Simplify.cpp.o.d"
+  "/root/repo/src/pure/Solver.cpp" "src/pure/CMakeFiles/rcc_pure.dir/Solver.cpp.o" "gcc" "src/pure/CMakeFiles/rcc_pure.dir/Solver.cpp.o.d"
+  "/root/repo/src/pure/Term.cpp" "src/pure/CMakeFiles/rcc_pure.dir/Term.cpp.o" "gcc" "src/pure/CMakeFiles/rcc_pure.dir/Term.cpp.o.d"
+  "/root/repo/src/pure/Unify.cpp" "src/pure/CMakeFiles/rcc_pure.dir/Unify.cpp.o" "gcc" "src/pure/CMakeFiles/rcc_pure.dir/Unify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

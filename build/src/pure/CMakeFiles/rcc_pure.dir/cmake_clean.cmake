@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_pure.dir/CollectionSolver.cpp.o"
+  "CMakeFiles/rcc_pure.dir/CollectionSolver.cpp.o.d"
+  "CMakeFiles/rcc_pure.dir/EvarEnv.cpp.o"
+  "CMakeFiles/rcc_pure.dir/EvarEnv.cpp.o.d"
+  "CMakeFiles/rcc_pure.dir/LinearSolver.cpp.o"
+  "CMakeFiles/rcc_pure.dir/LinearSolver.cpp.o.d"
+  "CMakeFiles/rcc_pure.dir/Simplify.cpp.o"
+  "CMakeFiles/rcc_pure.dir/Simplify.cpp.o.d"
+  "CMakeFiles/rcc_pure.dir/Solver.cpp.o"
+  "CMakeFiles/rcc_pure.dir/Solver.cpp.o.d"
+  "CMakeFiles/rcc_pure.dir/Term.cpp.o"
+  "CMakeFiles/rcc_pure.dir/Term.cpp.o.d"
+  "CMakeFiles/rcc_pure.dir/Unify.cpp.o"
+  "CMakeFiles/rcc_pure.dir/Unify.cpp.o.d"
+  "librcc_pure.a"
+  "librcc_pure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_pure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

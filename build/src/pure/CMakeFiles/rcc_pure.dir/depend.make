@@ -1,0 +1,2 @@
+# Empty dependencies file for rcc_pure.
+# This may be replaced when dependencies are built.

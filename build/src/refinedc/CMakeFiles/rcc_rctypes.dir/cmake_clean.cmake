@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_rctypes.dir/SpecParser.cpp.o"
+  "CMakeFiles/rcc_rctypes.dir/SpecParser.cpp.o.d"
+  "CMakeFiles/rcc_rctypes.dir/Types.cpp.o"
+  "CMakeFiles/rcc_rctypes.dir/Types.cpp.o.d"
+  "librcc_rctypes.a"
+  "librcc_rctypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_rctypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rcc_rctypes.
+# This may be replaced when dependencies are built.

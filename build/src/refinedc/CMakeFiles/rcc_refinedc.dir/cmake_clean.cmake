@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_refinedc.dir/Checker.cpp.o"
+  "CMakeFiles/rcc_refinedc.dir/Checker.cpp.o.d"
+  "CMakeFiles/rcc_refinedc.dir/ProofChecker.cpp.o"
+  "CMakeFiles/rcc_refinedc.dir/ProofChecker.cpp.o.d"
+  "CMakeFiles/rcc_refinedc.dir/Rules.cpp.o"
+  "CMakeFiles/rcc_refinedc.dir/Rules.cpp.o.d"
+  "CMakeFiles/rcc_refinedc.dir/RulesOps.cpp.o"
+  "CMakeFiles/rcc_refinedc.dir/RulesOps.cpp.o.d"
+  "CMakeFiles/rcc_refinedc.dir/RulesSubsume.cpp.o"
+  "CMakeFiles/rcc_refinedc.dir/RulesSubsume.cpp.o.d"
+  "librcc_refinedc.a"
+  "librcc_refinedc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_refinedc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

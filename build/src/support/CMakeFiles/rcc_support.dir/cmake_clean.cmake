@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/rcc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/rcc_support.dir/Util.cpp.o"
+  "CMakeFiles/rcc_support.dir/Util.cpp.o.d"
+  "librcc_support.a"
+  "librcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caesium.dir/CaesiumTest.cpp.o"
+  "CMakeFiles/test_caesium.dir/CaesiumTest.cpp.o.d"
+  "test_caesium"
+  "test_caesium.pdb"
+  "test_caesium[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caesium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

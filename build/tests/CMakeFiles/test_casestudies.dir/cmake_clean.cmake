@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_casestudies.dir/CaseStudiesTest.cpp.o"
+  "CMakeFiles/test_casestudies.dir/CaseStudiesTest.cpp.o.d"
+  "test_casestudies"
+  "test_casestudies.pdb"
+  "test_casestudies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

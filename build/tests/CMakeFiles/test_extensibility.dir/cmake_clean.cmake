@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensibility.dir/ExtensibilityTest.cpp.o"
+  "CMakeFiles/test_extensibility.dir/ExtensibilityTest.cpp.o.d"
+  "test_extensibility"
+  "test_extensibility.pdb"
+  "test_extensibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_negative.dir/FrontendNegativeTest.cpp.o"
+  "CMakeFiles/test_frontend_negative.dir/FrontendNegativeTest.cpp.o.d"
+  "test_frontend_negative"
+  "test_frontend_negative.pdb"
+  "test_frontend_negative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

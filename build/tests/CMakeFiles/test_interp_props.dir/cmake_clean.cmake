@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_props.dir/InterpPropertyTest.cpp.o"
+  "CMakeFiles/test_interp_props.dir/InterpPropertyTest.cpp.o.d"
+  "test_interp_props"
+  "test_interp_props.pdb"
+  "test_interp_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lithium.dir/LithiumTest.cpp.o"
+  "CMakeFiles/test_lithium.dir/LithiumTest.cpp.o.d"
+  "test_lithium"
+  "test_lithium.pdb"
+  "test_lithium[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lithium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

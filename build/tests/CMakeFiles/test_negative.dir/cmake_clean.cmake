@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negative.dir/VerifierNegativeTest.cpp.o"
+  "CMakeFiles/test_negative.dir/VerifierNegativeTest.cpp.o.d"
+  "test_negative"
+  "test_negative.pdb"
+  "test_negative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

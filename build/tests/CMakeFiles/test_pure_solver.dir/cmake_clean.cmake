@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pure_solver.dir/PureSolverTest.cpp.o"
+  "CMakeFiles/test_pure_solver.dir/PureSolverTest.cpp.o.d"
+  "test_pure_solver"
+  "test_pure_solver.pdb"
+  "test_pure_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pure_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

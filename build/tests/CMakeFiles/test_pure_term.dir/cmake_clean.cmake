@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pure_term.dir/PureTermTest.cpp.o"
+  "CMakeFiles/test_pure_term.dir/PureTermTest.cpp.o.d"
+  "test_pure_term"
+  "test_pure_term.pdb"
+  "test_pure_term[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pure_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refinedc_alloc.dir/RefinedCAllocTest.cpp.o"
+  "CMakeFiles/test_refinedc_alloc.dir/RefinedCAllocTest.cpp.o.d"
+  "test_refinedc_alloc"
+  "test_refinedc_alloc.pdb"
+  "test_refinedc_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refinedc_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

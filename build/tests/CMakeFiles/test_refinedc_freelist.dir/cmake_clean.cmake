@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refinedc_freelist.dir/RefinedCFreelistTest.cpp.o"
+  "CMakeFiles/test_refinedc_freelist.dir/RefinedCFreelistTest.cpp.o.d"
+  "test_refinedc_freelist"
+  "test_refinedc_freelist.pdb"
+  "test_refinedc_freelist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refinedc_freelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_props.dir/SolverPropertyTest.cpp.o"
+  "CMakeFiles/test_solver_props.dir/SolverPropertyTest.cpp.o.d"
+  "test_solver_props"
+  "test_solver_props.pdb"
+  "test_solver_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

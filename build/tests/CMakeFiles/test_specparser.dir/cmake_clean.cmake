@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specparser.dir/SpecParserTest.cpp.o"
+  "CMakeFiles/test_specparser.dir/SpecParserTest.cpp.o.d"
+  "test_specparser"
+  "test_specparser.pdb"
+  "test_specparser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specparser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

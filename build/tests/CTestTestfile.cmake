@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_pure_term[1]_include.cmake")
+include("/root/repo/build/tests/test_pure_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_caesium[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_refinedc_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_refinedc_freelist[1]_include.cmake")
+include("/root/repo/build/tests/test_casestudies[1]_include.cmake")
+include("/root/repo/build/tests/test_lithium[1]_include.cmake")
+include("/root/repo/build/tests/test_specparser[1]_include.cmake")
+include("/root/repo/build/tests/test_types[1]_include.cmake")
+include("/root/repo/build/tests/test_negative[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_props[1]_include.cmake")
+include("/root/repo/build/tests/test_extensibility[1]_include.cmake")
+include("/root/repo/build/tests/test_interp_props[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend_negative[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
