@@ -66,7 +66,7 @@ static bool verify(const char *Src, const char *Label) {
     printf("%s: spec errors\n%s", Label, Diags.render(Src).c_str());
     return false;
   }
-  FnResult R = C.verifyFunction("alloc");
+  FnResult R = C.verifyFunction("alloc", {});
   if (R.Verified) {
     printf("%s: verified (%u rule applications, %u/%u side conditions "
            "auto/manual)\n",

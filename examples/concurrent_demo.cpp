@@ -57,7 +57,7 @@ int main() {
   if (!Checker.buildEnv())
     return 1;
   for (const char *Fn : {"spin_lock", "spin_unlock", "shared_inc"}) {
-    refinedc::FnResult R = Checker.verifyFunction(Fn);
+    refinedc::FnResult R = Checker.verifyFunction(Fn, {});
     if (!R.Verified) {
       printf("%s", R.renderError(CS->Source).c_str());
       return 1;
@@ -90,7 +90,7 @@ int main() {
   refinedc::Checker C2(*AP2, D2);
   if (!C2.buildEnv())
     return 1;
-  refinedc::FnResult R2 = C2.verifyFunction("racy_inc");
+  refinedc::FnResult R2 = C2.verifyFunction("racy_inc", {});
   printf("\nracy_inc without a lock: verification %s (as it must: the "
          "counter is not owned)\n",
          R2.Verified ? "UNEXPECTEDLY SUCCEEDED" : "rejected");

@@ -91,7 +91,7 @@ int main() {
     printf("%s", Diags.render(Source).c_str());
     return 1;
   }
-  refinedc::FnResult R = Checker.verifyFunction("rc_free");
+  refinedc::FnResult R = Checker.verifyFunction("rc_free", {});
   if (!R.Verified) {
     printf("%s", R.renderError(Source).c_str());
     return 1;

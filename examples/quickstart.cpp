@@ -76,7 +76,7 @@ int main() {
   }
 
   // 3. Verify alloc against its specification (Lithium proof search).
-  refinedc::FnResult R = Checker.verifyFunction("alloc");
+  refinedc::FnResult R = Checker.verifyFunction("alloc", {});
   if (!R.Verified) {
     printf("%s", R.renderError(Source).c_str());
     return 1;

@@ -12,6 +12,8 @@
 ///
 ///   --stats        print per-function rule/side-condition statistics
 ///   --no-recheck   skip the independent derivation replay
+///   --jobs=N       run N verification jobs concurrently (0 = all cores)
+///   --format=json  print the ProgramResult as JSON instead of text
 ///   --run[=fn]     additionally execute `fn` (default main) afterwards
 ///
 //===----------------------------------------------------------------------===//
@@ -19,9 +21,9 @@
 #include "caesium/Interp.h"
 #include "frontend/Frontend.h"
 #include "refinedc/Checker.h"
-#include "refinedc/ProofChecker.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -31,7 +33,8 @@ using namespace rcc;
 int main(int argc, char **argv) {
   std::string Path;
   std::vector<std::string> Functions;
-  bool Stats = false, Recheck = true;
+  bool Stats = false, Recheck = true, Json = false;
+  unsigned Jobs = 1;
   std::string RunFn;
 
   for (int I = 1; I < argc; ++I) {
@@ -40,6 +43,10 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (A == "--no-recheck")
       Recheck = false;
+    else if (A.rfind("--jobs=", 0) == 0)
+      Jobs = static_cast<unsigned>(atoi(A.c_str() + 7));
+    else if (A == "--format=json")
+      Json = true;
     else if (A == "--run")
       RunFn = "main";
     else if (A.rfind("--run=", 0) == 0)
@@ -51,8 +58,8 @@ int main(int argc, char **argv) {
   }
   if (Path.empty()) {
     fprintf(stderr,
-            "usage: verify_tool [--stats] [--no-recheck] [--run[=fn]] "
-            "<file.c> [function...]\n");
+            "usage: verify_tool [--stats] [--no-recheck] [--jobs=N] "
+            "[--format=json] [--run[=fn]] <file.c> [function...]\n");
     return 2;
   }
 
@@ -83,46 +90,45 @@ int main(int argc, char **argv) {
           AP->Fns.at(Name).HasBody)
         Functions.push_back(Name);
 
-  bool AllOk = true;
-  for (const std::string &Fn : Functions) {
-    refinedc::FnResult R = Checker.verifyFunction(Fn);
-    if (!R.Verified) {
-      AllOk = false;
-      printf("[FAIL] %s\n%s\n", Fn.c_str(),
-             R.renderError(Source).c_str());
-      continue;
+  refinedc::VerifyOptions Opts;
+  Opts.Recheck = Recheck;
+  Opts.Jobs = Jobs;
+  refinedc::ProgramResult PR = Checker.verifyFunctions(Functions, Opts);
+
+  bool AllOk = PR.allVerified() && PR.allRechecksOk();
+  if (Json) {
+    printf("%s", PR.toJson().c_str());
+  } else {
+    for (const refinedc::FnResult &R : PR.Fns) {
+      if (!R.Verified) {
+        printf("[FAIL] %s\n%s\n", R.Name.c_str(),
+               R.renderError(Source).c_str());
+        continue;
+      }
+      std::string Note;
+      if (R.Rechecked)
+        Note = R.RecheckOk ? ", derivation re-checked" : ", RE-CHECK FAILED";
+      printf("[ ok ] %s%s%s\n", R.Name.c_str(),
+             R.Trusted ? " (trusted)" : "", Note.c_str());
+      if (Stats)
+        printf("       %u rule applications (%u distinct), %u evars, "
+               "side conditions %u auto / %u manual\n",
+               R.Stats.RuleApps, (unsigned)R.Stats.RulesUsed.size(),
+               R.EvarsInstantiated, R.Stats.SideCondAuto,
+               R.Stats.SideCondManual);
     }
-    std::string Note;
-    if (Recheck) {
-      std::vector<pure::Lemma> Lemmas;
-      auto It = Checker.env().FnSpecs.find(Fn);
-      if (It != Checker.env().FnSpecs.end())
-        for (const auto &[LN, LP, LL] : It->second->Lemmas)
-          Lemmas.push_back({LN, LP, LL});
-      refinedc::ProofChecker PC(Checker.rules());
-      refinedc::ProofCheckResult P = PC.check(R.Deriv, Lemmas);
-      Note = P.Ok ? ", derivation re-checked" : ", RE-CHECK FAILED";
-      if (!P.Ok)
-        AllOk = false;
-    }
-    printf("[ ok ] %s%s%s\n", Fn.c_str(), R.Trusted ? " (trusted)" : "",
-           Note.c_str());
-    if (Stats)
-      printf("       %u rule applications (%u distinct), %u evars, "
-             "side conditions %u auto / %u manual\n",
-             R.Stats.RuleApps, (unsigned)R.Stats.RulesUsed.size(),
-             R.EvarsInstantiated, R.Stats.SideCondAuto,
-             R.Stats.SideCondManual);
   }
 
   if (!RunFn.empty()) {
     caesium::Machine M(AP->Prog);
     caesium::ExecResult E = M.run(RunFn, {});
-    if (E.ok())
-      printf("[run ] %s() -> %lld\n", RunFn.c_str(),
-             E.MainRet.isInt() ? (long long)E.MainRet.asSigned() : 0LL);
-    else {
-      printf("[run ] %s() FAILED: %s\n", RunFn.c_str(), E.Message.c_str());
+    if (E.ok()) {
+      if (!Json)
+        printf("[run ] %s() -> %lld\n", RunFn.c_str(),
+               E.MainRet.isInt() ? (long long)E.MainRet.asSigned() : 0LL);
+    } else {
+      if (!Json)
+        printf("[run ] %s() FAILED: %s\n", RunFn.c_str(), E.Message.c_str());
       AllOk = false;
     }
   }

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Tier-1 check: configure, build, and run the full test suite.
+# (See ROADMAP.md; CI and pre-merge both run exactly this line.)
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -9,10 +9,9 @@
 #include "caesium/Interp.h"
 #include "frontend/Frontend.h"
 #include "refinedc/Checker.h"
-#include "refinedc/ProofChecker.h"
+#include "support/ThreadPool.h"
 #include "support/Util.h"
 
-#include <chrono>
 #include <sstream>
 
 using namespace rcc;
@@ -33,23 +32,21 @@ Fig7Row rcc::casestudies::evaluateCaseStudy(const CaseStudy &CS,
     return Row;
   }
   Checker C(*AP, Diags);
-  C.Backtracking = Opts.Backtracking;
   if (!C.buildEnv()) {
     Row.Error = "spec: " + Diags.render(CS.Source);
     return Row;
   }
 
+  VerifyOptions VO;
+  VO.Backtracking = Opts.Backtracking;
+  VO.Recheck = Opts.RunProofCheck && !Opts.Backtracking;
+  VO.Jobs = Opts.Jobs;
+  ProgramResult PR = C.verifyFunctions(CS.Functions, VO);
+
   std::set<std::string> Rules;
-  bool AllOk = true;
-  bool AllProofOk = true;
-  auto Start = std::chrono::steady_clock::now();
-  for (const std::string &Fn : CS.Functions) {
-    FnResult R = C.verifyFunction(Fn);
-    if (!R.Verified) {
-      AllOk = false;
-      if (Row.Error.empty())
-        Row.Error = R.renderError(CS.Source);
-    }
+  for (const FnResult &R : PR.Fns) {
+    if (!R.Verified && Row.Error.empty())
+      Row.Error = R.renderError(CS.Source);
     Row.RuleApps += R.Stats.RuleApps;
     for (const std::string &N : R.Stats.RulesUsed)
       Rules.insert(N);
@@ -57,22 +54,10 @@ Fig7Row rcc::casestudies::evaluateCaseStudy(const CaseStudy &CS,
     Row.SideCondManual += R.Stats.SideCondManual;
     Row.EvarsInstantiated += R.EvarsInstantiated;
     Row.BacktrackedSteps += R.BacktrackedSteps;
-    if (Opts.RunProofCheck && R.Verified && !Opts.Backtracking) {
-      std::vector<pure::Lemma> Lemmas;
-      auto SIt = C.env().FnSpecs.find(Fn);
-      if (SIt != C.env().FnSpecs.end())
-        for (const auto &[LN, LP, LL] : SIt->second->Lemmas)
-          Lemmas.push_back({LN, LP, LL});
-      ProofChecker PC(C.rules());
-      if (!PC.check(R.Deriv, Lemmas).Ok)
-        AllProofOk = false;
-    }
   }
-  auto End = std::chrono::steady_clock::now();
-  Row.VerifyMillis =
-      std::chrono::duration<double, std::milli>(End - Start).count();
-  Row.Verified = AllOk;
-  Row.ProofCheckOk = AllOk && AllProofOk;
+  Row.VerifyMillis = PR.WallMillis;
+  Row.Verified = PR.allVerified();
+  Row.ProofCheckOk = Row.Verified && PR.allRechecksOk();
   Row.DistinctRules = static_cast<unsigned>(Rules.size());
 
   SourceLineStats LS = countSourceLines(CS.Source);
@@ -90,9 +75,15 @@ Fig7Row rcc::casestudies::evaluateCaseStudy(const CaseStudy &CS,
 }
 
 std::vector<Fig7Row> rcc::casestudies::evaluateAll(const EvalOptions &Opts) {
-  std::vector<Fig7Row> Rows;
-  for (const CaseStudy &CS : allCaseStudies())
-    Rows.push_back(evaluateCaseStudy(CS, Opts));
+  const std::vector<CaseStudy> &All = allCaseStudies();
+  std::vector<Fig7Row> Rows(All.size());
+  // Parallelism across whole case studies (each has its own Checker
+  // session); inner verification stays serial to avoid oversubscribing.
+  EvalOptions Inner = Opts;
+  Inner.Jobs = 1;
+  ThreadPool Pool(ThreadPool::resolveJobs(Opts.Jobs));
+  Pool.parallelFor(All.size(),
+                   [&](size_t I) { Rows[I] = evaluateCaseStudy(All[I], Inner); });
   return Rows;
 }
 

@@ -55,6 +55,9 @@ struct Fig7Row {
 struct EvalOptions {
   bool Backtracking = false; ///< ablation baseline
   bool RunProofCheck = true;
+  /// Concurrent verification jobs (VerifyOptions::Jobs). evaluateAll
+  /// additionally spreads whole case studies across this many jobs.
+  unsigned Jobs = 1;
 };
 
 /// Verifies all annotated functions of \p CS and aggregates the row.

@@ -36,6 +36,7 @@
 
 #include <map>
 #include <set>
+#include <unordered_set>
 
 namespace rcc::lithium {
 
@@ -55,7 +56,10 @@ struct Rule {
 /// The rule registry: Coq's typeclass database in the paper's implementation.
 class RuleRegistry {
 public:
-  void add(Rule R) { Rules[R.Kind].push_back(std::move(R)); }
+  void add(Rule R) {
+    Names.insert(R.Name);
+    Rules[R.Kind].push_back(std::move(R));
+  }
 
   /// Finds the unique applicable rule (highest priority wins; an unresolved
   /// tie is an ambiguity error — Lithium must never need to choose).
@@ -73,18 +77,16 @@ public:
     return N;
   }
 
-  /// True if a rule with this name is registered (used by the proof
-  /// checker's replay).
-  bool hasRule(const std::string &Name) const {
-    for (const auto &[K, V] : Rules)
-      for (const Rule &R : V)
-        if (R.Name == Name)
-          return true;
-    return false;
-  }
+  /// True if a rule with this name is registered. The proof checker's
+  /// replay queries this once per recorded derivation step, so it is a
+  /// name-index lookup, not a scan over the ~200-rule library.
+  bool hasRule(const std::string &Name) const { return Names.count(Name); }
 
 private:
   std::map<JudgKind, std::vector<Rule>> Rules;
+  /// Name index maintained by add(); keeps hasRule O(1) in the number of
+  /// registered rules.
+  std::unordered_set<std::string> Names;
 };
 
 /// One recorded proof step, for statistics and for replay by the proof

@@ -301,8 +301,15 @@ bool CollectionSolver::prove(
       return false;
     TermRef Concl = Body->arg(1);
 
-    static unsigned FreshId = 0;
-    std::string FreshName = "k!" + std::to_string(++FreshId);
+    // The fresh name must be deterministic for a given goal (a global
+    // counter would make proof output depend on how many goals other
+    // verification jobs processed first): derive it from the binder and
+    // disambiguate against the body's free variables. '!' cannot appear in
+    // user-written identifiers, so only our own nested introductions can
+    // collide, and appending another '!' resolves that.
+    std::string FreshName = Goal->name() + "!";
+    while (containsFreeVar(Body, FreshName))
+      FreshName += "!";
     Sort BSort = static_cast<Sort>(Goal->binderSort());
     TermRef K = mkVar(FreshName, BSort);
     TermRef Guard = substVar(Body->arg(0), Goal->name(), K);

@@ -71,6 +71,7 @@ public:
                     EvarEnv &Env);
 
   Simplifier &simplifier() { return Simp; }
+  const Simplifier &simplifier() const { return Simp; }
   SolverStats &stats() { return Stats; }
   const SolverStats &stats() const { return Stats; }
   void resetStats() { Stats = SolverStats(); }

@@ -134,13 +134,24 @@ size_t TermArena::KeyHash::operator()(const Key &Ky) const {
 TermRef TermArena::make(TermKind K, Sort S, std::string Name, int64_t Num,
                         std::vector<TermRef> Args) {
   Key Ky{K, S, Name, Num, Args};
-  auto It = Unique.find(Ky);
-  if (It != Unique.end())
+  Shard &Sh = Shards[KeyHash()(Ky) % NumShards];
+  std::lock_guard<std::mutex> G(Sh.M);
+  auto It = Sh.Unique.find(Ky);
+  if (It != Sh.Unique.end())
     return It->second;
-  Storage.push_back(Term(K, S, std::move(Name), Num, std::move(Args)));
-  TermRef T = &Storage.back();
-  Unique.emplace(std::move(Ky), T);
+  Sh.Storage.push_back(Term(K, S, std::move(Name), Num, std::move(Args)));
+  TermRef T = &Sh.Storage.back();
+  Sh.Unique.emplace(std::move(Ky), T);
   return T;
+}
+
+size_t TermArena::size() const {
+  size_t N = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> G(Sh.M);
+    N += Sh.Storage.size();
+  }
+  return N;
 }
 
 TermArena &rcc::pure::arena() {

@@ -26,6 +26,7 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -163,13 +164,22 @@ using TermRef = const Term *;
 
 /// Owns and hash-conses terms. All terms created through the same arena with
 /// identical structure are the same pointer.
+///
+/// Thread safety: `make` may be called concurrently from any number of
+/// threads (the parallel verification driver creates terms from every job).
+/// The unique-table is sharded by key hash — structurally equal terms always
+/// land in the same shard, so global pointer equality is preserved while
+/// unrelated creations rarely contend on the same lock. Term storage uses
+/// deques, whose elements never move, so handing out `TermRef`s outside the
+/// lock is safe. Terms are never freed; nothing else about a published Term
+/// is ever mutated.
 class TermArena {
 public:
   TermRef make(TermKind K, Sort S, std::string Name, int64_t Num,
                std::vector<TermRef> Args);
 
   /// Number of distinct terms allocated (for tests / stats).
-  size_t size() const { return Storage.size(); }
+  size_t size() const;
 
 private:
   struct Key {
@@ -187,8 +197,13 @@ private:
     size_t operator()(const Key &Ky) const;
   };
 
-  std::deque<Term> Storage;
-  std::unordered_map<Key, TermRef, KeyHash> Unique;
+  static constexpr size_t NumShards = 32;
+  struct Shard {
+    mutable std::mutex M;
+    std::deque<Term> Storage;
+    std::unordered_map<Key, TermRef, KeyHash> Unique;
+  };
+  Shard Shards[NumShards];
 };
 
 /// The process-wide term arena. All verifier components share one arena so

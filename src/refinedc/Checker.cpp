@@ -7,8 +7,12 @@
 #include "refinedc/Checker.h"
 
 #include "caesium/Ast.h"
+#include "refinedc/FnHash.h"
+#include "refinedc/ProofChecker.h"
+#include "support/ThreadPool.h"
 #include "support/Util.h"
 
+#include <chrono>
 #include <sstream>
 
 using namespace rcc;
@@ -342,7 +346,8 @@ bool Checker::buildEnv() {
 
 std::optional<LoopInv>
 Checker::parseLoopInv(const std::vector<front::RcAnnot> &As,
-                      const SpecScope &BaseScope) {
+                      const SpecScope &BaseScope,
+                      rcc::DiagnosticEngine &Diags) const {
   LoopInv Inv;
   SpecScope Scope = BaseScope;
   for (const front::RcAnnot &A : As) {
@@ -380,7 +385,8 @@ Checker::parseLoopInv(const std::vector<front::RcAnnot> &As,
   return Inv;
 }
 
-FnResult Checker::verifyFunction(const std::string &Name) {
+FnResult Checker::verifyFunction(const std::string &Name,
+                                 const VerifyOptions &Opts) const {
   FnResult Res;
   Res.Name = Name;
 
@@ -395,6 +401,10 @@ FnResult Checker::verifyFunction(const std::string &Name) {
     // check; callers may use the spec.
     Res.Verified = true;
     Res.Trusted = true;
+    if (Opts.Recheck) {
+      Res.Rechecked = true;
+      Res.RecheckOk = true; // nothing to replay
+    }
     return Res;
   }
   auto FIt = AP.Fns.find(Name);
@@ -409,7 +419,11 @@ FnResult Checker::verifyFunction(const std::string &Name) {
     return Res;
   }
 
-  // Configure the solver for this function (rc::tactics, lemmas).
+  // Per-job solver, copied from the session template so user-registered
+  // simplification rules apply, then configured for this function
+  // (rc::tactics, lemmas). Jobs never share a solver: its extra-solver
+  // list, lemma table, and statistics are all per-function state.
+  pure::PureSolver Solver = SolverProto;
   Solver.clearExtraSolvers();
   Solver.clearLemmas();
   for (const std::string &T : Spec->Tactics) {
@@ -418,6 +432,11 @@ FnResult Checker::verifyFunction(const std::string &Name) {
   }
   for (const auto &[LName, LProp, LLines] : Spec->Lemmas)
     Solver.addLemma({LName, LProp, LLines});
+
+  // Per-job diagnostics: loop-invariant parse errors surface through
+  // FnResult::Error, never through the session's DiagnosticEngine (which
+  // is not safe to share between concurrent jobs).
+  rcc::DiagnosticEngine JobDiags;
 
   VerifyCtx C;
   C.AP = &AP;
@@ -442,7 +461,7 @@ FnResult Checker::verifyFunction(const std::string &Name) {
   // Parse loop invariants; unlisted slots implicitly keep their entry types
   // (they must not have changed, which the proof at the cut point checks).
   for (const auto &As : FI.LoopAnnots) {
-    auto Inv = parseLoopInv(As, Scope);
+    auto Inv = parseLoopInv(As, Scope, JobDiags);
     if (!Inv) {
       Res.Error = "failed to parse a loop invariant in '" + Name + "'";
       return Res;
@@ -459,9 +478,9 @@ FnResult Checker::verifyFunction(const std::string &Name) {
   pure::EvarEnv Evars;
   Engine E(Rules, Solver, Evars, Res.Stats, &Res.Deriv);
   E.Ctx = &C;
-  E.BacktrackMode = Backtracking;
-  if (Backtracking)
-    E.MaxStepsOverride = 20000;
+  E.BacktrackMode = Opts.Backtracking;
+  E.MaxStepsOverride =
+      Opts.MaxSteps ? Opts.MaxSteps : (Opts.Backtracking ? 20000u : 0u);
 
   // Seed the initial contexts: argument atoms, local slots, requires.
   for (size_t I = 0; I < Fn->Params.size(); ++I)
@@ -493,9 +512,9 @@ FnResult Checker::verifyFunction(const std::string &Name) {
 
     Engine E2(Rules, Solver, Evars, Res.Stats, &Res.Deriv);
     E2.Ctx = &C;
-    E2.BacktrackMode = Backtracking;
-    if (Backtracking)
-      E2.MaxStepsOverride = 20000;
+    E2.BacktrackMode = Opts.Backtracking;
+    E2.MaxStepsOverride =
+        Opts.MaxSteps ? Opts.MaxSteps : (Opts.Backtracking ? 20000u : 0u);
     E2.Gamma = C.Gamma0;
     // Existentials of the invariant become universals when assuming it.
     std::map<std::string, TermRef> Subst;
@@ -539,17 +558,228 @@ FnResult Checker::verifyFunction(const std::string &Name) {
   }
   Res.Verified = Ok;
   Res.EvarsInstantiated = Evars.numInstantiated();
+
+  // Foundational pass: replay the recorded derivation through the
+  // independent ProofChecker. The backtracking baseline's derivations are
+  // not replayable (rolled-back steps are not recorded as such).
+  if (Opts.Recheck && Res.Verified && !Opts.Backtracking) {
+    std::vector<pure::Lemma> Lemmas;
+    for (const auto &[LN, LP, LL] : Spec->Lemmas)
+      Lemmas.push_back({LN, LP, LL});
+    ProofChecker PC(Rules);
+    Res.Rechecked = true;
+    Res.RecheckOk = PC.check(Res.Deriv, Lemmas).Ok;
+  }
+  if (!Opts.CollectDerivation) {
+    Res.Deriv.Steps.clear();
+    Res.Deriv.Steps.shrink_to_fit();
+  }
   return Res;
 }
 
-std::vector<FnResult> Checker::verifyAll() {
-  std::vector<FnResult> Out;
+uint64_t Checker::fnContentHash(const std::string &Name,
+                                const VerifyOptions &Opts) const {
+  if (!EnvFingerprintValid) {
+    EnvFingerprint = hashSpecEnvironment(AP);
+    EnvFingerprintValid = true;
+  }
+  // Session fingerprint: anything a user extension can mutate between runs
+  // (registered typing rules, simplifier rules) plus every option that
+  // changes the result — Jobs is deliberately excluded, results are
+  // job-count-independent by construction.
+  ContentHasher H;
+  H.mix(static_cast<uint64_t>(Rules.numRules()));
+  for (const auto &R : SolverProto.simplifier().rules())
+    H.mix(R.Name);
+  H.mix(static_cast<uint64_t>(Opts.Recheck))
+      .mix(static_cast<uint64_t>(Opts.Backtracking))
+      .mix(static_cast<uint64_t>(Opts.MaxSteps))
+      .mix(static_cast<uint64_t>(Opts.CollectDerivation));
+  return hashFunctionContent(AP, Name, EnvFingerprint, H.get());
+}
+
+void Checker::invalidateCache() {
+  std::lock_guard<std::mutex> G(CacheM);
+  Cache.clear();
+  EnvFingerprintValid = false;
+}
+
+ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
+                                       const VerifyOptions &Opts) {
+  ProgramResult PR;
+  PR.JobsUsed = ThreadPool::resolveJobs(Opts.Jobs);
+  auto Start = std::chrono::steady_clock::now();
+
+  // Content hashes are computed up front, serially: this forces the lazy
+  // environment fingerprint before any job runs and keeps cache probing
+  // out of the parallel section's hot path.
+  std::vector<uint64_t> Hashes(Names.size());
+  for (size_t I = 0; I < Names.size(); ++I)
+    Hashes[I] = fnContentHash(Names[I], Opts);
+
+  PR.Fns.resize(Names.size());
+  std::vector<char> Hit(Names.size(), 0);
+  {
+    std::lock_guard<std::mutex> G(CacheM);
+    for (size_t I = 0; I < Names.size(); ++I) {
+      auto It = Cache.find(Names[I]);
+      if (It != Cache.end() && It->second.first == Hashes[I]) {
+        PR.Fns[I] = It->second.second;
+        PR.Fns[I].CacheHit = true;
+        Hit[I] = 1;
+      }
+    }
+  }
+
+  ThreadPool Pool(PR.JobsUsed);
+  Pool.parallelFor(Names.size(), [&](size_t I) {
+    if (Hit[I])
+      return;
+    PR.Fns[I] = verifyFunction(Names[I], Opts);
+  });
+
+  {
+    std::lock_guard<std::mutex> G(CacheM);
+    for (size_t I = 0; I < Names.size(); ++I) {
+      if (Hit[I])
+        ++PR.CacheHits;
+      else {
+        ++PR.CacheMisses;
+        FnResult Stored = PR.Fns[I];
+        Stored.CacheHit = false;
+        Cache[Names[I]] = {Hashes[I], std::move(Stored)};
+      }
+    }
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  PR.WallMillis =
+      std::chrono::duration<double, std::milli>(End - Start).count();
+  return PR;
+}
+
+ProgramResult Checker::verifyAll(const VerifyOptions &Opts) {
+  std::vector<std::string> Names;
   for (const auto &[Name, FI] : AP.Fns) {
     if (!Env.FnSpecs.count(Name))
       continue; // unannotated functions (e.g. test mains) are not verified
-    if (!FI.HasBody && !Env.FnSpecs[Name]->TrustMe)
+    if (!FI.HasBody && !Env.FnSpecs.at(Name)->TrustMe)
       continue;
-    Out.push_back(verifyFunction(Name));
+    Names.push_back(Name);
   }
-  return Out;
+  return verifyFunctions(Names, Opts);
+}
+
+// --- Deprecated shims (see Checker.h). They read the deprecated
+// Backtracking member, hence the pragma.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+FnResult Checker::verifyFunction(const std::string &Name) {
+  VerifyOptions Opts;
+  Opts.Backtracking = Backtracking;
+  return static_cast<const Checker *>(this)->verifyFunction(Name, Opts);
+}
+
+std::vector<FnResult> Checker::verifyAll() {
+  VerifyOptions Opts;
+  Opts.Backtracking = Backtracking;
+  return verifyAll(Opts).Fns;
+}
+#pragma GCC diagnostic pop
+
+// --- JSON rendering (verify_tool --format=json) -------------------------
+
+static void jsonEscape(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string ProgramResult::toJson() const {
+  std::string S;
+  char Buf[64];
+  S += "{\n";
+  snprintf(Buf, sizeof(Buf), "  \"jobs\": %u,\n", JobsUsed);
+  S += Buf;
+  snprintf(Buf, sizeof(Buf), "  \"wall_ms\": %.3f,\n", WallMillis);
+  S += Buf;
+  snprintf(Buf, sizeof(Buf), "  \"cache_hits\": %u,\n", CacheHits);
+  S += Buf;
+  snprintf(Buf, sizeof(Buf), "  \"cache_misses\": %u,\n", CacheMisses);
+  S += Buf;
+  S += std::string("  \"all_verified\": ") +
+       (allVerified() ? "true" : "false") + ",\n";
+  S += "  \"functions\": [";
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    const FnResult &R = Fns[I];
+    S += I ? ",\n    {" : "\n    {";
+    S += "\"name\": ";
+    jsonEscape(S, R.Name);
+    S += std::string(", \"verified\": ") + (R.Verified ? "true" : "false");
+    S += std::string(", \"trusted\": ") + (R.Trusted ? "true" : "false");
+    S += std::string(", \"cache_hit\": ") + (R.CacheHit ? "true" : "false");
+    if (!R.Error.empty()) {
+      S += ", \"error\": ";
+      jsonEscape(S, R.Error);
+      snprintf(Buf, sizeof(Buf), ", \"error_line\": %u, \"error_col\": %u",
+               R.ErrorLoc.Line, R.ErrorLoc.Col);
+      S += Buf;
+    }
+    snprintf(Buf, sizeof(Buf), ", \"rule_apps\": %u", R.Stats.RuleApps);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"distinct_rules\": %zu",
+             R.Stats.RulesUsed.size());
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"side_cond_auto\": %u",
+             R.Stats.SideCondAuto);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"side_cond_manual\": %u",
+             R.Stats.SideCondManual);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"goal_steps\": %u", R.Stats.GoalSteps);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"evars_instantiated\": %u",
+             R.EvarsInstantiated);
+    S += Buf;
+    if (R.BacktrackedSteps) {
+      snprintf(Buf, sizeof(Buf), ", \"backtracked_steps\": %u",
+               R.BacktrackedSteps);
+      S += Buf;
+    }
+    snprintf(Buf, sizeof(Buf), ", \"deriv_steps\": %zu",
+             R.Deriv.Steps.size());
+    S += Buf;
+    if (R.Rechecked)
+      S += std::string(", \"recheck_ok\": ") + (R.RecheckOk ? "true" : "false");
+    S += "}";
+  }
+  S += Fns.empty() ? "]\n" : "\n  ]\n";
+  S += "}\n";
+  return S;
 }

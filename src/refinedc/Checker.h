@@ -21,7 +21,9 @@
 #include "lithium/Engine.h"
 #include "refinedc/SpecParser.h"
 
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 namespace rcc::refinedc {
 
@@ -60,6 +62,28 @@ struct VerifyCtx : lithium::VerifyCtxBase {
   }
 };
 
+/// Per-session verification options (the public knobs of the driver API;
+/// everything else about a Checker is fixed once buildEnv() ran).
+struct VerifyOptions {
+  /// Replay every successful derivation through the independent
+  /// ProofChecker and record the outcome in FnResult::RecheckOk.
+  bool Recheck = false;
+  /// Ablation: run the engines in naive-backtracking mode (see Engine).
+  bool Backtracking = false;
+  /// Number of concurrent verification jobs for verifyAll /
+  /// verifyFunctions. 1 = serial; 0 = one job per hardware core. Results
+  /// are byte-identical regardless of the job count (see DESIGN.md,
+  /// "Concurrency model").
+  unsigned Jobs = 1;
+  /// Engine goal-step budget override (0 = the engine default; the
+  /// backtracking baseline defaults to a tight 20k budget).
+  unsigned MaxSteps = 0;
+  /// Keep the recorded Derivation in each FnResult. Turning this off saves
+  /// memory on large programs; rechecking still works (the derivation is
+  /// collected, replayed, and then dropped).
+  bool CollectDerivation = true;
+};
+
 /// Result of verifying one function.
 struct FnResult {
   std::string Name;
@@ -72,12 +96,61 @@ struct FnResult {
   lithium::Derivation Deriv;
   unsigned EvarsInstantiated = 0;
   unsigned BacktrackedSteps = 0; ///< nonzero only in the ablation baseline
+  bool Rechecked = false;  ///< the derivation was replayed (Recheck option)
+  bool RecheckOk = false;  ///< replay verdict; meaningful when Rechecked
+  bool CacheHit = false;   ///< served from the session's result cache
 
   /// Renders the Section 2.1-style error message.
   std::string renderError(const std::string &Source) const;
 };
 
+/// Aggregate result of a whole-program verification run.
+struct ProgramResult {
+  std::vector<FnResult> Fns;
+  double WallMillis = 0.0; ///< wall time of the run (all jobs)
+  unsigned JobsUsed = 1;   ///< resolved job count
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+
+  bool allVerified() const {
+    for (const FnResult &R : Fns)
+      if (!R.Verified)
+        return false;
+    return true;
+  }
+  /// True if every function that was rechecked passed the replay.
+  bool allRechecksOk() const {
+    for (const FnResult &R : Fns)
+      if (R.Rechecked && !R.RecheckOk)
+        return false;
+    return true;
+  }
+  const FnResult *fn(const std::string &Name) const {
+    for (const FnResult &R : Fns)
+      if (R.Name == Name)
+        return &R;
+    return nullptr;
+  }
+  /// Machine-readable rendering (verify_tool --format=json): per-function
+  /// name, verdict, error + location, and engine statistics, plus the
+  /// run-level wall time and cache counters.
+  std::string toJson() const;
+};
+
 /// Whole-program verification driver.
+///
+/// Concurrency model (see DESIGN.md for the full discussion): after
+/// buildEnv() succeeds, a Checker is an immutable verification *session* —
+/// the type environment, rule registry, global atoms, and solver
+/// configuration are shared read-only by all verification jobs, which is
+/// why verifyFunction is const. Each job gets its own PureSolver (copied
+/// from the session's template so user-registered simplification rules
+/// carry over), EvarEnv, Engine, and DiagnosticEngine, so jobs never share
+/// mutable state and per-function results are byte-identical regardless of
+/// Jobs. Session-level results are memoized in a content-hash cache keyed
+/// by the function body, its annotations, its callees' specs, and the
+/// spec-environment fingerprint, so re-running verifyAll after nothing
+/// changed is O(1) per function.
 class Checker {
 public:
   Checker(const front::AnnotatedProgram &AP, rcc::DiagnosticEngine &Diags);
@@ -91,18 +164,45 @@ public:
   /// Builds the type environment from annotations. False on spec errors.
   bool buildEnv();
 
-  /// Verifies one function against its annotations.
+  /// Verifies one function against its annotations. Thread-safe: shares
+  /// only immutable session state, and bypasses the result cache.
+  FnResult verifyFunction(const std::string &Name,
+                          const VerifyOptions &Opts) const;
+
+  /// Verifies the named functions (in the given order) with Opts.Jobs
+  /// concurrent jobs, consulting the session result cache.
+  ProgramResult verifyFunctions(const std::vector<std::string> &Names,
+                                const VerifyOptions &Opts);
+
+  /// Verifies every annotated function with a body (plus trusted
+  /// prototypes' specs); returns the aggregate result.
+  ProgramResult verifyAll(const VerifyOptions &Opts);
+
+  // --- Deprecated pre-session API (PR 1). The VerifyOptions overloads
+  // above replace these; the shims keep out-of-tree callers compiling.
+  [[deprecated("pass VerifyOptions: verifyFunction(Name, {})")]]
   FnResult verifyFunction(const std::string &Name);
-
-  /// Verifies every annotated function; returns per-function results.
+  [[deprecated("use verifyAll(VerifyOptions) and ProgramResult")]]
   std::vector<FnResult> verifyAll();
-
-  TypeEnv &env() { return Env; }
-  const lithium::RuleRegistry &rules() const { return Rules; }
-  pure::PureSolver &solver() { return Solver; }
-
-  /// Ablation: run the engines in naive-backtracking mode (see Engine).
+  /// Ablation flag of the old mutable-driver API.
+  [[deprecated("use VerifyOptions::Backtracking")]]
   bool Backtracking = false;
+
+  const TypeEnv &env() const { return Env; }
+  const lithium::RuleRegistry &rules() const { return Rules; }
+  const pure::PureSolver &solver() const { return SolverProto; }
+
+  /// Mutable access to the session environment / solver template for
+  /// user extensions (ExtensibilityTest registers simplification rules
+  /// this way). Mutating either invalidates the result cache.
+  TypeEnv &env() {
+    invalidateCache();
+    return Env;
+  }
+  pure::PureSolver &solver() {
+    invalidateCache();
+    return SolverProto;
+  }
 
   /// Registered lemma line counts (Figure 7 "Pure" column).
   unsigned pureLines() const { return PureLines; }
@@ -112,15 +212,34 @@ private:
   bool buildFnSpecs();
   bool buildGlobals();
   std::optional<LoopInv> parseLoopInv(const std::vector<front::RcAnnot> &As,
-                                      const SpecScope &Scope);
+                                      const SpecScope &Scope,
+                                      rcc::DiagnosticEngine &Diags) const;
+  /// Content hash of one function's verification problem under Opts; 0 is
+  /// never returned (reserved for "uncacheable").
+  uint64_t fnContentHash(const std::string &Name,
+                         const VerifyOptions &Opts) const;
+  void invalidateCache();
 
   const front::AnnotatedProgram &AP;
   rcc::DiagnosticEngine &Diags;
   TypeEnv Env;
   lithium::RuleRegistry Rules;
-  pure::PureSolver Solver;
+  /// Session solver template: per-job solvers are copies of this, so its
+  /// configuration (user simplification rules) is shared read-only.
+  pure::PureSolver SolverProto;
   ResList GlobalAtoms;
   unsigned PureLines = 0;
+
+  /// Spec-environment fingerprint (struct/typedef/global annotations),
+  /// computed lazily; folded into every function's content hash as the
+  /// conservative "named-type closure" component.
+  mutable uint64_t EnvFingerprint = 0;
+  mutable bool EnvFingerprintValid = false;
+
+  /// Session result cache: function name -> (content hash, result).
+  /// Guarded by CacheM; jobs only touch it at job start/end.
+  std::unordered_map<std::string, std::pair<uint64_t, FnResult>> Cache;
+  std::mutex CacheM;
 };
 
 /// Registers the RefinedC standard library of typing rules (Section 6 and

@@ -321,6 +321,33 @@ template <typename Fn> TypeRef mapTypeTerms(TypeRef T, Fn &&F) {
   UpdRes(N->HFalse);
   return Changed ? TypeRef(N) : T;
 }
+
+/// True if \p Name occurs free in any term position of \p T (respecting the
+/// shadowing of Exists and Array binders).
+bool typeMentionsFreeVar(TypeRef T, const std::string &Name) {
+  if (T->K == TypeKind::Exists && T->Binder == Name)
+    return false;
+  if (T->K == TypeKind::Array && T->ElemBinder == Name)
+    return T->Refn && containsFreeVar(T->Refn, Name);
+  if ((T->Refn && containsFreeVar(T->Refn, Name)) ||
+      (T->Size && containsFreeVar(T->Size, Name)) ||
+      (T->WandLoc && containsFreeVar(T->WandLoc, Name)))
+    return true;
+  for (const TypeRef &C : T->Children)
+    if (typeMentionsFreeVar(C, Name))
+      return true;
+  auto InRes = [&](const ResList &L) {
+    for (const ResAtom &A : L) {
+      if ((A.Subject && containsFreeVar(A.Subject, Name)) ||
+          (A.Prop && containsFreeVar(A.Prop, Name)))
+        return true;
+      if (A.Ty && typeMentionsFreeVar(A.Ty, Name))
+        return true;
+    }
+    return false;
+  };
+  return InRes(T->HTrue) || InRes(T->HFalse);
+}
 } // namespace
 
 TypeRef rcc::refinedc::substTypeVar(TypeRef T, const std::string &Name,
@@ -332,8 +359,15 @@ TypeRef rcc::refinedc::substTypeVar(TypeRef T, const std::string &Name,
     if (T->Binder == Name)
       return T;
     if (containsFreeVar(Repl, T->Binder)) {
-      static unsigned FreshId = 0;
-      std::string Fresh = T->Binder + "^" + std::to_string(++FreshId);
+      // The rename must be deterministic for a given substitution — a
+      // global counter would leak the interleaving of concurrent
+      // verification jobs into rendered types and error messages. '^' is
+      // not a user-identifier character, so appending it until the name is
+      // fresh w.r.t. both the replacement and the body terminates quickly.
+      std::string Fresh = T->Binder + "^";
+      while (containsFreeVar(Repl, Fresh) ||
+             typeMentionsFreeVar(T->Children[0], Fresh))
+        Fresh += "^";
       TermRef FreshVar = mkVar(Fresh, T->BinderSort);
       auto N = std::make_shared<RType>(*T);
       N->Binder = Fresh;

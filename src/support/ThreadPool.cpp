@@ -1,0 +1,104 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace rcc;
+
+unsigned ThreadPool::resolveJobs(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned N = resolveJobs(Threads);
+  Workers.reserve(N - 1);
+  for (unsigned I = 0; I + 1 < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> G(M);
+    Stopping = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runBatch(const std::function<void(size_t)> &Body) {
+  for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < End;
+       I = Next.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      Body(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> G(M);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> L(M);
+  while (true) {
+    WakeCV.wait(L, [&] { return Stopping || Generation != SeenGeneration; });
+    if (Stopping)
+      return;
+    SeenGeneration = Generation;
+    // A worker that wakes after the batch fully drained (the caller already
+    // cleared Body) has nothing to do; the generation is still recorded so
+    // it does not spin.
+    const std::function<void(size_t)> *B = Body;
+    if (!B)
+      continue;
+    ++Active;
+    L.unlock();
+    runBatch(*B);
+    L.lock();
+    if (--Active == 0)
+      DoneCV.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &BodyFn) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    // Serial fast path: run inline, exceptions propagate directly.
+    for (size_t I = 0; I < N; ++I)
+      BodyFn(I);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> G(M);
+    Body = &BodyFn;
+    End = N;
+    Next.store(0, std::memory_order_relaxed);
+    FirstError = nullptr;
+    ++Generation;
+  }
+  WakeCV.notify_all();
+  // The calling thread is a full participant.
+  runBatch(BodyFn);
+  std::exception_ptr Err;
+  {
+    std::unique_lock<std::mutex> L(M);
+    DoneCV.wait(L, [&] {
+      return Active == 0 && Next.load(std::memory_order_relaxed) >= End;
+    });
+    Body = nullptr;
+    Err = FirstError;
+    FirstError = nullptr;
+  }
+  if (Err)
+    std::rethrow_exception(Err);
+}

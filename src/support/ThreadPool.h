@@ -1,0 +1,85 @@
+//===- ThreadPool.h - Work-sharing thread pool -----------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small scatter/gather thread pool for the parallel verification driver.
+/// Verification is embarrassingly parallel at function granularity (the
+/// paper's evaluation verifies every function independently), so the only
+/// primitive needed is an indexed parallel-for: workers (plus the calling
+/// thread) pull indices from a shared atomic counter, so load imbalance
+/// between cheap and expensive functions self-corrects without explicit
+/// work stealing.
+///
+/// Determinism contract: `parallelFor(N, Body)` invokes `Body(I)` exactly
+/// once for every `I < N`, on an unspecified thread and in an unspecified
+/// order. Callers that want deterministic aggregate results must write
+/// `Body(I)`'s output to a slot indexed by `I` and must not share mutable
+/// state between indices (see DESIGN.md, "Concurrency model").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_SUPPORT_THREADPOOL_H
+#define RCC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rcc {
+
+class ThreadPool {
+public:
+  /// Spawns `Threads - 1` workers (the calling thread participates in every
+  /// batch, so `Threads` is the total parallelism). 0 means one thread per
+  /// hardware core.
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total parallelism of this pool (workers + the calling thread).
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs `Body(0) ... Body(N-1)`, each exactly once, distributing indices
+  /// over the pool; blocks until all are done. The first exception thrown by
+  /// any body is rethrown on the calling thread after the batch drains.
+  /// Reentrant calls from inside a body are not supported.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+  /// The number of jobs `Requested` resolves to: 0 means one per hardware
+  /// core (at least 1).
+  static unsigned resolveJobs(unsigned Requested);
+
+private:
+  void workerLoop();
+  void runBatch(const std::function<void(size_t)> &Body);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable WakeCV;  ///< workers wait here for a new batch
+  std::condition_variable DoneCV;  ///< parallelFor waits here for drain
+  const std::function<void(size_t)> *Body = nullptr; ///< guarded by M
+  uint64_t Generation = 0;         ///< batch id; bumped per parallelFor
+  size_t End = 0;                  ///< one past the last index of the batch
+  std::atomic<size_t> Next{0};     ///< next unclaimed index
+  unsigned Active = 0;             ///< workers currently inside a batch
+  bool Stopping = false;
+
+  std::exception_ptr FirstError;   ///< guarded by M
+};
+
+} // namespace rcc
+
+#endif // RCC_SUPPORT_THREADPOOL_H

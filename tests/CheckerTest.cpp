@@ -31,7 +31,7 @@ FnResult verify(const std::string &Src, const std::string &Fn,
     return FnResult();
   Checker C(*AP, Diags);
   EXPECT_TRUE(C.buildEnv()) << Diags.render(Src);
-  FnResult R = C.verifyFunction(Fn);
+  FnResult R = C.verifyFunction(Fn, {});
   if (Err && !R.Verified)
     *Err = R.renderError(Src);
   return R;
@@ -154,9 +154,10 @@ int main() { return (int)succf(idf(1)); }
   ASSERT_TRUE(AP != nullptr);
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv());
-  std::vector<FnResult> Rs = C.verifyAll();
-  ASSERT_EQ(Rs.size(), 2u) << "main is unannotated and must be skipped";
-  for (const FnResult &R : Rs)
+  ProgramResult PR = C.verifyAll({});
+  ASSERT_EQ(PR.Fns.size(), 2u) << "main is unannotated and must be skipped";
+  EXPECT_TRUE(PR.allVerified());
+  for (const FnResult &R : PR.Fns)
     EXPECT_TRUE(R.Verified) << R.Name;
 }
 
@@ -182,8 +183,8 @@ TEST(Checker, UnknownFunctionAndMissingSpec) {
   ASSERT_TRUE(AP != nullptr);
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv());
-  EXPECT_FALSE(C.verifyFunction("nope").Verified);
-  FnResult R = C.verifyFunction("plain");
+  EXPECT_FALSE(C.verifyFunction("nope", {}).Verified);
+  FnResult R = C.verifyFunction("plain", {});
   EXPECT_FALSE(R.Verified);
   EXPECT_NE(R.Error.find("no RefinedC specification"), std::string::npos);
 }
@@ -246,7 +247,7 @@ TEST(Checker, StatsAreMonotoneInProgramSize) {
     Checker C(*AP, Diags);
     EXPECT_TRUE(C.buildEnv());
     unsigned Apps = 0;
-    for (const FnResult &R : C.verifyAll()) {
+    for (const FnResult &R : C.verifyAll({}).Fns) {
       EXPECT_TRUE(R.Verified);
       Apps += R.Stats.RuleApps;
     }

@@ -44,7 +44,7 @@ TEST(Extensibility, UnsupportedConstructFailsWithoutUserRule) {
   ASSERT_TRUE(AP != nullptr);
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv());
-  FnResult R = C.verifyFunction("flip");
+  FnResult R = C.verifyFunction("flip", {});
   ASSERT_FALSE(R.Verified);
   EXPECT_NE(R.Error.find("no typing rule"), std::string::npos) << R.Error;
 }
@@ -70,7 +70,7 @@ TEST(Extensibility, UserRegisteredRuleIsPickedUpAutomatically) {
          return J.KVal(V, tyInt(T->Ity, V));
        }});
 
-  FnResult R = C.verifyFunction("flip");
+  FnResult R = C.verifyFunction("flip", {});
   EXPECT_TRUE(R.Verified) << R.renderError(BitNotSource);
   EXPECT_TRUE(R.Stats.RulesUsed.count("UNOP-BITNOT-USER"));
 
@@ -99,7 +99,7 @@ size_t twice(size_t x) {
   {
     Checker C(*AP, Diags);
     ASSERT_TRUE(C.buildEnv());
-    FnResult R = C.verifyFunction("twice");
+    FnResult R = C.verifyFunction("twice", {});
     EXPECT_FALSE(R.Verified) << "without the rewrite, double(n) is opaque";
   }
   Checker C(*AP, Diags);
@@ -110,7 +110,7 @@ size_t twice(size_t x) {
            return mkAdd(T->arg(0), T->arg(0));
          return nullptr;
        }});
-  FnResult R = C.verifyFunction("twice");
+  FnResult R = C.verifyFunction("twice", {});
   EXPECT_TRUE(R.Verified) << R.renderError(Src);
 }
 
@@ -129,7 +129,7 @@ unsigned int inc(unsigned int x) { return x + 1; }
   ASSERT_TRUE(AP != nullptr);
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv());
-  FnResult R = C.verifyFunction("inc");
+  FnResult R = C.verifyFunction("inc", {});
   ASSERT_TRUE(R.Verified);
 
   ProofChecker PC(C.rules());
@@ -186,9 +186,9 @@ size_t odd_double(size_t x) {
   ASSERT_TRUE(AP != nullptr) << Diags.render(Src);
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv()) << Diags.render(Src);
-  FnResult RM = C.verifyFunction("magic_double");
+  FnResult RM = C.verifyFunction("magic_double", {});
   EXPECT_TRUE(RM.Verified);
   EXPECT_TRUE(RM.Trusted);
-  FnResult R = C.verifyFunction("odd_double");
+  FnResult R = C.verifyFunction("odd_double", {});
   EXPECT_TRUE(R.Verified) << R.renderError(Src);
 }

@@ -1,0 +1,213 @@
+//===- ParallelVerifyTest.cpp - Parallel driver determinism & cache -------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contracts of the parallel session driver (DESIGN.md, "Concurrency
+/// model"): verifyAll with Jobs=4 must be byte-identical to Jobs=1 —
+/// including error messages, fresh-variable names, and derivation step
+/// counts — across the whole case-study suite; and a second verifyAll on an
+/// unchanged session must be served entirely from the content-hash cache
+/// with identical results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "casestudies/CaseStudies.h"
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace rcc;
+using namespace rcc::refinedc;
+
+namespace {
+
+/// Serializes every observable field of a FnResult except CacheHit (the one
+/// field that legitimately differs between a fresh and a cached run).
+std::string serialize(const FnResult &R) {
+  std::ostringstream OS;
+  OS << R.Name << '\x1f' << R.Verified << '\x1f' << R.Trusted << '\x1f'
+     << R.Error << '\x1f' << R.ErrorLoc.Line << ':' << R.ErrorLoc.Col
+     << '\x1f';
+  for (const std::string &C : R.ErrorContext)
+    OS << C << '\x1e';
+  OS << '\x1f' << R.Stats.RuleApps << '\x1f' << R.Stats.SideCondAuto << '\x1f'
+     << R.Stats.SideCondManual << '\x1f' << R.Stats.GoalSteps << '\x1f';
+  for (const std::string &N : R.Stats.RulesUsed)
+    OS << N << '\x1e';
+  OS << '\x1f' << R.EvarsInstantiated << '\x1f' << R.BacktrackedSteps
+     << '\x1f' << R.Rechecked << '\x1f' << R.RecheckOk << '\x1f'
+     << R.Deriv.Steps.size() << '\x1f';
+  for (const auto &S : R.Deriv.Steps)
+    OS << (int)S.K << ':' << S.Rule << ':' << S.Text << ':' << S.Manual
+       << '\x1e';
+  return OS.str();
+}
+
+std::string serialize(const ProgramResult &PR) {
+  std::string Out;
+  for (const FnResult &R : PR.Fns) {
+    Out += serialize(R);
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ParallelVerify, JobsFourByteIdenticalToJobsOne) {
+  // Fresh front end + Checker per job count: the comparison must not be
+  // short-circuited by the session cache.
+  for (const casestudies::CaseStudy &CS : casestudies::allCaseStudies()) {
+    std::string Ser[2];
+    for (int Run = 0; Run < 2; ++Run) {
+      DiagnosticEngine Diags;
+      auto AP = front::compileSource(CS.Source, Diags);
+      ASSERT_TRUE(AP != nullptr) << CS.Name;
+      Checker C(*AP, Diags);
+      ASSERT_TRUE(C.buildEnv()) << CS.Name;
+      VerifyOptions Opts;
+      Opts.Recheck = true;
+      Opts.Jobs = Run == 0 ? 1 : 4;
+      ProgramResult PR = C.verifyFunctions(CS.Functions, Opts);
+      EXPECT_EQ(PR.JobsUsed, Opts.Jobs);
+      Ser[Run] = serialize(PR);
+    }
+    EXPECT_EQ(Ser[0], Ser[1])
+        << CS.Name << ": Jobs=4 must be byte-identical to Jobs=1";
+  }
+}
+
+TEST(ParallelVerify, NegativeResultsAreDeterministicAcrossJobs) {
+  // Error messages (including rendered contexts with fresh-variable names)
+  // must not depend on scheduling.
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n} @ int<size_t>")]]
+size_t bad1(size_t x) { return x + 1; }
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n + 2} @ int<size_t>")]]
+size_t bad2(size_t x) { return x; }
+
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n} @ int<size_t>")]]
+size_t good(size_t x) { return x; }
+)";
+  std::string Ser[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    DiagnosticEngine Diags;
+    auto AP = front::compileSource(Src, Diags);
+    ASSERT_TRUE(AP != nullptr);
+    Checker C(*AP, Diags);
+    ASSERT_TRUE(C.buildEnv());
+    VerifyOptions Opts;
+    Opts.Jobs = Run == 0 ? 1 : 4;
+    ProgramResult PR = C.verifyAll(Opts);
+    ASSERT_EQ(PR.Fns.size(), 3u);
+    EXPECT_FALSE(PR.allVerified());
+    Ser[Run] = serialize(PR);
+  }
+  EXPECT_EQ(Ser[0], Ser[1]);
+}
+
+TEST(ParallelVerify, SecondRunIsAllCacheHits) {
+  const auto &All = casestudies::allCaseStudies();
+  ASSERT_FALSE(All.empty());
+  const casestudies::CaseStudy &CS = All.front();
+
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(CS.Source, Diags);
+  ASSERT_TRUE(AP != nullptr);
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  ProgramResult First = C.verifyFunctions(CS.Functions, Opts);
+  EXPECT_EQ(First.CacheHits, 0u);
+  EXPECT_EQ(First.CacheMisses, (unsigned)CS.Functions.size());
+  for (const FnResult &R : First.Fns)
+    EXPECT_FALSE(R.CacheHit);
+
+  ProgramResult Second = C.verifyFunctions(CS.Functions, Opts);
+  EXPECT_EQ(Second.CacheHits, (unsigned)CS.Functions.size());
+  EXPECT_EQ(Second.CacheMisses, 0u);
+  for (const FnResult &R : Second.Fns)
+    EXPECT_TRUE(R.CacheHit) << R.Name;
+  EXPECT_EQ(serialize(First), serialize(Second));
+}
+
+TEST(ParallelVerify, OptionChangeMissesCache) {
+  const casestudies::CaseStudy &CS = casestudies::allCaseStudies().front();
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(CS.Source, Diags);
+  ASSERT_TRUE(AP != nullptr);
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+
+  (void)C.verifyFunctions(CS.Functions, {});
+  VerifyOptions Recheck;
+  Recheck.Recheck = true; // different result contents -> different key
+  ProgramResult PR = C.verifyFunctions(CS.Functions, Recheck);
+  EXPECT_EQ(PR.CacheHits, 0u);
+
+  // Jobs is NOT part of the key: results are job-count-independent.
+  VerifyOptions Par = Recheck;
+  Par.Jobs = 4;
+  ProgramResult PR2 = C.verifyFunctions(CS.Functions, Par);
+  EXPECT_EQ(PR2.CacheMisses, 0u);
+}
+
+TEST(ParallelVerify, MutatingTheSessionInvalidatesTheCache) {
+  const casestudies::CaseStudy &CS = casestudies::allCaseStudies().front();
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(CS.Source, Diags);
+  ASSERT_TRUE(AP != nullptr);
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+
+  (void)C.verifyFunctions(CS.Functions, {});
+  C.solver(); // non-const access: a user extension could have mutated it
+  ProgramResult PR = C.verifyFunctions(CS.Functions, {});
+  EXPECT_EQ(PR.CacheHits, 0u) << "mutable access must invalidate";
+}
+
+TEST(ParallelVerify, JsonRendering) {
+  std::string Src = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<size_t>")]]
+[[rc::returns("{n} @ int<size_t>")]]
+size_t idf(size_t x) { return x; }
+)";
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  ASSERT_TRUE(AP != nullptr);
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  std::string J = C.verifyAll(Opts).toJson();
+  EXPECT_NE(J.find("\"all_verified\": true"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"name\": \"idf\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"verified\": true"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"recheck_ok\": true"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"rule_apps\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"cache_misses\": 1"), std::string::npos) << J;
+}
+
+TEST(ParallelVerify, RegistryNameIndex) {
+  lithium::RuleRegistry R;
+  registerStandardRules(R);
+  ASSERT_GT(R.numRules(), 50u);
+  EXPECT_TRUE(R.hasRule("T-STMT"));
+  EXPECT_TRUE(R.hasRule("READ-INT"));
+  EXPECT_FALSE(R.hasRule("definitely_not_a_rule"));
+}

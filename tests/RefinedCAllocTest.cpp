@@ -32,7 +32,7 @@ FnResult verifySource(const std::string &Src, const std::string &Fn,
     return FnResult();
   Checker C(*AP, Diags);
   EXPECT_TRUE(C.buildEnv()) << Diags.render(Src);
-  FnResult R = C.verifyFunction(Fn);
+  FnResult R = C.verifyFunction(Fn, {});
   if (RenderedError && !R.Verified)
     *RenderedError = R.renderError(Src);
   return R;
@@ -127,7 +127,7 @@ void* alloc(struct mem_t* d, size_t sz) {
   ASSERT_TRUE(AP != nullptr) << Diags.render(Src);
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv());
-  FnResult R = C.verifyFunction("alloc");
+  FnResult R = C.verifyFunction("alloc", {});
   ASSERT_TRUE(R.Verified) << R.renderError(Src);
 
   ProofChecker PC(C.rules());

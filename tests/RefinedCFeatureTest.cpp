@@ -287,7 +287,7 @@ TEST_P(FeatureTest, VerifiesAndRuns) {
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv()) << Diags.render(F.Source);
   for (const char *Fn : F.Functions) {
-    FnResult R = C.verifyFunction(Fn);
+    FnResult R = C.verifyFunction(Fn, {});
     EXPECT_TRUE(R.Verified) << Fn << ":\n" << R.renderError(F.Source);
   }
   if (F.ExpectMainReturn != INT32_MIN) {

@@ -66,7 +66,7 @@ FnResult verifyFreelist(std::string *Err = nullptr) {
     return FnResult();
   Checker C(*AP, Diags);
   EXPECT_TRUE(C.buildEnv()) << Diags.render(FreelistSource);
-  FnResult R = C.verifyFunction("rc_free");
+  FnResult R = C.verifyFunction("rc_free", {});
   if (Err && !R.Verified)
     *Err = R.renderError(FreelistSource);
   return R;
@@ -127,6 +127,6 @@ TEST(Freelist, MissingInvariantIsRejected) {
   ASSERT_TRUE(AP != nullptr) << Diags.render(Src);
   Checker C(*AP, Diags);
   ASSERT_TRUE(C.buildEnv());
-  FnResult R = C.verifyFunction("rc_free");
+  FnResult R = C.verifyFunction("rc_free", {});
   EXPECT_FALSE(R.Verified);
 }

@@ -85,3 +85,65 @@ void f(size_t n) {
   EXPECT_EQ(S.Loop, 2u);
   EXPECT_EQ(S.FnSpec, 2u);
 }
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <numeric>
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(ThreadPool::resolveJobs(1), 1u);
+  EXPECT_EQ(ThreadPool::resolveJobs(7), 7u);
+  EXPECT_GE(ThreadPool::resolveJobs(0), 1u) << "0 means all hardware cores";
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  std::vector<std::atomic<int>> Counts(1000);
+  Pool.parallelFor(Counts.size(), [&](size_t I) { Counts[I]++; });
+  for (size_t I = 0; I < Counts.size(); ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, DeterministicPlacement) {
+  ThreadPool Pool(3);
+  std::vector<size_t> Out(257, 0);
+  Pool.parallelFor(Out.size(), [&](size_t I) { Out[I] = I * I; });
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], I * I);
+}
+
+TEST(ThreadPool, SerialFastPathAndReuse) {
+  ThreadPool Pool(1); // no worker threads: caller runs everything
+  int Sum = 0;
+  Pool.parallelFor(10, [&](size_t I) { Sum += (int)I; }); // no race: serial
+  EXPECT_EQ(Sum, 45);
+  // The same pool is reusable for later batches.
+  std::atomic<int> Sum2{0};
+  Pool.parallelFor(5, [&](size_t I) { Sum2 += (int)I; });
+  EXPECT_EQ(Sum2.load(), 10);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Pool survives an exceptional batch.
+  std::atomic<int> N{0};
+  Pool.parallelFor(8, [&](size_t) { N++; });
+  EXPECT_EQ(N.load(), 8);
+}
+
+TEST(ThreadPool, EmptyBatch) {
+  ThreadPool Pool(2);
+  Pool.parallelFor(0, [&](size_t) { FAIL() << "body must not run"; });
+}

@@ -32,7 +32,7 @@ std::string rejects(const std::string &Src, const std::string &Fn) {
     return "front end failed";
   Checker C(*AP, Diags);
   EXPECT_TRUE(C.buildEnv()) << Diags.render(Src);
-  FnResult R = C.verifyFunction(Fn);
+  FnResult R = C.verifyFunction(Fn, {});
   return R.Verified ? std::string() : R.Error;
 }
 
