@@ -19,8 +19,11 @@
 #include "casestudies/Evaluate.h"
 #include "frontend/Frontend.h"
 #include "refinedc/Checker.h"
+#include "support/Util.h"
+#include "trace/Trace.h"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace rcc::casestudies;
 
@@ -57,7 +60,12 @@ int main() {
   printf("Figure 7 reproduction — RefinedC++ evaluation suite\n");
   printf("====================================================\n\n");
 
-  std::vector<Fig7Row> Rows = evaluateAll();
+  // Traced run: the session's MetricsRegistry sources the BENCH_figure7.json
+  // artifact written at the end.
+  rcc::trace::TraceSession TS;
+  EvalOptions Opts;
+  Opts.Trace = &TS;
+  std::vector<Fig7Row> Rows = evaluateAll(Opts);
   printf("%s\n", renderFig7Table(Rows).c_str());
 
   printf("Paper's Figure 7 (for shape comparison):\n");
@@ -101,6 +109,27 @@ int main() {
            "rules;\n  trusted core analogue: src/frontend + src/caesium "
            "(see DESIGN.md).\n",
            C.rules().numRules());
+  }
+
+  // Machine-readable artifact: per-row measurements plus the full metrics
+  // snapshot of the traced run.
+  {
+    std::ofstream OS("BENCH_figure7.json");
+    OS << "{\n  \"bench\": \"figure7_table\",\n  \"version\": \""
+       << rcc::versionString() << "\",\n  \"rows\": [";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Fig7Row &R = Rows[I];
+      OS << (I ? ",\n    {" : "\n    {") << "\"name\": \"" << R.Name
+         << "\", \"verified\": " << (R.Verified ? "true" : "false")
+         << ", \"rule_apps\": " << R.RuleApps
+         << ", \"distinct_rules\": " << R.DistinctRules
+         << ", \"side_cond_auto\": " << R.SideCondAuto
+         << ", \"side_cond_manual\": " << R.SideCondManual
+         << ", \"pure_lines\": " << R.PureLines
+         << ", \"verify_ms\": " << R.VerifyMillis << "}";
+    }
+    OS << "\n  ],\n  \"metrics\": " << TS.metrics().toJson() << "\n}\n";
+    printf("\n[artifact] wrote BENCH_figure7.json\n");
   }
   return AllVerified ? 0 : 1;
 }

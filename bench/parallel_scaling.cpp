@@ -19,9 +19,13 @@
 
 #include "casestudies/Evaluate.h"
 #include "support/ThreadPool.h"
+#include "support/Util.h"
+#include "trace/Trace.h"
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <thread>
 
 using namespace rcc;
@@ -34,11 +38,35 @@ struct SuiteRun {
   bool AllVerified = true;
   unsigned RuleApps = 0;
   unsigned SideConds = 0;
+  double BusyMillis = 0.0;  ///< sum of checker.fn span durations (all threads)
+  unsigned ThreadsSeen = 0; ///< distinct threads that recorded events
 };
 
+/// Trace-derived utilization: total time spent inside per-function checker
+/// spans, across all worker threads. busy / (jobs * wall) approximates how
+/// well the pool kept its threads fed.
+void deriveBusy(const trace::TraceSession &TS, SuiteRun &R) {
+  std::map<uint32_t, std::vector<double>> Stacks; // per-tid open span starts
+  std::map<uint32_t, bool> Seen;
+  for (const trace::Event &E : TS.events()) {
+    Seen[E.Tid] = true;
+    if (E.Name != "checker.fn")
+      continue;
+    if (E.Phase == 'B')
+      Stacks[E.Tid].push_back(E.TimeUs);
+    else if (E.Phase == 'E' && !Stacks[E.Tid].empty()) {
+      R.BusyMillis += (E.TimeUs - Stacks[E.Tid].back()) / 1000.0;
+      Stacks[E.Tid].pop_back();
+    }
+  }
+  R.ThreadsSeen = static_cast<unsigned>(Seen.size());
+}
+
 SuiteRun runSuite(unsigned Jobs) {
+  trace::TraceSession TS;
   EvalOptions Opts;
   Opts.Jobs = Jobs;
+  Opts.Trace = &TS;
   auto Start = std::chrono::steady_clock::now();
   std::vector<Fig7Row> Rows = evaluateAll(Opts);
   auto End = std::chrono::steady_clock::now();
@@ -49,6 +77,7 @@ SuiteRun runSuite(unsigned Jobs) {
     R.RuleApps += Row.RuleApps;
     R.SideConds += Row.SideCondAuto + Row.SideCondManual;
   }
+  deriveBusy(TS, R);
   return R;
 }
 
@@ -64,19 +93,42 @@ int main() {
   (void)runSuite(1);
 
   SuiteRun Base = runSuite(1);
-  printf("%6s %12s %10s %12s\n", "jobs", "wall ms", "speedup", "results");
-  printf("%s\n", std::string(44, '-').c_str());
-  printf("%6u %12.1f %9.2fx %12s\n", 1u, Base.Millis, 1.0,
-         Base.AllVerified ? "ok" : "FAILED");
+  printf("%6s %12s %10s %10s %12s\n", "jobs", "wall ms", "speedup", "util",
+         "results");
+  printf("%s\n", std::string(56, '-').c_str());
+  auto Util = [](const SuiteRun &R, unsigned Jobs) {
+    return R.Millis > 0 ? R.BusyMillis / (R.Millis * Jobs) : 0.0;
+  };
+  printf("%6u %12.1f %9.2fx %9.0f%% %12s\n", 1u, Base.Millis, 1.0,
+         100.0 * Util(Base, 1), Base.AllVerified ? "ok" : "FAILED");
 
   bool Consistent = true;
+  std::vector<std::pair<unsigned, SuiteRun>> AllRuns{{1u, Base}};
   for (unsigned Jobs : {2u, 4u, 8u}) {
     SuiteRun R = runSuite(Jobs);
     bool Same = R.AllVerified == Base.AllVerified &&
                 R.RuleApps == Base.RuleApps && R.SideConds == Base.SideConds;
     Consistent = Consistent && Same;
-    printf("%6u %12.1f %9.2fx %12s\n", Jobs, R.Millis,
-           Base.Millis / R.Millis, Same ? "identical" : "DIVERGED");
+    printf("%6u %12.1f %9.2fx %9.0f%% %12s\n", Jobs, R.Millis,
+           Base.Millis / R.Millis, 100.0 * Util(R, Jobs),
+           Same ? "identical" : "DIVERGED");
+    AllRuns.push_back({Jobs, R});
+  }
+
+  {
+    std::ofstream OS("BENCH_parallel_scaling.json");
+    OS << "{\n  \"bench\": \"parallel_scaling\",\n  \"version\": \""
+       << versionString() << "\",\n  \"cores\": " << Cores
+       << ",\n  \"runs\": [";
+    for (size_t I = 0; I < AllRuns.size(); ++I) {
+      const auto &[J, R] = AllRuns[I];
+      OS << (I ? ",\n    {" : "\n    {") << "\"jobs\": " << J
+         << ", \"wall_ms\": " << R.Millis << ", \"busy_ms\": " << R.BusyMillis
+         << ", \"utilization\": " << Util(R, J)
+         << ", \"threads_seen\": " << R.ThreadsSeen << "}";
+    }
+    OS << "\n  ]\n}\n";
+    printf("[artifact] wrote BENCH_parallel_scaling.json\n");
   }
 
   if (Cores < 2)

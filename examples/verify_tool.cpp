@@ -15,17 +15,27 @@
 ///   --jobs=N       run N verification jobs concurrently (0 = all cores)
 ///   --format=json  print the ProgramResult as JSON instead of text
 ///   --run[=fn]     additionally execute `fn` (default main) afterwards
+///   --trace=FILE   write a Chrome trace-event JSON of the whole pipeline
+///                  (load in chrome://tracing or https://ui.perfetto.dev)
+///   --profile      print the proof-search profile report (top rules by
+///                  cumulative/self time, goal kinds, solver stats)
+///   --deterministic-trace  make trace/profile output byte-identical across
+///                  --jobs values (stable lanes, ordinal timestamps)
+///   --version      print the version and exit
 ///
 //===----------------------------------------------------------------------===//
 
 #include "caesium/Interp.h"
 #include "frontend/Frontend.h"
 #include "refinedc/Checker.h"
+#include "support/Util.h"
+#include "trace/Export.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace rcc;
@@ -36,6 +46,8 @@ int main(int argc, char **argv) {
   bool Stats = false, Recheck = true, Json = false;
   unsigned Jobs = 1;
   std::string RunFn;
+  std::string TraceFile;
+  bool Profile = false, DetTrace = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -51,7 +63,16 @@ int main(int argc, char **argv) {
       RunFn = "main";
     else if (A.rfind("--run=", 0) == 0)
       RunFn = A.substr(6);
-    else if (Path.empty())
+    else if (A.rfind("--trace=", 0) == 0)
+      TraceFile = A.substr(8);
+    else if (A == "--profile")
+      Profile = true;
+    else if (A == "--deterministic-trace")
+      DetTrace = true;
+    else if (A == "--version") {
+      printf("%s\n", versionString());
+      return 0;
+    } else if (Path.empty())
       Path = A;
     else
       Functions.push_back(A);
@@ -59,9 +80,17 @@ int main(int argc, char **argv) {
   if (Path.empty()) {
     fprintf(stderr,
             "usage: verify_tool [--stats] [--no-recheck] [--jobs=N] "
-            "[--format=json] [--run[=fn]] <file.c> [function...]\n");
+            "[--format=json] [--run[=fn]] [--trace=FILE] [--profile] "
+            "[--deterministic-trace] [--version] <file.c> [function...]\n");
     return 2;
   }
+
+  // The session is created here (not inside the checker) so the frontend
+  // spans land in the same trace as the verification run.
+  std::unique_ptr<trace::TraceSession> TS;
+  if (!TraceFile.empty() || Profile)
+    TS = std::make_unique<trace::TraceSession>(DetTrace);
+  trace::SessionScope TraceScope(TS.get());
 
   std::ifstream In(Path);
   if (!In) {
@@ -93,6 +122,8 @@ int main(int argc, char **argv) {
   refinedc::VerifyOptions Opts;
   Opts.Recheck = Recheck;
   Opts.Jobs = Jobs;
+  Opts.Trace = TS.get();
+  Opts.Profile = Profile;
   refinedc::ProgramResult PR = Checker.verifyFunctions(Functions, Opts);
 
   bool AllOk = PR.allVerified() && PR.allRechecksOk();
@@ -131,6 +162,21 @@ int main(int argc, char **argv) {
         printf("[run ] %s() FAILED: %s\n", RunFn.c_str(), E.Message.c_str());
       AllOk = false;
     }
+  }
+
+  // In JSON mode stdout must stay machine-parseable; the human-readable
+  // profile goes to stderr instead.
+  if (Profile)
+    fprintf(Json ? stderr : stdout, "%s", PR.ProfileReport.c_str());
+  if (TS && !TraceFile.empty()) {
+    std::string Err;
+    if (!trace::writeChromeTrace(*TS, TraceFile, &Err)) {
+      fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    if (!Json)
+      printf("[trace] wrote %zu events to %s\n", TS->numEvents(),
+             TraceFile.c_str());
   }
   return AllOk ? 0 : 1;
 }

@@ -1,6 +1,31 @@
 #!/bin/sh
-# Tier-1 check: configure, build, and run the full test suite.
-# (See ROADMAP.md; CI and pre-merge both run exactly this line.)
+# Tier-1 check: configure, build, and run the full test suite, then a
+# sanitized configuration and one traced end-to-end verification.
+# (See ROADMAP.md; CI and pre-merge both run exactly this script.)
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+
+# 1. Tier-1: RelWithDebInfo build + full ctest suite.
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+# 2. Traced end-to-end verification: the observability acceptance path.
+#    Must produce a loadable Chrome trace and a profile report.
+./build/examples/verify_tool --trace=build/demo_trace.json --profile \
+    examples/demo.c
+test -s build/demo_trace.json
+
+# 3. ASan/UBSan configuration (trace subsystem + parallel driver are the
+#    main customers: data races on buffers, lifetime of cached pointers).
+#    Skippable for quick local runs: CHECK_SKIP_SANITIZERS=1 scripts/check.sh
+if [ -z "$CHECK_SKIP_SANITIZERS" ]; then
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
+  ./build-asan/examples/verify_tool --trace=build-asan/demo_trace.json \
+      --profile examples/demo.c > /dev/null
+fi
+
+echo "check.sh: all green"

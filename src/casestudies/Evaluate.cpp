@@ -20,6 +20,9 @@ using namespace rcc::refinedc;
 
 Fig7Row rcc::casestudies::evaluateCaseStudy(const CaseStudy &CS,
                                             const EvalOptions &Opts) {
+  // Null-safe: when Opts.Trace is unset, an ambient session installed by a
+  // caller (e.g. evaluateAll's pool propagating its own) stays in effect.
+  trace::SessionScope TraceScope(Opts.Trace);
   Fig7Row Row;
   Row.Name = CS.Name;
   Row.Class = CS.Class;
@@ -75,6 +78,7 @@ Fig7Row rcc::casestudies::evaluateCaseStudy(const CaseStudy &CS,
 }
 
 std::vector<Fig7Row> rcc::casestudies::evaluateAll(const EvalOptions &Opts) {
+  trace::SessionScope TraceScope(Opts.Trace);
   const std::vector<CaseStudy> &All = allCaseStudies();
   std::vector<Fig7Row> Rows(All.size());
   // Parallelism across whole case studies (each has its own Checker

@@ -18,6 +18,7 @@
 #define RCC_CASESTUDIES_EVALUATE_H
 
 #include "casestudies/CaseStudies.h"
+#include "trace/Trace.h"
 
 #include <set>
 #include <string>
@@ -58,6 +59,10 @@ struct EvalOptions {
   /// Concurrent verification jobs (VerifyOptions::Jobs). evaluateAll
   /// additionally spreads whole case studies across this many jobs.
   unsigned Jobs = 1;
+  /// Trace session to record the evaluation into (null: tracing off). The
+  /// bench tools use this to source their BENCH_*.json artifacts from the
+  /// session's MetricsRegistry.
+  trace::TraceSession *Trace = nullptr;
 };
 
 /// Verifies all annotated functions of \p CS and aggregates the row.

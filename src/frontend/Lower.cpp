@@ -16,6 +16,7 @@
 
 #include "frontend/Frontend.h"
 #include "frontend/Parser.h"
+#include "trace/Trace.h"
 
 using namespace rcc::front;
 using namespace rcc::caesium;
@@ -1076,15 +1077,31 @@ std::unique_ptr<AnnotatedProgram> Lowerer::run(CTranslationUnit &TU,
 std::unique_ptr<AnnotatedProgram>
 rcc::front::compileSource(const std::string &Source,
                           rcc::DiagnosticEngine &Diags) {
-  std::vector<Token> Toks = lexSource(Source, Diags);
+  trace::Span CompileSpan(trace::Category::Frontend, "frontend.compile");
+  std::vector<Token> Toks;
+  {
+    trace::Span S(trace::Category::Frontend, "frontend.lex");
+    Toks = lexSource(Source, Diags);
+    trace::count("frontend.tokens", Toks.size());
+  }
   if (Diags.hasErrors())
     return nullptr;
   Parser P(std::move(Toks), Diags);
-  CTranslationUnit TU = P.parseTranslationUnit();
+  CTranslationUnit TU;
+  {
+    trace::Span S(trace::Category::Frontend, "frontend.parse");
+    TU = P.parseTranslationUnit();
+  }
   if (Diags.hasErrors())
     return nullptr;
   Lowerer L(Diags);
-  auto AP = L.run(TU, Source);
+  std::unique_ptr<AnnotatedProgram> AP;
+  {
+    trace::Span S(trace::Category::Frontend, "frontend.lower");
+    AP = L.run(TU, Source);
+    if (AP)
+      trace::count("frontend.functions", AP->Fns.size());
+  }
   if (Diags.hasErrors())
     return nullptr;
   return AP;

@@ -188,6 +188,8 @@ bool Engine::popValAtom(TermRef V, ResAtom &Out, rcc::SourceLoc Loc) {
     Out = Delta[I];
     Delta.erase(Delta.begin() + I);
     record({DerivStep::AtomMatch, "pop-val", Out.str(), nullptr, {}, false});
+    if (CtSubsumePop)
+      CtSubsumePop->add(1);
     return true;
   }
   fail("no ownership found for value " + V->str(), Loc);
@@ -197,6 +199,8 @@ bool Engine::popValAtom(TermRef V, ResAtom &Out, rcc::SourceLoc Loc) {
 bool Engine::popLocAtom(TermRef L, uint64_t Size, ResAtom &Out,
                         rcc::SourceLoc Loc) {
   for (int Round = 0; Round < 32; ++Round) {
+    if (Round > 0 && CtSubsumeReshape)
+      CtSubsumeReshape->add(1);
     L = resolve(L);
     // 1. Exact subject match. Composite types (named/struct/padded) whose
     //    size exceeds the requested access are unfolded/split first, so a
@@ -263,6 +267,8 @@ bool Engine::popLocAtom(TermRef L, uint64_t Size, ResAtom &Out,
                   L, IsAny ? refinedc::tyAny(SzT) : refinedc::tyUninit(SzT));
               record({DerivStep::AtomMatch, "pop-loc-split", Out.str(),
                       nullptr, {}, false});
+              if (CtSubsumePop)
+                CtSubsumePop->add(1);
               return true;
             }
           }
@@ -274,6 +280,8 @@ bool Engine::popLocAtom(TermRef L, uint64_t Size, ResAtom &Out,
       Delta.erase(Delta.begin() + I);
       record(
           {DerivStep::AtomMatch, "pop-loc", Out.str(), nullptr, {}, false});
+      if (CtSubsumePop)
+        CtSubsumePop->add(1);
       return true;
     }
     if (Reshaped)
@@ -480,8 +488,14 @@ bool Engine::solveSideCond(TermRef Phi, rcc::SourceLoc Loc) {
 //===----------------------------------------------------------------------===//
 
 bool Engine::prove(GoalRef G) {
+  // One span per prove() activation (top-level call and Conj/backtracking
+  // recursion), not per goal step: goal steps are counted, not spanned, to
+  // keep traced runs from drowning in hundreds of thousands of events.
+  trace::Span ProveSpan(trace::Category::Engine, "engine.prove");
   const unsigned MaxSteps = MaxStepsOverride ? MaxStepsOverride : 400000;
   while (true) {
+    if (trace::Counter *C = CtGoal[static_cast<size_t>(G->K)])
+      C->add(1);
     if (std::getenv("RCC_TRACE")) {
       if (Stats.GoalSteps % 1000 == 0)
         fprintf(stderr, "[engine] step %u\n", Stats.GoalSteps);
@@ -569,7 +583,11 @@ bool Engine::prove(GoalRef G) {
           pure::EvarEnv SavedE = Evars;
           ++Stats.RuleApps;
           Stats.RulesUsed.insert(Cands[I]->Name);
-          GoalRef Next = Cands[I]->Apply(*this, *G->J);
+          GoalRef Next;
+          {
+            trace::Span RuleSpan(trace::Category::Rule, Cands[I]->Name);
+            Next = Cands[I]->Apply(*this, *G->J);
+          }
           if (Next && prove(Next))
             return true;
           // Roll back and try the next candidate.
@@ -596,7 +614,11 @@ bool Engine::prove(GoalRef G) {
       ++Stats.RuleApps;
       Stats.RulesUsed.insert(R->Name);
       record({DerivStep::RuleApp, R->Name, G->J->str(), nullptr, {}, false});
-      GoalRef Next = R->Apply(*this, *G->J);
+      GoalRef Next;
+      {
+        trace::Span RuleSpan(trace::Category::Rule, R->Name);
+        Next = R->Apply(*this, *G->J);
+      }
       if (!Next) {
         if (Failure.empty())
           fail("rule '" + R->Name + "' failed on " + G->J->str(), G->J->Loc);

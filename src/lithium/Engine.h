@@ -33,6 +33,7 @@
 
 #include "lithium/Goal.h"
 #include "pure/Solver.h"
+#include "trace/Trace.h"
 
 #include <map>
 #include <set>
@@ -124,7 +125,20 @@ public:
   Engine(const RuleRegistry &Rules, pure::PureSolver &Solver,
          pure::EvarEnv &Evars, EngineStats &Stats, Derivation *Deriv)
       : Rules(Rules), Solver(Solver), Evars(Evars), Stats(Stats),
-        Deriv(Deriv) {}
+        Deriv(Deriv) {
+    // Resolve trace counters once (null when tracing is disabled): the goal
+    // loop then pays one pointer test per bump instead of a registry lookup.
+    // EngineStats-covered quantities are NOT live-bumped; the checker folds
+    // them into the session registry deterministically after the run.
+    static constexpr const char *GoalCtNames[] = {
+        "engine.goal.true", "engine.goal.judg", "engine.goal.star",
+        "engine.goal.wand", "engine.goal.conj", "engine.goal.all",
+        "engine.goal.ex"};
+    for (size_t I = 0; I < 7; ++I)
+      CtGoal[I] = trace::counterOrNull(GoalCtNames[I]);
+    CtSubsumePop = trace::counterOrNull("engine.subsume.pop");
+    CtSubsumeReshape = trace::counterOrNull("engine.subsume.reshape");
+  }
 
   std::vector<TermRef> Gamma;
   std::vector<ResAtom> Delta;
@@ -206,6 +220,11 @@ private:
   EngineStats &Stats;
   Derivation *Deriv;
   unsigned FreshCounter = 0;
+
+  /// Cached trace counters (see the constructor); indexed by GoalKind.
+  trace::Counter *CtGoal[7] = {};
+  trace::Counter *CtSubsumePop = nullptr;
+  trace::Counter *CtSubsumeReshape = nullptr;
 };
 
 } // namespace rcc::lithium

@@ -7,6 +7,7 @@
 #include "pure/CollectionSolver.h"
 
 #include "pure/Simplify.h"
+#include "trace/Trace.h"
 
 using namespace rcc::pure;
 
@@ -207,6 +208,7 @@ std::vector<TermRef> CollectionSolver::instantiateMembershipForalls(
 bool CollectionSolver::prove(
     const std::vector<TermRef> &Facts, TermRef Goal,
     bool (*ProveArith)(const std::vector<TermRef> &, TermRef)) {
+  trace::count("solver.collection.calls");
   std::map<TermRef, TermRef> Rewrites = collectionRewrites(Facts);
   Goal = applyRewrites(Goal, Rewrites);
   Simplifier Simp;

@@ -6,6 +6,8 @@
 
 #include "pure/LinearSolver.h"
 
+#include "trace/Trace.h"
+
 #include <algorithm>
 #include <map>
 #include <numeric>
@@ -390,6 +392,7 @@ static bool proveWithNeSplits(const std::vector<TermRef> &Facts,
                               TermRef Goal, int Depth);
 
 bool LinearSolver::prove(const std::vector<TermRef> &Facts, TermRef Goal) {
+  trace::count("solver.linear.calls");
   return proveWithNeSplits(Facts, Goal, 0);
 }
 

@@ -9,8 +9,10 @@
 #include "pure/CollectionSolver.h"
 #include "pure/LinearSolver.h"
 #include "pure/Unify.h"
+#include "trace/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 using namespace rcc::pure;
@@ -426,6 +428,11 @@ SolveResult PureSolver::proveCore(std::vector<TermRef> Hyps, TermRef Goal,
 
 SolveResult PureSolver::prove(const std::vector<TermRef> &Hyps, TermRef Goal,
                               EvarEnv &Env) {
+  trace::TraceSession *TS = trace::current();
+  std::chrono::steady_clock::time_point T0;
+  if (TS)
+    T0 = std::chrono::steady_clock::now();
+  trace::Span ProveSpan(trace::Category::Solver, "solver.prove");
   SolveResult R = proveCore(Hyps, Goal, Env, 0);
   if (!R.Proved)
     ++Stats.Failed;
@@ -433,5 +440,18 @@ SolveResult PureSolver::prove(const std::vector<TermRef> &Hyps, TermRef Goal,
     ++Stats.ManualProved;
   else
     ++Stats.AutoProved;
+  if (TS) {
+    trace::MetricsRegistry &MR = TS->metrics();
+    MR.counter("solver.calls").add(1);
+    MR.counter(!R.Proved   ? "solver.failed"
+               : R.Manual  ? "solver.proved_manual"
+                           : "solver.proved_auto")
+        .add(1);
+    MR.counter("solver.time_us")
+        .add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count()));
+  }
   return R;
 }

@@ -11,8 +11,10 @@
 #include "refinedc/ProofChecker.h"
 #include "support/ThreadPool.h"
 #include "support/Util.h"
+#include "trace/Export.h"
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 using namespace rcc;
@@ -387,8 +389,24 @@ Checker::parseLoopInv(const std::vector<front::RcAnnot> &As,
 
 FnResult Checker::verifyFunction(const std::string &Name,
                                  const VerifyOptions &Opts) const {
+  // Per-function span and wall time. The timing is unconditional (two clock
+  // reads per function; --format=json reports it even without tracing); the
+  // span costs nothing when no session is installed.
+  trace::Span FnSpan(trace::Category::Checker, std::string("checker.fn"),
+                     trace::current() ? "\"fn\": \"" + Name + "\""
+                                      : std::string());
+  auto FnStart = std::chrono::steady_clock::now();
   FnResult Res;
   Res.Name = Name;
+  struct TimeGuard {
+    std::chrono::steady_clock::time_point T0;
+    FnResult &R;
+    ~TimeGuard() {
+      R.WallMillis = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count();
+    }
+  } TG{FnStart, Res};
 
   auto SIt = Env.FnSpecs.find(Name);
   if (SIt == Env.FnSpecs.end()) {
@@ -501,7 +519,11 @@ FnResult Checker::verifyFunction(const std::string &Name,
   J0.Fn = Fn;
   J0.BlockId = 0;
   J0.StmtIdx = 0;
-  bool Ok = E.prove(gJudg(std::move(J0)));
+  bool Ok;
+  {
+    trace::Span EntrySpan(trace::Category::Checker, "checker.entry");
+    Ok = E.prove(gJudg(std::move(J0)));
+  }
 
   // Each loop-invariant block, once, from the invariant.
   while (Ok && !C.PendingBlocks.empty()) {
@@ -509,6 +531,10 @@ FnResult Checker::verifyFunction(const std::string &Name,
     C.PendingBlocks.pop_back();
     int Id = Fn->Blocks[B].AnnotId;
     const LoopInv &Inv = C.LoopInvs[Id];
+    trace::Span CutSpan(trace::Category::Checker,
+                        std::string("checker.cutpoint"),
+                        trace::current() ? "\"block\": " + std::to_string(B)
+                                         : std::string());
 
     Engine E2(Rules, Solver, Evars, Res.Stats, &Res.Deriv);
     E2.Ctx = &C;
@@ -610,6 +636,22 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   PR.JobsUsed = ThreadPool::resolveJobs(Opts.Jobs);
   auto Start = std::chrono::steady_clock::now();
 
+  // Resolve the trace session: an explicit Opts.Trace wins, then the
+  // thread's ambient session; otherwise, if an export was requested, an
+  // internal session is created for just this run. The pool propagates the
+  // installed session to its workers.
+  trace::TraceSession *TS = Opts.Trace ? Opts.Trace : trace::current();
+  std::unique_ptr<trace::TraceSession> OwnedTS;
+  if (!TS && (!Opts.TraceFile.empty() || Opts.Profile)) {
+    OwnedTS = std::make_unique<trace::TraceSession>(Opts.DeterministicTrace);
+    TS = OwnedTS.get();
+  }
+  trace::SessionScope TraceScope(TS);
+  // Closed explicitly before the exports below so the emitted trace has
+  // balanced begin/end events.
+  std::optional<trace::Span> RunSpan;
+  RunSpan.emplace(trace::Category::Checker, "checker.run");
+
   // Content hashes are computed up front, serially: this forces the lazy
   // environment fingerprint before any job runs and keeps cache probing
   // out of the parallel section's hot path.
@@ -641,9 +683,10 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   {
     std::lock_guard<std::mutex> G(CacheM);
     for (size_t I = 0; I < Names.size(); ++I) {
-      if (Hit[I])
+      if (Hit[I]) {
         ++PR.CacheHits;
-      else {
+        PR.Fns[I].WallMillis = 0.0; // no check ran for this result
+      } else {
         ++PR.CacheMisses;
         FnResult Stored = PR.Fns[I];
         Stored.CacheHit = false;
@@ -652,9 +695,41 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
     }
   }
 
+  if (TS) {
+    // Fold the per-function EngineStats into the session registry —
+    // serially, in index order, from the joined results, so the totals are
+    // schedule- and job-count-independent. The engines never live-bump
+    // these (they only bump counters EngineStats does not cover).
+    trace::MetricsRegistry &MR = TS->metrics();
+    for (size_t I = 0; I < PR.Fns.size(); ++I) {
+      if (Hit[I])
+        continue; // cache hits did no engine work this run
+      const EngineStats &ES = PR.Fns[I].Stats;
+      MR.counter("engine.rule_apps").add(ES.RuleApps);
+      MR.counter("engine.goal_steps").add(ES.GoalSteps);
+      MR.counter("engine.side_cond_auto").add(ES.SideCondAuto);
+      MR.counter("engine.side_cond_manual").add(ES.SideCondManual);
+    }
+    MR.counter("cache.hits").add(PR.CacheHits);
+    MR.counter("cache.misses").add(PR.CacheMisses);
+    MR.counter("checker.functions").add(Names.size());
+  }
+
   auto End = std::chrono::steady_clock::now();
   PR.WallMillis =
       std::chrono::duration<double, std::milli>(End - Start).count();
+
+  RunSpan.reset();
+  if (TS) {
+    PR.Metrics = TS->metrics().toJson(TS->deterministic());
+    if (Opts.Profile)
+      PR.ProfileReport = trace::renderProfile(*TS);
+    if (!Opts.TraceFile.empty()) {
+      std::string Err;
+      if (!trace::writeChromeTrace(*TS, Opts.TraceFile, &Err))
+        fprintf(stderr, "warning: %s\n", Err.c_str());
+    }
+  }
   return PR;
 }
 
@@ -775,11 +850,17 @@ std::string ProgramResult::toJson() const {
     snprintf(Buf, sizeof(Buf), ", \"deriv_steps\": %zu",
              R.Deriv.Steps.size());
     S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"wall_ms\": %.3f", R.WallMillis);
+    S += Buf;
     if (R.Rechecked)
       S += std::string(", \"recheck_ok\": ") + (R.RecheckOk ? "true" : "false");
     S += "}";
   }
-  S += Fns.empty() ? "]\n" : "\n  ]\n";
-  S += "}\n";
+  S += Fns.empty() ? "]" : "\n  ]";
+  if (!Metrics.empty()) {
+    S += ",\n  \"metrics\": ";
+    S += Metrics;
+  }
+  S += "\n}\n";
   return S;
 }

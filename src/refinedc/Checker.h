@@ -82,6 +82,22 @@ struct VerifyOptions {
   /// memory on large programs; rechecking still works (the derivation is
   /// collected, replayed, and then dropped).
   bool CollectDerivation = true;
+
+  // --- Observability (src/trace; DESIGN.md "Observability") ---
+  /// Trace session to record into. When null but TraceFile/Profile is set,
+  /// verifyFunctions creates an internal session for the run. Callers that
+  /// want frontend spans too create the session themselves (verify_tool
+  /// does) and handle the export.
+  trace::TraceSession *Trace = nullptr;
+  /// Write the Chrome trace-event JSON here after the run (internal-session
+  /// mode; ignored when empty).
+  std::string TraceFile;
+  /// Fill ProgramResult::ProfileReport with the human-readable profile.
+  bool Profile = false;
+  /// Internal-session mode: create the session deterministic, so exported
+  /// counters and the profile are byte-identical across Jobs (durations
+  /// zeroed, rules ranked by application count).
+  bool DeterministicTrace = false;
 };
 
 /// Result of verifying one function.
@@ -99,6 +115,8 @@ struct FnResult {
   bool Rechecked = false;  ///< the derivation was replayed (Recheck option)
   bool RecheckOk = false;  ///< replay verdict; meaningful when Rechecked
   bool CacheHit = false;   ///< served from the session's result cache
+  double WallMillis = 0.0; ///< wall time of this function's check (0 when
+                           ///< the result came from the cache)
 
   /// Renders the Section 2.1-style error message.
   std::string renderError(const std::string &Source) const;
@@ -111,6 +129,12 @@ struct ProgramResult {
   unsigned JobsUsed = 1;   ///< resolved job count
   unsigned CacheHits = 0;
   unsigned CacheMisses = 0;
+  /// Session metrics snapshot as a JSON object (empty when the run was not
+  /// traced). Sourced from the MetricsRegistry; the bench artifacts
+  /// (BENCH_*.json) embed it verbatim.
+  std::string Metrics;
+  /// Human-readable profile (VerifyOptions::Profile; empty otherwise).
+  std::string ProfileReport;
 
   bool allVerified() const {
     for (const FnResult &R : Fns)

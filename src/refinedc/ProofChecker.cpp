@@ -6,12 +6,17 @@
 
 #include "refinedc/ProofChecker.h"
 
+#include "trace/Trace.h"
+
 using namespace rcc;
 using namespace rcc::refinedc;
 using namespace rcc::lithium;
 
 ProofCheckResult ProofChecker::check(const Derivation &D,
                                      const std::vector<pure::Lemma> &Lemmas) {
+  trace::Span ReplaySpan(trace::Category::ProofCheck, "proofcheck.replay");
+  trace::count("proofcheck.derivations");
+  trace::count("proofcheck.steps", D.Steps.size());
   ProofCheckResult R;
 
   // A fresh, independent solver: the engine's solver state (enabled

@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "trace/Trace.h"
+
 using namespace rcc;
 
 unsigned ThreadPool::resolveJobs(unsigned Requested) {
@@ -72,15 +74,35 @@ void ThreadPool::parallelFor(size_t N,
                              const std::function<void(size_t)> &BodyFn) {
   if (N == 0)
     return;
+  // Capture the caller's trace session and lane: pool workers have their own
+  // thread-locals, so the session must be re-installed inside each job, and
+  // each index gets a stable lane derived from the caller's. The serial path
+  // runs the same wrapper so traces are identical across job counts.
+  trace::TraceSession *TS = trace::current();
+  const uint64_t ParentLane = trace::LaneScope::currentLane();
+  trace::Span BatchSpan(trace::Category::Pool, "pool.batch");
+  if (TS) {
+    TS->metrics().counter("pool.batches").add(1);
+    TS->metrics().counter("pool.jobs").add(N);
+  }
+  const std::function<void(size_t)> Traced = [&BodyFn, TS,
+                                              ParentLane](size_t I) {
+    trace::SessionScope SS(TS);
+    trace::LaneScope LS(trace::LaneScope::derive(ParentLane, I));
+    trace::Span Job(trace::Category::Pool, std::string("pool.job"),
+                    "\"i\": " + std::to_string(I));
+    BodyFn(I);
+  };
+  const std::function<void(size_t)> &Run = TS ? Traced : BodyFn;
   if (Workers.empty() || N == 1) {
     // Serial fast path: run inline, exceptions propagate directly.
     for (size_t I = 0; I < N; ++I)
-      BodyFn(I);
+      Run(I);
     return;
   }
   {
     std::lock_guard<std::mutex> G(M);
-    Body = &BodyFn;
+    Body = &Run;
     End = N;
     Next.store(0, std::memory_order_relaxed);
     FirstError = nullptr;
@@ -88,7 +110,7 @@ void ThreadPool::parallelFor(size_t N,
   }
   WakeCV.notify_all();
   // The calling thread is a full participant.
-  runBatch(BodyFn);
+  runBatch(Run);
   std::exception_ptr Err;
   {
     std::unique_lock<std::mutex> L(M);

@@ -11,6 +11,8 @@
 
 using namespace rcc;
 
+const char *rcc::versionString() { return "refinedcpp 0.2.0"; }
+
 std::string rcc::join(const std::vector<std::string> &Parts,
                       const std::string &Sep) {
   std::string Result;

@@ -19,6 +19,10 @@
 
 namespace rcc {
 
+/// The project version string ("refinedcpp X.Y.Z"), reported by
+/// `verify_tool --version` and embedded in bench artifacts.
+const char *versionString();
+
 /// Joins \p Parts with \p Sep.
 std::string join(const std::vector<std::string> &Parts, const std::string &Sep);
 

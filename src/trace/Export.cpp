@@ -1,0 +1,285 @@
+//===- Export.cpp ---------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace rcc::trace;
+
+//===----------------------------------------------------------------------===//
+// Chrome trace-event JSON
+//===----------------------------------------------------------------------===//
+
+static void jsonEscape(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Orders a deterministic session's events on stable ids only: by lane,
+/// keeping each lane's single-visit recording order (the merged snapshot is
+/// already (Tid, Seq)-sorted, and one lane is worked by one thread).
+static void sortDeterministic(std::vector<Event> &Evts) {
+  std::stable_sort(Evts.begin(), Evts.end(),
+                   [](const Event &A, const Event &B) {
+                     return A.Lane < B.Lane;
+                   });
+}
+
+std::string rcc::trace::renderChromeTrace(const TraceSession &S) {
+  std::vector<Event> Evts = S.events();
+  const bool Det = S.deterministic();
+  if (Det)
+    sortDeterministic(Evts);
+
+  std::string Out;
+  Out.reserve(Evts.size() * 96 + 64);
+  Out += "{\"traceEvents\": [\n";
+  char Buf[128];
+  for (size_t I = 0; I < Evts.size(); ++I) {
+    const Event &E = Evts[I];
+    Out += "  {\"name\": \"";
+    jsonEscape(Out, E.Name);
+    Out += "\", \"cat\": \"";
+    Out += categoryName(E.Cat);
+    Out += "\", \"ph\": \"";
+    Out += E.Phase;
+    Out += '"';
+    // Instant events need a scope to render; thread scope is the natural one.
+    if (E.Phase == 'i')
+      Out += ", \"s\": \"t\"";
+    if (Det)
+      snprintf(Buf, sizeof(Buf), ", \"ts\": %zu, \"pid\": 0, \"tid\": %" PRIu64,
+               I, E.Lane);
+    else
+      snprintf(Buf, sizeof(Buf),
+               ", \"ts\": %.3f, \"pid\": 0, \"tid\": %u", E.TimeUs, E.Tid);
+    Out += Buf;
+    if (!E.Args.empty()) {
+      Out += ", \"args\": {";
+      Out += E.Args; // pre-rendered JSON body
+      Out += "}";
+    }
+    Out += I + 1 == Evts.size() ? "}\n" : "},\n";
+  }
+  Out += "], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool rcc::trace::writeChromeTrace(const TraceSession &S,
+                                  const std::string &Path, std::string *Err) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  OS << renderChromeTrace(S);
+  OS.flush();
+  if (!OS) {
+    if (Err)
+      *Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Profile report
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct SpanStat {
+  uint64_t Count = 0;
+  double CumUs = 0.0;
+  double SelfUs = 0.0;
+};
+
+struct OpenSpan {
+  const Event *B;
+  double ChildUs = 0.0;
+};
+} // namespace
+
+/// Folds the event stream into per-name span statistics for \p Cat. Spans
+/// nest properly within a thread, so a per-thread stack suffices; self time
+/// is cumulative time minus the time of directly nested spans (of any
+/// category, so a rule that spends its time in the solver has little self
+/// time).
+static std::map<std::string, SpanStat> spanStats(const std::vector<Event> &Evts,
+                                                 Category Cat) {
+  std::map<std::string, SpanStat> Out;
+  std::map<uint32_t, std::vector<OpenSpan>> Stacks;
+  for (const Event &E : Evts) {
+    if (E.Phase == 'i')
+      continue;
+    std::vector<OpenSpan> &Stack = Stacks[E.Tid];
+    if (E.Phase == 'B') {
+      Stack.push_back({&E, 0.0});
+      continue;
+    }
+    // 'E': match the innermost open span with this name (tolerates dropped
+    // frames rather than corrupting the whole accounting).
+    size_t Idx = Stack.size();
+    while (Idx > 0 && Stack[Idx - 1].B->Name != E.Name)
+      --Idx;
+    if (Idx == 0)
+      continue;
+    OpenSpan Open = Stack[Idx - 1];
+    Stack.erase(Stack.begin() + (Idx - 1), Stack.end());
+    double Dur = E.TimeUs - Open.B->TimeUs;
+    if (!Stack.empty())
+      Stack.back().ChildUs += Dur;
+    if (Open.B->Cat != Cat)
+      continue;
+    SpanStat &SS = Out[Open.B->Name];
+    ++SS.Count;
+    SS.CumUs += Dur;
+    SS.SelfUs += Dur - Open.ChildUs;
+  }
+  return Out;
+}
+
+std::string rcc::trace::renderProfile(const TraceSession &S, size_t TopN) {
+  const bool Det = S.deterministic();
+  std::vector<Event> Evts = S.events();
+  if (Det)
+    sortDeterministic(Evts);
+  std::map<std::string, uint64_t> Counters = S.metrics().counters();
+
+  std::ostringstream OS;
+  char Buf[256];
+  OS << "== Proof-search profile ==\n";
+  snprintf(Buf, sizeof(Buf), "events: %zu\n", Evts.size());
+  OS << Buf;
+
+  // --- Top rules by cumulative (timed) / application count (deterministic).
+  std::map<std::string, SpanStat> Rules = spanStats(Evts, Category::Rule);
+  std::vector<std::pair<std::string, SpanStat>> Ranked(Rules.begin(),
+                                                       Rules.end());
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [Det](const auto &A, const auto &B) {
+                     if (Det)
+                       return A.second.Count != B.second.Count
+                                  ? A.second.Count > B.second.Count
+                                  : A.first < B.first;
+                     return A.second.CumUs != B.second.CumUs
+                                ? A.second.CumUs > B.second.CumUs
+                                : A.first < B.first;
+                   });
+  OS << "\n-- top rules by " << (Det ? "applications" : "cumulative time")
+     << " --\n";
+  snprintf(Buf, sizeof(Buf), "%-28s %8s %12s %12s\n", "rule", "apps",
+           "cum ms", "self ms");
+  OS << Buf;
+  size_t Shown = 0;
+  for (const auto &[Name, SS] : Ranked) {
+    if (Shown++ >= TopN)
+      break;
+    snprintf(Buf, sizeof(Buf), "%-28s %8" PRIu64 " %12.3f %12.3f\n",
+             Name.c_str(), SS.Count, Det ? 0.0 : SS.CumUs / 1000.0,
+             Det ? 0.0 : SS.SelfUs / 1000.0);
+    OS << Buf;
+  }
+  if (Ranked.size() > Shown)
+    OS << "  ... (" << (Ranked.size() - Shown) << " more)\n";
+
+  // --- Goal-kind histogram (engine counters, stable order).
+  OS << "\n-- goal kinds --\n";
+  for (const auto &[Name, V] : Counters)
+    if (Name.rfind("engine.goal.", 0) == 0) {
+      snprintf(Buf, sizeof(Buf), "%-28s %8" PRIu64 "\n",
+               Name.c_str() + sizeof("engine.goal.") - 1, V);
+      OS << Buf;
+    }
+
+  // --- Solver statistics: counters plus span-derived time.
+  std::map<std::string, SpanStat> Solver = spanStats(Evts, Category::Solver);
+  double SolverUs = 0.0;
+  uint64_t SolverSpans = 0;
+  for (const auto &[Name, SS] : Solver) {
+    SolverUs += SS.CumUs;
+    SolverSpans += SS.Count;
+  }
+  OS << "\n-- solver --\n";
+  snprintf(Buf, sizeof(Buf), "%-28s %8" PRIu64 " %12.3f\n", "prove calls",
+           SolverSpans, Det ? 0.0 : SolverUs / 1000.0);
+  OS << Buf;
+  for (const auto &[Name, V] : Counters)
+    if (Name.rfind("solver.", 0) == 0) {
+      snprintf(Buf, sizeof(Buf), "%-28s %8" PRIu64 "\n", Name.c_str(),
+               Det && MetricsRegistry::isDuration(Name) ? uint64_t(0) : V);
+      OS << Buf;
+    }
+
+  // --- Checker / pipeline spans (per-function and cut-point cost).
+  std::map<std::string, SpanStat> Fns = spanStats(Evts, Category::Checker);
+  if (!Fns.empty()) {
+    OS << "\n-- checker spans --\n";
+    snprintf(Buf, sizeof(Buf), "%-28s %8s %12s\n", "span", "count", "cum ms");
+    OS << Buf;
+    for (const auto &[Name, SS] : Fns) {
+      snprintf(Buf, sizeof(Buf), "%-28s %8" PRIu64 " %12.3f\n", Name.c_str(),
+               SS.Count, Det ? 0.0 : SS.CumUs / 1000.0);
+      OS << Buf;
+    }
+  }
+
+  // --- Replay (proof-check) vs. search cost, directly comparable.
+  std::map<std::string, SpanStat> PC = spanStats(Evts, Category::ProofCheck);
+  if (!PC.empty()) {
+    OS << "\n-- proof checker (replay) --\n";
+    snprintf(Buf, sizeof(Buf), "%-28s %8s %12s\n", "span", "count", "cum ms");
+    OS << Buf;
+    for (const auto &[Name, SS] : PC) {
+      snprintf(Buf, sizeof(Buf), "%-28s %8" PRIu64 " %12.3f\n", Name.c_str(),
+               SS.Count, Det ? 0.0 : SS.CumUs / 1000.0);
+      OS << Buf;
+    }
+  }
+
+  // --- Full counter snapshot.
+  OS << "\n-- counters --\n";
+  for (const auto &[Name, V] : Counters) {
+    snprintf(Buf, sizeof(Buf), "%-40s %12" PRIu64 "\n", Name.c_str(),
+             Det && MetricsRegistry::isDuration(Name) ? uint64_t(0) : V);
+    OS << Buf;
+  }
+  for (const auto &[Name, V] : S.metrics().gauges()) {
+    snprintf(Buf, sizeof(Buf), "%-40s %12" PRId64 "\n", Name.c_str(),
+             Det && MetricsRegistry::isDuration(Name) ? int64_t(0) : V);
+    OS << Buf;
+  }
+  return OS.str();
+}

@@ -1,0 +1,49 @@
+//===- Export.h - Chrome-trace and profile-report exporters ----*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two consumers of a `TraceSession` (DESIGN.md, "Observability"):
+///
+///  - **Chrome trace-event JSON** (`renderChromeTrace`): loadable in
+///    `chrome://tracing` and https://ui.perfetto.dev. Timed sessions emit
+///    microsecond timestamps on real thread tracks; deterministic sessions
+///    emit ordinal timestamps on stable lane tracks, so the file is
+///    byte-identical across schedules and job counts.
+///
+///  - **Profile report** (`renderProfile`): a human-readable summary — the
+///    top rules by cumulative/self time (self = cumulative minus nested
+///    spans), a goal-kind histogram, solver-call statistics, and the full
+///    counter snapshot. In deterministic sessions all durations render as
+///    0 and rules rank by application count, keeping the report
+///    byte-identical too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_TRACE_EXPORT_H
+#define RCC_TRACE_EXPORT_H
+
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace rcc::trace {
+
+/// Renders the session as Chrome trace-event JSON (the `{"traceEvents":
+/// [...]}` object form).
+std::string renderChromeTrace(const TraceSession &S);
+
+/// Writes `renderChromeTrace(S)` to \p Path. False (with \p Err set) when
+/// the file cannot be written.
+bool writeChromeTrace(const TraceSession &S, const std::string &Path,
+                      std::string *Err = nullptr);
+
+/// Renders the human-readable profile report. \p TopN bounds the per-rule
+/// table.
+std::string renderProfile(const TraceSession &S, size_t TopN = 20);
+
+} // namespace rcc::trace
+
+#endif // RCC_TRACE_EXPORT_H
