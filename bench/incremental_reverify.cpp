@@ -1,0 +1,177 @@
+//===- incremental_reverify.cpp - Warm vs cold verification wall time -----===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the incremental re-verification workflow enabled by the
+/// persistent result store (DESIGN.md, "Persistent verification store"):
+/// verify a case study cold, re-verify it warm from the on-disk cache, then
+/// edit ONE function and re-verify — only the edited function may be
+/// re-proved; everything else must be served from the store (and replayed
+/// through the independent proof checker, so the warm runs are still
+/// foundational). Each run uses a fresh front end and Checker, sharing
+/// nothing but the cache directory — exactly the repeated-tool-invocation
+/// workflow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "casestudies/CaseStudies.h"
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+#include "support/Util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace rcc;
+using namespace rcc::casestudies;
+using namespace rcc::refinedc;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Run {
+  double WallMs = 0.0;
+  unsigned Reverified = 0; ///< store misses = functions actually re-proved
+  unsigned Hits = 0;
+  unsigned L2Hits = 0;
+  unsigned Replayed = 0;
+  double ReplayMs = 0.0;
+  bool Ok = false;
+};
+
+/// One simulated tool invocation: fresh frontend + Checker, shared cache
+/// directory.
+Run runOnce(const std::string &Src, const std::vector<std::string> &Fns,
+            const std::string &CacheDir) {
+  Run R;
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  if (!AP) {
+    fprintf(stderr, "%s", Diags.render(Src).c_str());
+    return R;
+  }
+  Checker C(*AP, Diags);
+  if (!C.buildEnv()) {
+    fprintf(stderr, "%s", Diags.render(Src).c_str());
+    return R;
+  }
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  Opts.CacheDir = CacheDir;
+  auto T0 = std::chrono::steady_clock::now();
+  ProgramResult PR = C.verifyFunctions(Fns, Opts);
+  auto T1 = std::chrono::steady_clock::now();
+  R.WallMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  R.Reverified = PR.CacheMisses;
+  R.Hits = PR.CacheHits;
+  R.L2Hits = PR.L2Hits;
+  R.Replayed = PR.ReplayedHits;
+  R.ReplayMs = PR.ReplayMillis;
+  R.Ok = PR.allVerified() && PR.allRechecksOk();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  const CaseStudy *CS = caseStudy("slist");
+  if (!CS) {
+    fprintf(stderr, "case study 'slist' not found\n");
+    return 1;
+  }
+
+  // The "edit": widen whitespace on one line inside slist_pop's body. Same
+  // line count, so every other function's source locations — and therefore
+  // content hashes — are untouched; only slist_pop's columns shift.
+  const std::string Needle = "  size_t v = h->value;";
+  const std::string Replacement = "  size_t v =  h->value;";
+  std::string Edited = CS->Source;
+  size_t At = Edited.find(Needle);
+  if (At == std::string::npos) {
+    fprintf(stderr, "edit anchor not found in slist source\n");
+    return 1;
+  }
+  Edited.replace(At, Needle.size(), Replacement);
+
+  fs::path CacheDir = fs::temp_directory_path() /
+                      ("rcc_incremental_bench_" + std::to_string(::getpid()));
+  fs::remove_all(CacheDir);
+
+  // Warm-up pass (one-time arena/registration costs), against a throwaway
+  // directory so the measured cold run is genuinely cold on disk.
+  (void)runOnce(CS->Source, CS->Functions, (CacheDir / "warmup").string());
+  fs::remove_all(CacheDir);
+
+  const std::string Dir = CacheDir.string();
+  Run Cold = runOnce(CS->Source, CS->Functions, Dir);
+  Run Warm = runOnce(CS->Source, CS->Functions, Dir);
+  Run EditedWarm = runOnce(Edited, CS->Functions, Dir);
+  Run Warm2 = runOnce(Edited, CS->Functions, Dir);
+  fs::remove_all(CacheDir);
+
+  const unsigned N = static_cast<unsigned>(CS->Functions.size());
+  printf("Incremental re-verification (%s, %u functions, verify + "
+         "recheck + replay)\n\n",
+         CS->Id.c_str(), N);
+  printf("%-18s %10s %12s %8s %10s %12s\n", "run", "wall ms", "re-verified",
+         "hits", "replayed", "replay ms");
+  printf("%s\n", std::string(76, '-').c_str());
+  auto Row = [](const char *Name, const Run &R) {
+    printf("%-18s %10.2f %12u %8u %10u %12.2f\n", Name, R.WallMs,
+           R.Reverified, R.Hits, R.Replayed, R.ReplayMs);
+  };
+  Row("cold", Cold);
+  Row("warm", Warm);
+  Row("warm (1 edited)", EditedWarm);
+  Row("warm again", Warm2);
+
+  bool Ok = Cold.Ok && Warm.Ok && EditedWarm.Ok && Warm2.Ok;
+  bool Contract = Cold.Reverified == N && Warm.Reverified == 0 &&
+                  Warm.Hits == N && EditedWarm.Reverified == 1 &&
+                  EditedWarm.Hits == N - 1 && Warm2.Reverified == 0;
+  if (Warm.WallMs > 0 && Cold.WallMs > 0)
+    printf("\nwarm/cold wall-time ratio: %.2f (replay-only)\n",
+           Warm.WallMs / Cold.WallMs);
+
+  {
+    std::ofstream OS("BENCH_incremental_reverify.json");
+    OS << "{\n  \"bench\": \"incremental_reverify\",\n  \"version\": \""
+       << versionString() << "\",\n  \"case_study\": \"" << CS->Id
+       << "\",\n  \"functions\": " << N << ",\n  \"runs\": [";
+    const std::pair<const char *, const Run *> All[] = {
+        {"cold", &Cold},
+        {"warm", &Warm},
+        {"warm_one_edited", &EditedWarm},
+        {"warm_again", &Warm2}};
+    for (size_t I = 0; I < 4; ++I) {
+      OS << (I ? ",\n    {" : "\n    {") << "\"run\": \"" << All[I].first
+         << "\", \"wall_ms\": " << All[I].second->WallMs
+         << ", \"reverified\": " << All[I].second->Reverified
+         << ", \"hits\": " << All[I].second->Hits
+         << ", \"l2_hits\": " << All[I].second->L2Hits
+         << ", \"replayed\": " << All[I].second->Replayed
+         << ", \"replay_ms\": " << All[I].second->ReplayMs << "}";
+    }
+    OS << "\n  ]\n}\n";
+    printf("[artifact] wrote BENCH_incremental_reverify.json\n");
+  }
+
+  if (!Ok) {
+    printf("[FAILED] a run did not verify/replay cleanly\n");
+    return 1;
+  }
+  if (!Contract) {
+    printf("[FAILED] incremental contract violated: the warm run after a "
+           "one-function edit must re-verify exactly that function\n");
+    return 1;
+  }
+  printf("[ok] warm runs re-verified only what changed\n");
+  return 0;
+}

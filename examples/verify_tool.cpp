@@ -11,17 +11,27 @@
 /// failure. Exit code 0 iff everything verified. Flags:
 ///
 ///   --stats        print per-function rule/side-condition statistics
-///   --no-recheck   skip the independent derivation replay
+///   --no-recheck   skip the independent derivation replay (also downgrades
+///                  persistent-cache hits to content-hash trust)
 ///   --jobs=N       run N verification jobs concurrently (0 = all cores)
+///   --cache-dir=D  persist verification results under D and reuse them on
+///                  later runs (entries are replayed through the proof
+///                  checker before being trusted; see DESIGN.md)
+///   --no-cache     bypass the result store entirely
 ///   --format=json  print the ProgramResult as JSON instead of text
 ///   --run[=fn]     additionally execute `fn` (default main) afterwards
 ///   --trace=FILE   write a Chrome trace-event JSON of the whole pipeline
 ///                  (load in chrome://tracing or https://ui.perfetto.dev)
+///   --trace-cap=N  cap each thread's trace buffer at N events (ring
+///                  truncation; dropped events are counted in the metrics)
 ///   --profile      print the proof-search profile report (top rules by
 ///                  cumulative/self time, goal kinds, solver stats)
 ///   --deterministic-trace  make trace/profile output byte-identical across
 ///                  --jobs values (stable lanes, ordinal timestamps)
 ///   --version      print the version and exit
+///
+/// Unknown `--` flags are a usage error (exit 2), so a typo cannot silently
+/// verify with the wrong configuration.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,13 +50,43 @@
 
 using namespace rcc;
 
+static int usage(const char *Bad = nullptr) {
+  if (Bad)
+    fprintf(stderr, "error: unknown or malformed option '%s'\n", Bad);
+  fprintf(stderr,
+          "usage: verify_tool [--stats] [--no-recheck] [--jobs=N] "
+          "[--cache-dir=DIR] [--no-cache] [--format=json] [--run[=fn]] "
+          "[--trace=FILE] [--trace-cap=N] [--profile] "
+          "[--deterministic-trace] [--version] <file.c> [function...]\n");
+  return 2;
+}
+
+/// Strict decimal parse for flag values; rejects empty, signs, and trailing
+/// garbage (`--jobs=4x` must not silently mean 4).
+static bool parseUnsigned(const std::string &S, unsigned &Out) {
+  if (S.empty())
+    return false;
+  unsigned long long V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<unsigned>(C - '0');
+    if (V > 0xffffffffULL)
+      return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
 int main(int argc, char **argv) {
   std::string Path;
   std::vector<std::string> Functions;
   bool Stats = false, Recheck = true, Json = false;
-  unsigned Jobs = 1;
+  unsigned Jobs = 1, TraceCap = 0;
   std::string RunFn;
   std::string TraceFile;
+  std::string CacheDir;
+  bool NoCache = false;
   bool Profile = false, DetTrace = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -55,8 +95,15 @@ int main(int argc, char **argv) {
       Stats = true;
     else if (A == "--no-recheck")
       Recheck = false;
-    else if (A.rfind("--jobs=", 0) == 0)
-      Jobs = static_cast<unsigned>(atoi(A.c_str() + 7));
+    else if (A.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(A.substr(7), Jobs))
+        return usage(argv[I]);
+    } else if (A.rfind("--cache-dir=", 0) == 0) {
+      CacheDir = A.substr(12);
+      if (CacheDir.empty())
+        return usage(argv[I]);
+    } else if (A == "--no-cache")
+      NoCache = true;
     else if (A == "--format=json")
       Json = true;
     else if (A == "--run")
@@ -65,31 +112,31 @@ int main(int argc, char **argv) {
       RunFn = A.substr(6);
     else if (A.rfind("--trace=", 0) == 0)
       TraceFile = A.substr(8);
-    else if (A == "--profile")
+    else if (A.rfind("--trace-cap=", 0) == 0) {
+      if (!parseUnsigned(A.substr(12), TraceCap))
+        return usage(argv[I]);
+    } else if (A == "--profile")
       Profile = true;
     else if (A == "--deterministic-trace")
       DetTrace = true;
     else if (A == "--version") {
       printf("%s\n", versionString());
       return 0;
+    } else if (A.rfind("--", 0) == 0) {
+      return usage(argv[I]);
     } else if (Path.empty())
       Path = A;
     else
       Functions.push_back(A);
   }
-  if (Path.empty()) {
-    fprintf(stderr,
-            "usage: verify_tool [--stats] [--no-recheck] [--jobs=N] "
-            "[--format=json] [--run[=fn]] [--trace=FILE] [--profile] "
-            "[--deterministic-trace] [--version] <file.c> [function...]\n");
-    return 2;
-  }
+  if (Path.empty())
+    return usage();
 
   // The session is created here (not inside the checker) so the frontend
   // spans land in the same trace as the verification run.
   std::unique_ptr<trace::TraceSession> TS;
   if (!TraceFile.empty() || Profile)
-    TS = std::make_unique<trace::TraceSession>(DetTrace);
+    TS = std::make_unique<trace::TraceSession>(DetTrace, TraceCap);
   trace::SessionScope TraceScope(TS.get());
 
   std::ifstream In(Path);
@@ -122,6 +169,8 @@ int main(int argc, char **argv) {
   refinedc::VerifyOptions Opts;
   Opts.Recheck = Recheck;
   Opts.Jobs = Jobs;
+  Opts.CacheDir = CacheDir;
+  Opts.NoCache = NoCache;
   Opts.Trace = TS.get();
   Opts.Profile = Profile;
   refinedc::ProgramResult PR = Checker.verifyFunctions(Functions, Opts);
@@ -148,6 +197,10 @@ int main(int argc, char **argv) {
                R.EvarsInstantiated, R.Stats.SideCondAuto,
                R.Stats.SideCondManual);
     }
+    if (!CacheDir.empty() && !NoCache)
+      printf("[cache] %u hit%s (l2 %u, replayed %u), %u re-verified\n",
+             PR.CacheHits, PR.CacheHits == 1 ? "" : "s", PR.L2Hits,
+             PR.ReplayedHits, PR.CacheMisses);
   }
 
   if (!RunFn.empty()) {

@@ -16,8 +16,25 @@ cmake --build build -j
     examples/demo.c
 test -s build/demo_trace.json
 
-# 3. ASan/UBSan configuration (trace subsystem + parallel driver are the
-#    main customers: data races on buffers, lifetime of cached pointers).
+# 3. Persistent-cache round trip: a cold run populates the cache directory,
+#    a second process must be served entirely from it (zero re-verified
+#    functions; every hit replayed through the proof checker).
+rm -rf build/check_cache
+./build/examples/verify_tool --cache-dir=build/check_cache \
+    examples/demo.c > /dev/null
+out=$(./build/examples/verify_tool --cache-dir=build/check_cache \
+    --format=json examples/demo.c)
+echo "$out" | grep -q '"cache_misses": 0'
+echo "$out" | grep -q '"replay_failures": 0'
+echo "$out" | grep -q '"all_verified": true'
+if echo "$out" | grep -q '"cache_hits": 0'; then
+  echo "check.sh: warm cache run reported zero hits"; exit 1
+fi
+
+# 4. ASan/UBSan configuration (trace subsystem, parallel driver, and the
+#    result store's deserializer are the main customers: data races on
+#    buffers, lifetime of cached pointers, attacker-controlled cache bytes).
+#    The store tests (test_store) run as part of the suite below.
 #    Skippable for quick local runs: CHECK_SKIP_SANITIZERS=1 scripts/check.sh
 if [ -z "$CHECK_SKIP_SANITIZERS" ]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -23,30 +23,6 @@ using namespace rcc::lithium;
 using namespace rcc::pure;
 
 //===----------------------------------------------------------------------===//
-// FnResult rendering (the Section 2.1 error-message format)
-//===----------------------------------------------------------------------===//
-
-std::string FnResult::renderError(const std::string &Source) const {
-  std::ostringstream OS;
-  OS << "Verification of `" << Name << "` failed!\n";
-  OS << "---------------------------------------\n";
-  OS << Error << "\n";
-  if (ErrorLoc.isValid()) {
-    OS << "Location: [" << ErrorLoc.Line << ":" << ErrorLoc.Col << "]\n";
-    // Echo the offending source line.
-    std::vector<std::string> Lines = splitString(Source, '\n');
-    if (ErrorLoc.Line >= 1 && ErrorLoc.Line <= Lines.size())
-      OS << "  | " << Lines[ErrorLoc.Line - 1] << "\n";
-  }
-  if (!ErrorContext.empty()) {
-    OS << "Up-to-date context:\n";
-    for (const std::string &C : ErrorContext)
-      OS << "  " << C << "\n";
-  }
-  return OS.str();
-}
-
-//===----------------------------------------------------------------------===//
 // Checker
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +30,10 @@ Checker::Checker(const front::AnnotatedProgram &AP,
                  rcc::DiagnosticEngine &Diags)
     : AP(AP), Diags(Diags) {
   registerStandardRules(Rules);
+  // The trusted in-memory tier is part of every session; configureStore
+  // attaches the persistent tier per run.
+  L1 = std::make_shared<store::MemoryResultStore>();
+  Store.addTier(L1);
 }
 
 Checker::~Checker() {
@@ -625,9 +605,84 @@ uint64_t Checker::fnContentHash(const std::string &Name,
 }
 
 void Checker::invalidateCache() {
-  std::lock_guard<std::mutex> G(CacheM);
-  Cache.clear();
+  // Only the in-memory tier is cleared: persistent entries self-invalidate
+  // through their content-hash keys (the session fingerprint folds in the
+  // rule count and simplifier rule names, so a mutated session simply
+  // misses on every old entry).
+  L1->clear();
   EnvFingerprintValid = false;
+}
+
+void Checker::configureStore(const VerifyOptions &Opts) {
+  const bool WantL2 = !Opts.CacheDir.empty() && !Opts.NoCache;
+  if (WantL2 && L2 && L2->dir() == Opts.CacheDir)
+    return; // same directory as the previous run: keep the tier (and its
+            // lifetime counters)
+  if (!WantL2 && !L2)
+    return;
+  L2 = WantL2 ? std::make_shared<store::DiskResultStore>(Opts.CacheDir)
+              : nullptr;
+  Store.resetTiers();
+  Store.addTier(L1);
+  if (L2)
+    Store.addTier(L2);
+}
+
+bool Checker::probeStore(const std::string &Name, uint64_t Key,
+                         const VerifyOptions &Opts, FnResult &Out,
+                         size_t &HitTier, RunStoreStats &RS) {
+  FnResult R;
+  size_t T = 0;
+  if (!Store.get(Name, Key, R, T))
+    return false;
+
+  if (T > 0) {
+    // The entry came from an untrusted (persistent) tier. Its envelope only
+    // filtered corruption and staleness; trust is established by replaying
+    // the recorded derivation through the independent ProofChecker — the
+    // paper's search-untrusted / checker-trusted split, extended across
+    // process boundaries. --no-recheck downgrades this to content-hash
+    // trust. Failed and rc::trust_me results carry no proof to replay and
+    // are surfaced as stored.
+    if (Opts.Recheck && R.Verified && !R.Trusted) {
+      if (R.Deriv.Steps.empty())
+        return false; // stored without a derivation: cannot re-certify
+      trace::Span ReplaySpan(trace::Category::Cache, "store.l2.replay");
+      auto T0 = std::chrono::steady_clock::now();
+      std::vector<pure::Lemma> Lemmas;
+      auto SIt = Env.FnSpecs.find(Name);
+      if (SIt != Env.FnSpecs.end())
+        for (const auto &[LN, LP, LL] : SIt->second->Lemmas)
+          Lemmas.push_back({LN, LP, LL});
+      ProofChecker PC(Rules);
+      bool Ok = PC.check(R.Deriv, Lemmas).Ok;
+      auto T1 = std::chrono::steady_clock::now();
+      RS.ReplayUs.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+                  .count()),
+          std::memory_order_relaxed);
+      RS.Replays.fetch_add(1, std::memory_order_relaxed);
+      if (!Ok) {
+        // A well-formed entry whose proof does not replay. Drop it from
+        // every tier and fall back to a fresh verification.
+        RS.ReplayFailures.fetch_add(1, std::memory_order_relaxed);
+        Store.drop(Name, Key);
+        return false;
+      }
+      R.Rechecked = true;
+      R.RecheckOk = true;
+    }
+    // Validated (or hash-trusted under --no-recheck): promote into the
+    // trusted in-memory tier so repeated runs in this session hit L1.
+    Store.promote(Name, Key, R, T);
+  }
+
+  R.CacheHit = true;
+  R.WallMillis = 0.0; // no check ran for this result
+  HitTier = T;
+  Out = std::move(R);
+  return true;
 }
 
 ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
@@ -643,7 +698,8 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   trace::TraceSession *TS = Opts.Trace ? Opts.Trace : trace::current();
   std::unique_ptr<trace::TraceSession> OwnedTS;
   if (!TS && (!Opts.TraceFile.empty() || Opts.Profile)) {
-    OwnedTS = std::make_unique<trace::TraceSession>(Opts.DeterministicTrace);
+    OwnedTS = std::make_unique<trace::TraceSession>(Opts.DeterministicTrace,
+                                                    Opts.TraceEventCap);
     TS = OwnedTS.get();
   }
   trace::SessionScope TraceScope(TS);
@@ -652,48 +708,69 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   std::optional<trace::Span> RunSpan;
   RunSpan.emplace(trace::Category::Checker, "checker.run");
 
+  // Compose this run's store tiers (L1 always; L2 when CacheDir is set).
+  configureStore(Opts);
+  const bool UseStore = !Opts.NoCache;
+  const bool HaveL2 = UseStore && L2 != nullptr;
+
+  // Persistent entries are only replayable if they carry their derivation,
+  // so a disk-backed run under Recheck always collects derivations for the
+  // stored copies; surfaced results still honor Opts.CollectDerivation
+  // (stripped after publication, below).
+  VerifyOptions EffOpts = Opts;
+  if (HaveL2 && Opts.Recheck)
+    EffOpts.CollectDerivation = true;
+
   // Content hashes are computed up front, serially: this forces the lazy
-  // environment fingerprint before any job runs and keeps cache probing
+  // environment fingerprint before any job runs and keeps the hashing
   // out of the parallel section's hot path.
   std::vector<uint64_t> Hashes(Names.size());
   for (size_t I = 0; I < Names.size(); ++I)
-    Hashes[I] = fnContentHash(Names[I], Opts);
+    Hashes[I] = fnContentHash(Names[I], EffOpts);
 
   PR.Fns.resize(Names.size());
-  std::vector<char> Hit(Names.size(), 0);
-  {
-    std::lock_guard<std::mutex> G(CacheM);
-    for (size_t I = 0; I < Names.size(); ++I) {
-      auto It = Cache.find(Names[I]);
-      if (It != Cache.end() && It->second.first == Hashes[I]) {
-        PR.Fns[I] = It->second.second;
-        PR.Fns[I].CacheHit = true;
-        Hit[I] = 1;
-      }
-    }
-  }
+  constexpr size_t kMiss = ~static_cast<size_t>(0);
+  std::vector<size_t> HitTier(Names.size(), kMiss);
+  RunStoreStats RS;
+  const uint64_t CorruptBase =
+      HaveL2 ? L2->counters().CorruptDrops.load(std::memory_order_relaxed)
+             : 0;
 
+  // Each job consults the store at job start (probe + replay) and
+  // publishes at job end, through the same interface regardless of tier.
   ThreadPool Pool(PR.JobsUsed);
   Pool.parallelFor(Names.size(), [&](size_t I) {
-    if (Hit[I])
-      return;
-    PR.Fns[I] = verifyFunction(Names[I], Opts);
+    if (!UseStore ||
+        !probeStore(Names[I], Hashes[I], EffOpts, PR.Fns[I], HitTier[I],
+                    RS)) {
+      PR.Fns[I] = verifyFunction(Names[I], EffOpts);
+      if (UseStore)
+        Store.put(Names[I], Hashes[I], PR.Fns[I]);
+    }
+    if (!Opts.CollectDerivation && !PR.Fns[I].Deriv.Steps.empty()) {
+      PR.Fns[I].Deriv.Steps.clear();
+      PR.Fns[I].Deriv.Steps.shrink_to_fit();
+    }
   });
 
-  {
-    std::lock_guard<std::mutex> G(CacheM);
-    for (size_t I = 0; I < Names.size(); ++I) {
-      if (Hit[I]) {
-        ++PR.CacheHits;
-        PR.Fns[I].WallMillis = 0.0; // no check ran for this result
-      } else {
-        ++PR.CacheMisses;
-        FnResult Stored = PR.Fns[I];
-        Stored.CacheHit = false;
-        Cache[Names[I]] = {Hashes[I], std::move(Stored)};
-      }
+  for (size_t I = 0; I < Names.size(); ++I) {
+    if (HitTier[I] == kMiss) {
+      ++PR.CacheMisses;
+    } else {
+      ++PR.CacheHits;
+      if (HitTier[I] == 0)
+        ++PR.L1Hits;
+      else
+        ++PR.L2Hits;
     }
   }
+  PR.ReplayedHits = static_cast<unsigned>(RS.Replays.load());
+  PR.ReplayFailures = static_cast<unsigned>(RS.ReplayFailures.load());
+  PR.ReplayMillis = static_cast<double>(RS.ReplayUs.load()) / 1000.0;
+  if (HaveL2)
+    PR.CorruptDrops = static_cast<unsigned>(
+        L2->counters().CorruptDrops.load(std::memory_order_relaxed) -
+        CorruptBase);
 
   if (TS) {
     // Fold the per-function EngineStats into the session registry —
@@ -702,8 +779,8 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
     // these (they only bump counters EngineStats does not cover).
     trace::MetricsRegistry &MR = TS->metrics();
     for (size_t I = 0; I < PR.Fns.size(); ++I) {
-      if (Hit[I])
-        continue; // cache hits did no engine work this run
+      if (HitTier[I] != kMiss)
+        continue; // store hits did no engine work this run
       const EngineStats &ES = PR.Fns[I].Stats;
       MR.counter("engine.rule_apps").add(ES.RuleApps);
       MR.counter("engine.goal_steps").add(ES.GoalSteps);
@@ -712,6 +789,19 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
     }
     MR.counter("cache.hits").add(PR.CacheHits);
     MR.counter("cache.misses").add(PR.CacheMisses);
+    if (UseStore) {
+      // Per-tier store accounting, mirrored from the joined results (and,
+      // for corrupt drops, from the tier's own lifetime counters) so the
+      // exported values are schedule-independent.
+      MR.counter("store.l1.hits").add(PR.L1Hits);
+      if (HaveL2) {
+        MR.counter("store.l2.hits").add(PR.L2Hits);
+        MR.counter("store.l2.replays").add(PR.ReplayedHits);
+        MR.counter("store.l2.replay_failures").add(PR.ReplayFailures);
+        MR.counter("store.l2.replay_us").add(RS.ReplayUs.load());
+        MR.counter("store.l2.corrupt_drops").add(PR.CorruptDrops);
+      }
+    }
     MR.counter("checker.functions").add(Names.size());
   }
 
@@ -761,106 +851,3 @@ std::vector<FnResult> Checker::verifyAll() {
   return verifyAll(Opts).Fns;
 }
 #pragma GCC diagnostic pop
-
-// --- JSON rendering (verify_tool --format=json) -------------------------
-
-static void jsonEscape(std::string &Out, const std::string &S) {
-  Out += '"';
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  Out += '"';
-}
-
-std::string ProgramResult::toJson() const {
-  std::string S;
-  char Buf[64];
-  S += "{\n";
-  snprintf(Buf, sizeof(Buf), "  \"jobs\": %u,\n", JobsUsed);
-  S += Buf;
-  snprintf(Buf, sizeof(Buf), "  \"wall_ms\": %.3f,\n", WallMillis);
-  S += Buf;
-  snprintf(Buf, sizeof(Buf), "  \"cache_hits\": %u,\n", CacheHits);
-  S += Buf;
-  snprintf(Buf, sizeof(Buf), "  \"cache_misses\": %u,\n", CacheMisses);
-  S += Buf;
-  S += std::string("  \"all_verified\": ") +
-       (allVerified() ? "true" : "false") + ",\n";
-  S += "  \"functions\": [";
-  for (size_t I = 0; I < Fns.size(); ++I) {
-    const FnResult &R = Fns[I];
-    S += I ? ",\n    {" : "\n    {";
-    S += "\"name\": ";
-    jsonEscape(S, R.Name);
-    S += std::string(", \"verified\": ") + (R.Verified ? "true" : "false");
-    S += std::string(", \"trusted\": ") + (R.Trusted ? "true" : "false");
-    S += std::string(", \"cache_hit\": ") + (R.CacheHit ? "true" : "false");
-    if (!R.Error.empty()) {
-      S += ", \"error\": ";
-      jsonEscape(S, R.Error);
-      snprintf(Buf, sizeof(Buf), ", \"error_line\": %u, \"error_col\": %u",
-               R.ErrorLoc.Line, R.ErrorLoc.Col);
-      S += Buf;
-    }
-    snprintf(Buf, sizeof(Buf), ", \"rule_apps\": %u", R.Stats.RuleApps);
-    S += Buf;
-    snprintf(Buf, sizeof(Buf), ", \"distinct_rules\": %zu",
-             R.Stats.RulesUsed.size());
-    S += Buf;
-    snprintf(Buf, sizeof(Buf), ", \"side_cond_auto\": %u",
-             R.Stats.SideCondAuto);
-    S += Buf;
-    snprintf(Buf, sizeof(Buf), ", \"side_cond_manual\": %u",
-             R.Stats.SideCondManual);
-    S += Buf;
-    snprintf(Buf, sizeof(Buf), ", \"goal_steps\": %u", R.Stats.GoalSteps);
-    S += Buf;
-    snprintf(Buf, sizeof(Buf), ", \"evars_instantiated\": %u",
-             R.EvarsInstantiated);
-    S += Buf;
-    if (R.BacktrackedSteps) {
-      snprintf(Buf, sizeof(Buf), ", \"backtracked_steps\": %u",
-               R.BacktrackedSteps);
-      S += Buf;
-    }
-    snprintf(Buf, sizeof(Buf), ", \"deriv_steps\": %zu",
-             R.Deriv.Steps.size());
-    S += Buf;
-    snprintf(Buf, sizeof(Buf), ", \"wall_ms\": %.3f", R.WallMillis);
-    S += Buf;
-    if (R.Rechecked)
-      S += std::string(", \"recheck_ok\": ") + (R.RecheckOk ? "true" : "false");
-    S += "}";
-  }
-  S += Fns.empty() ? "]" : "\n  ]";
-  if (!Metrics.empty()) {
-    S += ",\n  \"metrics\": ";
-    S += Metrics;
-  }
-  S += "\n}\n";
-  return S;
-}

@@ -19,11 +19,13 @@
 
 #include "frontend/Frontend.h"
 #include "lithium/Engine.h"
+#include "refinedc/Result.h"
 #include "refinedc/SpecParser.h"
+#include "store/ResultStore.h"
 
-#include <mutex>
+#include <atomic>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 
 namespace rcc::refinedc {
 
@@ -62,105 +64,6 @@ struct VerifyCtx : lithium::VerifyCtxBase {
   }
 };
 
-/// Per-session verification options (the public knobs of the driver API;
-/// everything else about a Checker is fixed once buildEnv() ran).
-struct VerifyOptions {
-  /// Replay every successful derivation through the independent
-  /// ProofChecker and record the outcome in FnResult::RecheckOk.
-  bool Recheck = false;
-  /// Ablation: run the engines in naive-backtracking mode (see Engine).
-  bool Backtracking = false;
-  /// Number of concurrent verification jobs for verifyAll /
-  /// verifyFunctions. 1 = serial; 0 = one job per hardware core. Results
-  /// are byte-identical regardless of the job count (see DESIGN.md,
-  /// "Concurrency model").
-  unsigned Jobs = 1;
-  /// Engine goal-step budget override (0 = the engine default; the
-  /// backtracking baseline defaults to a tight 20k budget).
-  unsigned MaxSteps = 0;
-  /// Keep the recorded Derivation in each FnResult. Turning this off saves
-  /// memory on large programs; rechecking still works (the derivation is
-  /// collected, replayed, and then dropped).
-  bool CollectDerivation = true;
-
-  // --- Observability (src/trace; DESIGN.md "Observability") ---
-  /// Trace session to record into. When null but TraceFile/Profile is set,
-  /// verifyFunctions creates an internal session for the run. Callers that
-  /// want frontend spans too create the session themselves (verify_tool
-  /// does) and handle the export.
-  trace::TraceSession *Trace = nullptr;
-  /// Write the Chrome trace-event JSON here after the run (internal-session
-  /// mode; ignored when empty).
-  std::string TraceFile;
-  /// Fill ProgramResult::ProfileReport with the human-readable profile.
-  bool Profile = false;
-  /// Internal-session mode: create the session deterministic, so exported
-  /// counters and the profile are byte-identical across Jobs (durations
-  /// zeroed, rules ranked by application count).
-  bool DeterministicTrace = false;
-};
-
-/// Result of verifying one function.
-struct FnResult {
-  std::string Name;
-  bool Verified = false;
-  bool Trusted = false; ///< rc::trust_me
-  std::string Error;
-  rcc::SourceLoc ErrorLoc;
-  std::vector<std::string> ErrorContext;
-  lithium::EngineStats Stats;
-  lithium::Derivation Deriv;
-  unsigned EvarsInstantiated = 0;
-  unsigned BacktrackedSteps = 0; ///< nonzero only in the ablation baseline
-  bool Rechecked = false;  ///< the derivation was replayed (Recheck option)
-  bool RecheckOk = false;  ///< replay verdict; meaningful when Rechecked
-  bool CacheHit = false;   ///< served from the session's result cache
-  double WallMillis = 0.0; ///< wall time of this function's check (0 when
-                           ///< the result came from the cache)
-
-  /// Renders the Section 2.1-style error message.
-  std::string renderError(const std::string &Source) const;
-};
-
-/// Aggregate result of a whole-program verification run.
-struct ProgramResult {
-  std::vector<FnResult> Fns;
-  double WallMillis = 0.0; ///< wall time of the run (all jobs)
-  unsigned JobsUsed = 1;   ///< resolved job count
-  unsigned CacheHits = 0;
-  unsigned CacheMisses = 0;
-  /// Session metrics snapshot as a JSON object (empty when the run was not
-  /// traced). Sourced from the MetricsRegistry; the bench artifacts
-  /// (BENCH_*.json) embed it verbatim.
-  std::string Metrics;
-  /// Human-readable profile (VerifyOptions::Profile; empty otherwise).
-  std::string ProfileReport;
-
-  bool allVerified() const {
-    for (const FnResult &R : Fns)
-      if (!R.Verified)
-        return false;
-    return true;
-  }
-  /// True if every function that was rechecked passed the replay.
-  bool allRechecksOk() const {
-    for (const FnResult &R : Fns)
-      if (R.Rechecked && !R.RecheckOk)
-        return false;
-    return true;
-  }
-  const FnResult *fn(const std::string &Name) const {
-    for (const FnResult &R : Fns)
-      if (R.Name == Name)
-        return &R;
-    return nullptr;
-  }
-  /// Machine-readable rendering (verify_tool --format=json): per-function
-  /// name, verdict, error + location, and engine statistics, plus the
-  /// run-level wall time and cache counters.
-  std::string toJson() const;
-};
-
 /// Whole-program verification driver.
 ///
 /// Concurrency model (see DESIGN.md for the full discussion): after
@@ -171,10 +74,14 @@ struct ProgramResult {
 /// from the session's template so user-registered simplification rules
 /// carry over), EvarEnv, Engine, and DiagnosticEngine, so jobs never share
 /// mutable state and per-function results are byte-identical regardless of
-/// Jobs. Session-level results are memoized in a content-hash cache keyed
-/// by the function body, its annotations, its callees' specs, and the
-/// spec-environment fingerprint, so re-running verifyAll after nothing
-/// changed is O(1) per function.
+/// Jobs. Session-level results are memoized in a tiered result store (see
+/// src/store and DESIGN.md, "Persistent verification store"): an always-on
+/// in-memory tier keyed by a content hash of the function body, its
+/// annotations, its callees' specs, and the spec-environment fingerprint —
+/// so re-running verifyAll after nothing changed is O(1) per function —
+/// plus an optional on-disk tier (VerifyOptions::CacheDir) whose entries
+/// survive the process and are replayed through the independent
+/// ProofChecker before being trusted.
 class Checker {
 public:
   Checker(const front::AnnotatedProgram &AP, rcc::DiagnosticEngine &Diags);
@@ -189,12 +96,13 @@ public:
   bool buildEnv();
 
   /// Verifies one function against its annotations. Thread-safe: shares
-  /// only immutable session state, and bypasses the result cache.
+  /// only immutable session state, and bypasses the result store.
   FnResult verifyFunction(const std::string &Name,
                           const VerifyOptions &Opts) const;
 
   /// Verifies the named functions (in the given order) with Opts.Jobs
-  /// concurrent jobs, consulting the session result cache.
+  /// concurrent jobs; each job consults the session result store at job
+  /// start and publishes at job end.
   ProgramResult verifyFunctions(const std::vector<std::string> &Names,
                                 const VerifyOptions &Opts);
 
@@ -218,7 +126,8 @@ public:
 
   /// Mutable access to the session environment / solver template for
   /// user extensions (ExtensibilityTest registers simplification rules
-  /// this way). Mutating either invalidates the result cache.
+  /// this way). Mutating either invalidates the in-memory result tier
+  /// (persistent entries self-invalidate through their keys).
   TypeEnv &env() {
     invalidateCache();
     return Env;
@@ -244,6 +153,27 @@ private:
                          const VerifyOptions &Opts) const;
   void invalidateCache();
 
+  /// (Re)builds the tiered store for this run: the session L1 always, plus
+  /// a disk L2 when Opts.CacheDir is set (reused across runs on the same
+  /// directory).
+  void configureStore(const VerifyOptions &Opts);
+
+  /// Per-run replay accounting, aggregated across jobs.
+  struct RunStoreStats {
+    std::atomic<uint64_t> ReplayUs{0};
+    std::atomic<uint64_t> Replays{0};
+    std::atomic<uint64_t> ReplayFailures{0};
+  };
+
+  /// Job-start store probe: on a hit in an untrusted (disk) tier the entry
+  /// is replayed through the ProofChecker before being surfaced (or hash-
+  /// trusted when Opts.Recheck is off) and promoted into L1. Returns false
+  /// — a miss — when there is no usable entry; \p HitTier reports the tier
+  /// on success.
+  bool probeStore(const std::string &Name, uint64_t Key,
+                  const VerifyOptions &Opts, FnResult &Out, size_t &HitTier,
+                  RunStoreStats &RS);
+
   const front::AnnotatedProgram &AP;
   rcc::DiagnosticEngine &Diags;
   TypeEnv Env;
@@ -260,10 +190,13 @@ private:
   mutable uint64_t EnvFingerprint = 0;
   mutable bool EnvFingerprintValid = false;
 
-  /// Session result cache: function name -> (content hash, result).
-  /// Guarded by CacheM; jobs only touch it at job start/end.
-  std::unordered_map<std::string, std::pair<uint64_t, FnResult>> Cache;
-  std::mutex CacheM;
+  /// The session result store. L1 (in-memory, trusted) always exists; L2
+  /// (on-disk, untrusted until replayed) is attached by configureStore when
+  /// a run sets VerifyOptions::CacheDir. Jobs only touch the store at job
+  /// start/end; all tiers are thread-safe.
+  std::shared_ptr<store::MemoryResultStore> L1;
+  std::shared_ptr<store::DiskResultStore> L2;
+  store::TieredResultStore Store;
 };
 
 /// Registers the RefinedC standard library of typing rules (Section 6 and

@@ -1,0 +1,249 @@
+//===- ResultStore.cpp ----------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/ResultStore.h"
+
+#include "store/Serialize.h"
+#include "support/Util.h"
+#include "trace/Trace.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace rcc;
+using namespace rcc::store;
+using namespace rcc::refinedc;
+
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// MemoryResultStore
+//===----------------------------------------------------------------------===//
+
+bool MemoryResultStore::get(const std::string &Name, uint64_t Key,
+                            FnResult &Out) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Entries.find(Name);
+  if (It == Entries.end() || It->second.first != Key) {
+    Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Out = It->second.second;
+  Counters.Hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MemoryResultStore::put(const std::string &Name, uint64_t Key,
+                            const FnResult &R) {
+  std::lock_guard<std::mutex> G(M);
+  Entries[Name] = {Key, R};
+  Counters.Puts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MemoryResultStore::drop(const std::string &Name, uint64_t Key) {
+  std::lock_guard<std::mutex> G(M);
+  auto It = Entries.find(Name);
+  if (It != Entries.end() && It->second.first == Key)
+    Entries.erase(It);
+}
+
+void MemoryResultStore::clear() {
+  std::lock_guard<std::mutex> G(M);
+  Entries.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// DiskResultStore
+//===----------------------------------------------------------------------===//
+//
+// Entry envelope (all fields length-framed / fixed-width, see Serialize.h):
+//
+//   magic "RCVS" | format version | tool version | name | key |
+//   payload (serialized FnResult) | FNV-1a checksum of the payload
+//
+// Any deviation — wrong magic/version/tool, name or key mismatch (filename
+// collisions after sanitization), checksum failure, truncation, trailing
+// bytes — rejects the entry, counts a corrupt drop, and unlinks the file so
+// the slot heals on the next put.
+
+static constexpr uint32_t kEntryMagic = 0x53564352; // "RCVS"
+
+DiskResultStore::DiskResultStore(std::string D) : Dir(std::move(D)) {
+  std::error_code EC;
+  fs::create_directories(Dir, EC); // failures surface as misses below
+}
+
+std::string DiskResultStore::entryPath(const std::string &Name,
+                                       uint64_t Key) const {
+  // Sanitized name keeps entries greppable; the key suffix keys the entry,
+  // and the envelope's exact name/key fields guard against sanitization
+  // collisions.
+  std::string Safe;
+  for (char C : Name) {
+    if (Safe.size() >= 80)
+      break;
+    Safe += (isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '-')
+                ? C
+                : '_';
+  }
+  if (Safe.empty())
+    Safe = "fn";
+  char KeyHex[32];
+  snprintf(KeyHex, sizeof(KeyHex), "%016llx",
+           static_cast<unsigned long long>(Key));
+  return Dir + "/" + Safe + "." + KeyHex + ".rcv";
+}
+
+bool DiskResultStore::get(const std::string &Name, uint64_t Key,
+                          FnResult &Out) {
+  trace::Span LoadSpan(trace::Category::Cache, "store.l2.load");
+  std::string Path = entryPath(Name, Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  In.close();
+
+  // Rejected entries count a corrupt drop and are unlinked so the slot
+  // heals on the next put. The checker mirrors the counter delta into the
+  // run's MetricsRegistry post-join (deterministically), so no live
+  // trace::count here.
+  auto Reject = [&]() {
+    Counters.CorruptDrops.fetch_add(1, std::memory_order_relaxed);
+    Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+    std::error_code EC;
+    fs::remove(Path, EC);
+    return false;
+  };
+
+  BinaryReader R(Data);
+  uint32_t Magic, Format;
+  std::string Tool, EntryName, Payload;
+  uint64_t EntryKey, Checksum;
+  if (!R.u32(Magic) || Magic != kEntryMagic)
+    return Reject();
+  if (!R.u32(Format) || Format != kFormatVersion)
+    return Reject();
+  if (!R.str(Tool) || Tool != versionString())
+    return Reject();
+  if (!R.str(EntryName) || EntryName != Name)
+    return Reject();
+  if (!R.u64(EntryKey) || EntryKey != Key)
+    return Reject();
+  if (!R.str(Payload) || !R.u64(Checksum) || !R.atEnd())
+    return Reject();
+  if (Checksum != checksumBytes(Payload))
+    return Reject();
+  if (!deserializeFnResult(Payload, Out))
+    return Reject();
+
+  Counters.Hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DiskResultStore::put(const std::string &Name, uint64_t Key,
+                          const FnResult &R) {
+  trace::Span WriteSpan(trace::Category::Cache, "store.l2.write");
+  std::string Payload = serializeFnResult(R);
+
+  BinaryWriter W;
+  W.u32(kEntryMagic);
+  W.u32(kFormatVersion);
+  W.str(versionString());
+  W.str(Name);
+  W.u64(Key);
+  W.str(Payload);
+  W.u64(checksumBytes(Payload));
+
+  // Write-to-temp + atomic rename: concurrent writers on a shared cache
+  // directory either see the old complete entry or the new complete entry,
+  // never a torn one. The temp name is process- and call-unique.
+  char Tmp[64];
+  snprintf(Tmp, sizeof(Tmp), "/.tmp.%ld.%llu",
+           static_cast<long>(getpid()),
+           static_cast<unsigned long long>(
+               TmpCounter.fetch_add(1, std::memory_order_relaxed)));
+  std::string TmpPath = Dir + Tmp;
+  {
+    std::ofstream OutF(TmpPath, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return; // unwritable cache dir: degrade to no persistence
+    OutF.write(W.data().data(),
+               static_cast<std::streamsize>(W.data().size()));
+    if (!OutF.good()) {
+      OutF.close();
+      std::error_code EC;
+      fs::remove(TmpPath, EC);
+      return;
+    }
+  }
+  std::error_code EC;
+  fs::rename(TmpPath, entryPath(Name, Key), EC);
+  if (EC) {
+    fs::remove(TmpPath, EC);
+    return;
+  }
+  Counters.Puts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DiskResultStore::drop(const std::string &Name, uint64_t Key) {
+  std::error_code EC;
+  fs::remove(entryPath(Name, Key), EC);
+}
+
+void DiskResultStore::clear() {
+  std::error_code EC;
+  for (const auto &E : fs::directory_iterator(Dir, EC)) {
+    if (E.path().extension() == ".rcv")
+      fs::remove(E.path(), EC);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TieredResultStore
+//===----------------------------------------------------------------------===//
+
+bool TieredResultStore::get(const std::string &Name, uint64_t Key,
+                            FnResult &Out, size_t &HitTier) {
+  for (size_t I = 0; I < Tiers.size(); ++I) {
+    if (Tiers[I]->get(Name, Key, Out)) {
+      HitTier = I;
+      Counters.Hits.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  Counters.Misses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void TieredResultStore::put(const std::string &Name, uint64_t Key,
+                            const FnResult &R) {
+  Counters.Puts.fetch_add(1, std::memory_order_relaxed);
+  for (auto &T : Tiers)
+    T->put(Name, Key, R);
+}
+
+void TieredResultStore::promote(const std::string &Name, uint64_t Key,
+                                const FnResult &R, size_t FromTier) {
+  for (size_t I = 0; I < FromTier && I < Tiers.size(); ++I)
+    Tiers[I]->put(Name, Key, R);
+}
+
+void TieredResultStore::drop(const std::string &Name, uint64_t Key) {
+  for (auto &T : Tiers)
+    T->drop(Name, Key);
+}
+
+void TieredResultStore::clear() {
+  for (auto &T : Tiers)
+    T->clear();
+}

@@ -50,10 +50,10 @@ std::atomic<uint64_t> NextSessionId{1};
 // TraceSession
 //===----------------------------------------------------------------------===//
 
-TraceSession::TraceSession(bool Deterministic)
+TraceSession::TraceSession(bool Deterministic, size_t EventCap)
     : Start(std::chrono::steady_clock::now()),
       Id(NextSessionId.fetch_add(1, std::memory_order_relaxed)),
-      Deterministic(Deterministic) {}
+      Deterministic(Deterministic), EventCap(EventCap) {}
 
 TraceSession::~TraceSession() = default;
 
@@ -87,7 +87,17 @@ void TraceSession::record(Category Cat, char Phase, const std::string &Name,
   E.Tid = B.Tid;
   E.Cat = Cat;
   E.Phase = Phase;
-  B.Events.push_back(std::move(E));
+  if (EventCap && B.Events.size() >= EventCap) {
+    // Ring truncation: slot Seq % EventCap holds this buffer's oldest
+    // surviving event (its Seq is exactly EventCap behind). Sequence
+    // numbers keep advancing, so the (Tid, Seq) sort in events() restores
+    // recording order over the survivors.
+    B.Events[E.Seq % EventCap] = std::move(E);
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    Metrics.counter("trace.dropped_events").add(1);
+  } else {
+    B.Events.push_back(std::move(E));
+  }
 }
 
 void TraceSession::begin(Category Cat, const std::string &Name,

@@ -33,6 +33,7 @@
 
 #include "trace/Metrics.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -71,9 +72,17 @@ struct Event {
 /// A tracing session: thread-safe event sink + metrics registry. Create one
 /// per observed run, install it with `SessionScope`, and export with the
 /// functions in Export.h once all recording threads have joined.
+///
+/// \p EventCap bounds each per-thread buffer: once a buffer holds EventCap
+/// events, new events overwrite the oldest ones ring-buffer style (sequence
+/// numbers keep advancing, so the merged snapshot stays ordered), and every
+/// overwritten event bumps the `trace.dropped_events` metrics counter.
+/// 0 = unbounded (the default). Note the cap is per thread, so which events
+/// survive a capped multi-threaded run depends on scheduling; metrics are
+/// unaffected (they are never buffered).
 class TraceSession {
 public:
-  explicit TraceSession(bool Deterministic = false);
+  explicit TraceSession(bool Deterministic = false, size_t EventCap = 0);
   ~TraceSession();
   TraceSession(const TraceSession &) = delete;
   TraceSession &operator=(const TraceSession &) = delete;
@@ -93,6 +102,15 @@ public:
   /// to call concurrently with recording, but meant for after the run.
   std::vector<Event> events() const;
   size_t numEvents() const;
+
+  /// The per-thread buffer cap this session was created with (0 =
+  /// unbounded).
+  size_t eventCap() const { return EventCap; }
+  /// Events overwritten by ring truncation so far (also mirrored into the
+  /// `trace.dropped_events` metrics counter).
+  uint64_t droppedEvents() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
 
   double elapsedUs() const;
 
@@ -119,6 +137,8 @@ private:
   /// cache entry (pool worker threads outlive sessions).
   uint64_t Id;
   bool Deterministic;
+  size_t EventCap;
+  std::atomic<uint64_t> Dropped{0};
 };
 
 /// The session installed on this thread (nullptr: tracing disabled — the

@@ -1,0 +1,497 @@
+//===- StoreTest.cpp - Persistent result store contracts ------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contracts of the tiered result store (DESIGN.md, "Persistent
+/// verification store"): lossless serialization that re-interns pure terms,
+/// corruption rejected as a miss (never a crash), cross-session reuse with
+/// replay-established trust, fingerprint self-invalidation, and tier
+/// promotion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+#include "refinedc/ProofChecker.h"
+#include "store/ResultStore.h"
+#include "store/Serialize.h"
+#include "support/Util.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace rcc;
+using namespace rcc::refinedc;
+using namespace rcc::store;
+using namespace rcc::pure;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A self-deleting unique temp directory per test.
+struct TempDir {
+  fs::path Path;
+  TempDir() {
+    static int Counter = 0;
+    Path = fs::temp_directory_path() /
+           ("rcc_store_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(Counter++));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+/// u32 arithmetic emits explicit range side conditions, guaranteeing
+/// SideCond steps (with Prop terms and hypotheses) in the derivation.
+const char *kIncSource = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<u32>")]]
+[[rc::returns("{n + 1} @ int<u32>")]]
+[[rc::requires("{n <= 100}")]]
+unsigned int inc(unsigned int x) { return x + 1; }
+)";
+
+/// The same function with a strengthened spec: only the annotation changes,
+/// so a content-hash key computed from it must differ.
+const char *kIncEditedSpec = R"(
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<u32>")]]
+[[rc::returns("{n + 1} @ int<u32>")]]
+[[rc::requires("{n <= 99}")]]
+unsigned int inc(unsigned int x) { return x + 1; }
+)";
+
+std::unique_ptr<front::AnnotatedProgram> compile(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  EXPECT_TRUE(AP != nullptr) << Diags.render(Src);
+  return AP;
+}
+
+/// Verifies `inc` and returns a result that carries a real derivation.
+FnResult verifiedInc() {
+  auto AP = compile(kIncSource);
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  EXPECT_TRUE(C.buildEnv());
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  FnResult R = C.verifyFunction("inc", Opts);
+  EXPECT_TRUE(R.Verified);
+  EXPECT_FALSE(R.Deriv.Steps.empty());
+  return R;
+}
+
+size_t countEntries(const std::string &Dir) {
+  size_t N = 0;
+  std::error_code EC;
+  for (const auto &E : fs::directory_iterator(Dir, EC))
+    if (E.path().extension() == ".rcv")
+      ++N;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(Store, SerializationRoundTripsAndReInternsTerms) {
+  FnResult R = verifiedInc();
+  std::string Bytes = serializeFnResult(R);
+  ASSERT_FALSE(Bytes.empty());
+
+  FnResult L;
+  ASSERT_TRUE(deserializeFnResult(Bytes, L));
+  EXPECT_EQ(L.Name, R.Name);
+  EXPECT_EQ(L.Verified, R.Verified);
+  EXPECT_EQ(L.Trusted, R.Trusted);
+  EXPECT_EQ(L.Error, R.Error);
+  EXPECT_EQ(L.Stats.RuleApps, R.Stats.RuleApps);
+  EXPECT_EQ(L.Stats.RulesUsed, R.Stats.RulesUsed);
+  EXPECT_EQ(L.Stats.GoalSteps, R.Stats.GoalSteps);
+  EXPECT_EQ(L.EvarsInstantiated, R.EvarsInstantiated);
+  EXPECT_EQ(L.Rechecked, R.Rechecked);
+  EXPECT_EQ(L.RecheckOk, R.RecheckOk);
+  EXPECT_EQ(L.WallMillis, R.WallMillis);
+  ASSERT_EQ(L.Deriv.Steps.size(), R.Deriv.Steps.size());
+
+  bool SawSideCond = false;
+  for (size_t I = 0; I < R.Deriv.Steps.size(); ++I) {
+    const lithium::DerivStep &A = R.Deriv.Steps[I];
+    const lithium::DerivStep &B = L.Deriv.Steps[I];
+    EXPECT_EQ(A.K, B.K);
+    EXPECT_EQ(A.Rule, B.Rule);
+    EXPECT_EQ(A.Text, B.Text);
+    EXPECT_EQ(A.Manual, B.Manual);
+    // Terms are hash-consed: the deserialized terms must be *pointer-equal*
+    // to the live ones, so a loaded derivation replays exactly like a fresh
+    // one.
+    EXPECT_EQ(A.Prop, B.Prop);
+    ASSERT_EQ(A.Hyps.size(), B.Hyps.size());
+    for (size_t H = 0; H < A.Hyps.size(); ++H)
+      EXPECT_EQ(A.Hyps[H], B.Hyps[H]);
+    if (A.K == lithium::DerivStep::SideCond && A.Prop)
+      SawSideCond = true;
+  }
+  EXPECT_TRUE(SawSideCond) << "test needs a derivation with side conditions";
+
+  // And the loaded derivation replays through the independent checker.
+  auto AP = compile(kIncSource);
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  ProofChecker PC(C.rules());
+  EXPECT_TRUE(PC.check(L.Deriv).Ok);
+}
+
+TEST(Store, DeserializeRejectsEveryTruncation) {
+  FnResult R = verifiedInc();
+  std::string Bytes = serializeFnResult(R);
+  ASSERT_GT(Bytes.size(), 16u);
+  // Every strict prefix must be a clean failure — the reader latches on the
+  // first out-of-bounds read, never walking off the buffer.
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    FnResult L;
+    EXPECT_FALSE(deserializeFnResult(Bytes.substr(0, Len), L))
+        << "prefix of length " << Len << " accepted";
+  }
+  // Trailing garbage is rejected too (atEnd is part of the contract).
+  FnResult L;
+  EXPECT_FALSE(deserializeFnResult(Bytes + '\0', L));
+}
+
+TEST(Store, DeserializeSurvivesBitFlips) {
+  // A flipped bit may still deserialize (e.g. a character inside an error
+  // string) — that is what the envelope checksum is for — but it must never
+  // crash or produce malformed term structure.
+  FnResult R = verifiedInc();
+  std::string Bytes = serializeFnResult(R);
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Mut = Bytes;
+    Mut[I] = static_cast<char>(Mut[I] ^ 0x40);
+    FnResult L;
+    (void)deserializeFnResult(Mut, L);
+  }
+  SUCCEED();
+}
+
+//===----------------------------------------------------------------------===//
+// Disk tier: envelope validation and atomic publication
+//===----------------------------------------------------------------------===//
+
+TEST(Store, DiskTierRoundTripsAndRejectsCorruption) {
+  TempDir Dir;
+  DiskResultStore DS(Dir.str());
+  FnResult R = verifiedInc();
+  const uint64_t Key = 0x1234abcd5678ef01ULL;
+
+  DS.put("inc", Key, R);
+  EXPECT_EQ(countEntries(Dir.str()), 1u);
+  std::string Path = DS.entryPath("inc", Key);
+  ASSERT_TRUE(fs::exists(Path));
+
+  FnResult L;
+  ASSERT_TRUE(DS.get("inc", Key, L));
+  EXPECT_EQ(L.Name, R.Name);
+  EXPECT_EQ(L.Deriv.Steps.size(), R.Deriv.Steps.size());
+
+  // Wrong key: a miss, not corruption.
+  EXPECT_FALSE(DS.get("inc", Key + 1, L));
+  EXPECT_EQ(DS.counters().CorruptDrops.load(), 0u);
+
+  // Bit-flip every byte position in turn: always a clean miss, and the
+  // poisoned file is unlinked so the slot heals.
+  std::ifstream In(Path, std::ios::binary);
+  std::string Orig((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  In.close();
+  uint64_t Drops = 0;
+  for (size_t I = 0; I < Orig.size(); I += 7) {
+    std::string Mut = Orig;
+    Mut[I] = static_cast<char>(Mut[I] ^ 0x01);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Mut.data(), static_cast<std::streamsize>(Mut.size()));
+    Out.close();
+    EXPECT_FALSE(DS.get("inc", Key, L)) << "flipped byte " << I;
+    EXPECT_FALSE(fs::exists(Path)) << "corrupt entry not unlinked";
+    ++Drops;
+  }
+  EXPECT_EQ(DS.counters().CorruptDrops.load(), Drops);
+
+  // Truncations are rejected the same way.
+  for (size_t Len : {size_t(0), size_t(3), Orig.size() / 2, Orig.size() - 1}) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Orig.data(), static_cast<std::streamsize>(Len));
+    Out.close();
+    EXPECT_FALSE(DS.get("inc", Key, L)) << "truncated to " << Len;
+    EXPECT_FALSE(fs::exists(Path));
+  }
+
+  // An intact re-publication hits again.
+  DS.put("inc", Key, R);
+  EXPECT_TRUE(DS.get("inc", Key, L));
+  // No temp files left behind by the atomic-rename protocol.
+  size_t NonEntry = 0;
+  for (const auto &E : fs::directory_iterator(Dir.str()))
+    if (E.path().extension() != ".rcv")
+      ++NonEntry;
+  EXPECT_EQ(NonEntry, 0u);
+}
+
+TEST(Store, TieredProbeOrderAndPromotion) {
+  auto M1 = std::make_shared<MemoryResultStore>();
+  auto M2 = std::make_shared<MemoryResultStore>();
+  TieredResultStore T;
+  T.addTier(M1);
+  T.addTier(M2);
+
+  FnResult R;
+  R.Name = "f";
+  R.Verified = true;
+  M2->put("f", 7, R);
+
+  FnResult L;
+  size_t Tier = 99;
+  ASSERT_TRUE(T.get("f", 7, L, Tier));
+  EXPECT_EQ(Tier, 1u) << "hit must be attributed to the lower tier";
+
+  // No auto-promotion: trust is the caller's decision.
+  EXPECT_FALSE(M1->get("f", 7, L));
+
+  T.promote("f", 7, R, /*FromTier=*/1);
+  ASSERT_TRUE(M1->get("f", 7, L));
+  Tier = 99;
+  ASSERT_TRUE(T.get("f", 7, L, Tier));
+  EXPECT_EQ(Tier, 0u);
+
+  // Stale key: the entry self-invalidates.
+  EXPECT_FALSE(T.get("f", 8, L, Tier));
+  // drop removes from every tier.
+  T.drop("f", 7);
+  EXPECT_FALSE(T.get("f", 7, L, Tier));
+}
+
+//===----------------------------------------------------------------------===//
+// Checker integration: cross-session reuse, replay trust, fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(Store, SecondSessionIsServedFromDiskAndReplayed) {
+  TempDir Dir;
+  auto AP = compile(kIncSource);
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  Opts.CacheDir = Dir.str();
+
+  FnResult First;
+  {
+    DiagnosticEngine Diags;
+    Checker C(*AP, Diags);
+    ASSERT_TRUE(C.buildEnv());
+    ProgramResult PR = C.verifyFunctions({"inc"}, Opts);
+    EXPECT_EQ(PR.CacheMisses, 1u);
+    EXPECT_EQ(PR.CacheHits, 0u);
+    ASSERT_TRUE(PR.allVerified());
+    First = PR.Fns[0];
+  }
+  EXPECT_EQ(countEntries(Dir.str()), 1u);
+
+  // A brand-new session (fresh Checker, same program): served from disk,
+  // replayed through the ProofChecker before being surfaced.
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  ProgramResult PR = C.verifyFunctions({"inc"}, Opts);
+  EXPECT_EQ(PR.CacheHits, 1u);
+  EXPECT_EQ(PR.L2Hits, 1u);
+  EXPECT_EQ(PR.L1Hits, 0u);
+  EXPECT_EQ(PR.ReplayedHits, 1u);
+  EXPECT_EQ(PR.ReplayFailures, 0u);
+  EXPECT_EQ(PR.CacheMisses, 0u);
+  ASSERT_EQ(PR.Fns.size(), 1u);
+  EXPECT_TRUE(PR.Fns[0].CacheHit);
+  EXPECT_TRUE(PR.Fns[0].Rechecked);
+  EXPECT_TRUE(PR.Fns[0].RecheckOk);
+  // The surfaced result matches the fresh one.
+  EXPECT_EQ(PR.Fns[0].Verified, First.Verified);
+  EXPECT_EQ(PR.Fns[0].Stats.RuleApps, First.Stats.RuleApps);
+  EXPECT_EQ(PR.Fns[0].Deriv.Steps.size(), First.Deriv.Steps.size());
+
+  // Validated hits were promoted into L1: a repeat run in the same session
+  // no longer touches the disk tier.
+  ProgramResult PR2 = C.verifyFunctions({"inc"}, Opts);
+  EXPECT_EQ(PR2.CacheHits, 1u);
+  EXPECT_EQ(PR2.L1Hits, 1u);
+  EXPECT_EQ(PR2.L2Hits, 0u);
+  EXPECT_EQ(PR2.ReplayedHits, 0u);
+}
+
+TEST(Store, NoRecheckDowngradesToHashTrust) {
+  TempDir Dir;
+  auto AP = compile(kIncSource);
+  VerifyOptions Opts;
+  Opts.Recheck = false;
+  Opts.CacheDir = Dir.str();
+  {
+    DiagnosticEngine Diags;
+    Checker C(*AP, Diags);
+    ASSERT_TRUE(C.buildEnv());
+    (void)C.verifyFunctions({"inc"}, Opts);
+  }
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  ProgramResult PR = C.verifyFunctions({"inc"}, Opts);
+  EXPECT_EQ(PR.L2Hits, 1u);
+  EXPECT_EQ(PR.ReplayedHits, 0u) << "--no-recheck must not replay";
+  EXPECT_TRUE(PR.Fns[0].Verified);
+}
+
+TEST(Store, TamperedEntryFailsReplayAndIsReVerified) {
+  TempDir Dir;
+  auto AP = compile(kIncSource);
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  Opts.CacheDir = Dir.str();
+  {
+    DiagnosticEngine Diags;
+    Checker C(*AP, Diags);
+    ASSERT_TRUE(C.buildEnv());
+    (void)C.verifyFunctions({"inc"}, Opts);
+  }
+  ASSERT_EQ(countEntries(Dir.str()), 1u);
+
+  // Forge a *well-formed* entry whose derivation claims a false side
+  // condition: the envelope (magic/version/key/checksum) is valid, so only
+  // the replay can catch it.
+  fs::path EntryPath;
+  for (const auto &E : fs::directory_iterator(Dir.str()))
+    if (E.path().extension() == ".rcv")
+      EntryPath = E.path();
+  std::ifstream In(EntryPath, std::ios::binary);
+  std::string Raw((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  In.close();
+
+  BinaryReader R(Raw);
+  uint32_t Magic = 0, Format = 0;
+  std::string Tool, Name, Payload;
+  uint64_t Key = 0, Checksum = 0;
+  ASSERT_TRUE(R.u32(Magic) && R.u32(Format) && R.str(Tool) && R.str(Name) &&
+              R.u64(Key) && R.str(Payload) && R.u64(Checksum));
+
+  FnResult Entry;
+  ASSERT_TRUE(deserializeFnResult(Payload, Entry));
+  bool Tampered = false;
+  for (lithium::DerivStep &S : Entry.Deriv.Steps)
+    if (S.K == lithium::DerivStep::SideCond && S.Prop) {
+      S.Prop = mkLe(mkNat(5), mkNat(3));
+      S.Hyps.clear();
+      Tampered = true;
+      break;
+    }
+  ASSERT_TRUE(Tampered);
+
+  std::string NewPayload = serializeFnResult(Entry);
+  BinaryWriter W;
+  W.u32(Magic);
+  W.u32(Format);
+  W.str(Tool);
+  W.str(Name);
+  W.u64(Key);
+  W.str(NewPayload);
+  W.u64(checksumBytes(NewPayload));
+  std::ofstream Out(EntryPath, std::ios::binary | std::ios::trunc);
+  Out.write(W.data().data(), static_cast<std::streamsize>(W.data().size()));
+  Out.close();
+
+  // The forged entry passes the envelope but fails the replay: it is
+  // dropped and the function re-verified from scratch — and the fresh
+  // (valid) result is re-published.
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  ProgramResult PR = C.verifyFunctions({"inc"}, Opts);
+  EXPECT_EQ(PR.CacheHits, 0u);
+  EXPECT_EQ(PR.CacheMisses, 1u);
+  EXPECT_EQ(PR.ReplayFailures, 1u);
+  EXPECT_TRUE(PR.allVerified());
+  EXPECT_TRUE(PR.allRechecksOk());
+  EXPECT_EQ(countEntries(Dir.str()), 1u) << "healed entry re-published";
+}
+
+TEST(Store, EditedSpecForcesMiss) {
+  TempDir Dir;
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  Opts.CacheDir = Dir.str();
+  {
+    auto AP = compile(kIncSource);
+    DiagnosticEngine Diags;
+    Checker C(*AP, Diags);
+    ASSERT_TRUE(C.buildEnv());
+    (void)C.verifyFunctions({"inc"}, Opts);
+  }
+  // Only the rc::requires bound changed; body and layout are identical.
+  auto AP = compile(kIncEditedSpec);
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  ProgramResult PR = C.verifyFunctions({"inc"}, Opts);
+  EXPECT_EQ(PR.CacheHits, 0u) << "edited spec must not reuse the old proof";
+  EXPECT_EQ(PR.CacheMisses, 1u);
+  EXPECT_TRUE(PR.allVerified());
+}
+
+TEST(Store, SessionFingerprintCoversRegisteredRules) {
+  TempDir Dir;
+  auto AP = compile(kIncSource);
+  VerifyOptions Opts;
+  Opts.Recheck = true;
+  Opts.CacheDir = Dir.str();
+  {
+    DiagnosticEngine Diags;
+    Checker C(*AP, Diags);
+    ASSERT_TRUE(C.buildEnv());
+    (void)C.verifyFunctions({"inc"}, Opts);
+  }
+  // A session with an extra simplification rule has a different session
+  // fingerprint: the persistent entry self-invalidates.
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  C.solver().simplifier().addRule(
+      {"noop-extension", true, [](TermRef) -> TermRef { return nullptr; }});
+  ProgramResult PR = C.verifyFunctions({"inc"}, Opts);
+  EXPECT_EQ(PR.CacheHits, 0u)
+      << "a mutated session must not trust entries of the unmutated one";
+  EXPECT_EQ(PR.CacheMisses, 1u);
+}
+
+TEST(Store, NoCacheBypassesEveryTier) {
+  TempDir Dir;
+  auto AP = compile(kIncSource);
+  DiagnosticEngine Diags;
+  Checker C(*AP, Diags);
+  ASSERT_TRUE(C.buildEnv());
+  VerifyOptions Opts;
+  Opts.CacheDir = Dir.str();
+  Opts.NoCache = true;
+  (void)C.verifyFunctions({"inc"}, Opts);
+  ProgramResult PR = C.verifyFunctions({"inc"}, Opts);
+  EXPECT_EQ(PR.CacheHits, 0u) << "--no-cache must re-verify";
+  EXPECT_EQ(PR.CacheMisses, 1u);
+  EXPECT_EQ(countEntries(Dir.str()), 0u) << "--no-cache must not write";
+}

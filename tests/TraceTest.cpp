@@ -437,3 +437,71 @@ TEST(Trace, TimedExportsCarryTimestampsButDeterministicDoesNot) {
   EXPECT_NE(Json.find("\"ts\": 0"), std::string::npos);
   EXPECT_NE(Json.find("\"ts\": 1"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Capped per-thread buffers (ring truncation)
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, EventCapTruncatesRingStyleAndCountsDrops) {
+  TraceSession TS(/*Deterministic=*/false, /*EventCap=*/10);
+  {
+    SessionScope Scope(&TS);
+    for (unsigned I = 0; I < 100; ++I)
+      TS.instant(Category::Other, "e" + std::to_string(I));
+  }
+  EXPECT_EQ(TS.eventCap(), 10u);
+  EXPECT_EQ(TS.numEvents(), 10u);
+  EXPECT_EQ(TS.droppedEvents(), 90u);
+  EXPECT_EQ(TS.metrics().counter("trace.dropped_events").get(), 90u);
+
+  // Survivors are the most recent events, in recording order.
+  std::vector<Event> Evts = TS.events();
+  ASSERT_EQ(Evts.size(), 10u);
+  for (unsigned I = 0; I < 10; ++I) {
+    EXPECT_EQ(Evts[I].Name, "e" + std::to_string(90 + I));
+    EXPECT_EQ(Evts[I].Seq, 90 + I);
+  }
+}
+
+TEST(Trace, EventCapIsPerThreadAndUncappedByDefault) {
+  TraceSession Unbounded;
+  {
+    SessionScope Scope(&Unbounded);
+    for (unsigned I = 0; I < 1000; ++I)
+      Unbounded.instant(Category::Other, "e");
+  }
+  EXPECT_EQ(Unbounded.eventCap(), 0u);
+  EXPECT_EQ(Unbounded.numEvents(), 1000u);
+  EXPECT_EQ(Unbounded.droppedEvents(), 0u);
+  // No drops: the counter was never created.
+  EXPECT_TRUE(Unbounded.metrics().counters().empty());
+
+  TraceSession TS(/*Deterministic=*/false, /*EventCap=*/8);
+  constexpr unsigned NThreads = 4;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NThreads; ++T)
+    Threads.emplace_back([&TS] {
+      SessionScope Scope(&TS);
+      for (unsigned I = 0; I < 50; ++I)
+        TS.instant(Category::Other, "e");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Each thread's buffer is capped independently.
+  EXPECT_EQ(TS.numEvents(), NThreads * 8u);
+  EXPECT_EQ(TS.droppedEvents(), NThreads * (50u - 8u));
+}
+
+TEST(Trace, CappedVerificationRunStillReportsMetrics) {
+  // VerifyOptions::TraceEventCap reaches the internal session: the trace is
+  // truncated but the metrics (never buffered) are complete.
+  refinedc::VerifyOptions Opts;
+  Opts.Profile = true;
+  Opts.DeterministicTrace = true;
+  Opts.TraceEventCap = 4;
+  refinedc::ProgramResult PR =
+      verifyTraced(FourFns, {"swap", "max_sz", "ident", "keep"}, Opts);
+  EXPECT_TRUE(PR.allVerified());
+  EXPECT_NE(PR.Metrics.find("trace.dropped_events"), std::string::npos);
+  EXPECT_NE(PR.Metrics.find("engine.rule_apps"), std::string::npos);
+}
