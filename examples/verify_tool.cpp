@@ -18,8 +18,15 @@
 ///                  later runs (entries are replayed through the proof
 ///                  checker before being trusted; see DESIGN.md)
 ///   --no-cache     bypass the result store entirely
-///   --format=json  print the ProgramResult as JSON instead of text
+///   --format=json  print the ProgramResult as JSON instead of text (with
+///                  --run, the JSON carries a `run` object with the
+///                  execution status, return value, and failure message)
 ///   --run[=fn]     additionally execute `fn` (default main) afterwards
+///   --connect=SOCK thin-client mode: instead of verifying in-process,
+///                  send a `check` request to a running `verifyd` on the
+///                  Unix socket SOCK and forward its JSON-lines
+///                  diagnostics (exit 0 iff the daemon reports
+///                  all_verified)
 ///   --trace=FILE   write a Chrome trace-event JSON of the whole pipeline
 ///                  (load in chrome://tracing or https://ui.perfetto.dev)
 ///   --trace-cap=N  cap each thread's trace buffer at N events (ring
@@ -48,6 +55,10 @@
 #include <memory>
 #include <sstream>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 using namespace rcc;
 
 static int usage(const char *Bad = nullptr) {
@@ -56,9 +67,74 @@ static int usage(const char *Bad = nullptr) {
   fprintf(stderr,
           "usage: verify_tool [--stats] [--no-recheck] [--jobs=N] "
           "[--cache-dir=DIR] [--no-cache] [--format=json] [--run[=fn]] "
-          "[--trace=FILE] [--trace-cap=N] [--profile] "
+          "[--connect=SOCK] [--trace=FILE] [--trace-cap=N] [--profile] "
           "[--deterministic-trace] [--version] <file.c> [function...]\n");
   return 2;
+}
+
+/// Thin-client mode (`--connect=SOCK`): a second invocation next to a
+/// running verifyd does not re-load or re-verify anything — it asks the
+/// daemon (whose L1 is warm across revisions) for a check and forwards the
+/// JSON-lines diagnostics. Exit 0 iff the terminating event reports
+/// all_verified.
+static int runClient(const std::string &Sock) {
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    perror("socket");
+    return 2;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Sock.size() >= sizeof(Addr.sun_path)) {
+    fprintf(stderr, "error: socket path too long: %s\n", Sock.c_str());
+    close(Fd);
+    return 2;
+  }
+  memcpy(Addr.sun_path, Sock.c_str(), Sock.size() + 1);
+  if (connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    fprintf(stderr, "error: cannot connect to verifyd at '%s': %s\n",
+            Sock.c_str(), strerror(errno));
+    close(Fd);
+    return 2;
+  }
+  const char Req[] = "check\n";
+  if (write(Fd, Req, sizeof(Req) - 1) != sizeof(Req) - 1) {
+    perror("write");
+    close(Fd);
+    return 2;
+  }
+  // Forward every event line; the revision_done/unchanged event terminates
+  // the exchange and carries the verdict.
+  std::string Buf;
+  char Chunk[4096];
+  int Exit = 2; // connection dropped before a verdict
+  bool Done = false;
+  while (!Done) {
+    ssize_t N = read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, static_cast<size_t>(N));
+    size_t NL;
+    while ((NL = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      printf("%s\n", Line.c_str());
+      if (Line.find("\"event\": \"revision_done\"") != std::string::npos ||
+          Line.find("\"event\": \"unchanged\"") != std::string::npos) {
+        Exit = Line.find("\"all_verified\": true") != std::string::npos ? 0
+                                                                        : 1;
+        Done = true;
+        break;
+      }
+      if (Line.find("\"event\": \"error\"") != std::string::npos) {
+        Exit = 1;
+        Done = true;
+        break;
+      }
+    }
+  }
+  close(Fd);
+  return Exit;
 }
 
 /// Strict decimal parse for flag values; rejects empty, signs, and trailing
@@ -86,6 +162,7 @@ int main(int argc, char **argv) {
   std::string RunFn;
   std::string TraceFile;
   std::string CacheDir;
+  std::string ConnectSock;
   bool NoCache = false;
   bool Profile = false, DetTrace = false;
 
@@ -104,6 +181,11 @@ int main(int argc, char **argv) {
         return usage(argv[I]);
     } else if (A == "--no-cache")
       NoCache = true;
+    else if (A.rfind("--connect=", 0) == 0) {
+      ConnectSock = A.substr(10);
+      if (ConnectSock.empty())
+        return usage(argv[I]);
+    }
     else if (A == "--format=json")
       Json = true;
     else if (A == "--run")
@@ -129,6 +211,8 @@ int main(int argc, char **argv) {
     else
       Functions.push_back(A);
   }
+  if (!ConnectSock.empty())
+    return runClient(ConnectSock); // the daemon owns the file list
   if (Path.empty())
     return usage();
 
@@ -176,8 +260,35 @@ int main(int argc, char **argv) {
   refinedc::ProgramResult PR = Checker.verifyFunctions(Functions, Opts);
 
   bool AllOk = PR.allVerified() && PR.allRechecksOk();
+
+  // The run happens before any output so JSON mode can report it: the run
+  // outcome used to be swallowed under --format=json while still flipping
+  // the exit code — a silent failure. The JSON carries a `run` object with
+  // status, return value, and message; text mode keeps its `[run ]` line
+  // after the per-function results, as before.
+  std::string RunJson;
+  bool RunOk = true;
+  long long RunRet = 0;
+  std::string RunMsg;
+  if (!RunFn.empty()) {
+    caesium::Machine M(AP->Prog);
+    caesium::ExecResult E = M.run(RunFn, {});
+    RunOk = E.ok();
+    RunRet = E.MainRet.isInt() ? (long long)E.MainRet.asSigned() : 0LL;
+    RunMsg = E.Message;
+    RunJson = "\"run\": {\"fn\": " + jsonQuote(RunFn) +
+              ", \"status\": " + (RunOk ? "\"ok\"" : "\"fail\"");
+    if (RunOk)
+      RunJson += ", \"ret\": " + std::to_string(RunRet);
+    else
+      RunJson += ", \"message\": " + jsonQuote(RunMsg);
+    RunJson += "}";
+    if (!RunOk)
+      AllOk = false;
+  }
+
   if (Json) {
-    printf("%s", PR.toJson().c_str());
+    printf("%s", PR.toJson(RunJson).c_str());
   } else {
     for (const refinedc::FnResult &R : PR.Fns) {
       if (!R.Verified) {
@@ -201,19 +312,11 @@ int main(int argc, char **argv) {
       printf("[cache] %u hit%s (l2 %u, replayed %u), %u re-verified\n",
              PR.CacheHits, PR.CacheHits == 1 ? "" : "s", PR.L2Hits,
              PR.ReplayedHits, PR.CacheMisses);
-  }
-
-  if (!RunFn.empty()) {
-    caesium::Machine M(AP->Prog);
-    caesium::ExecResult E = M.run(RunFn, {});
-    if (E.ok()) {
-      if (!Json)
-        printf("[run ] %s() -> %lld\n", RunFn.c_str(),
-               E.MainRet.isInt() ? (long long)E.MainRet.asSigned() : 0LL);
-    } else {
-      if (!Json)
-        printf("[run ] %s() FAILED: %s\n", RunFn.c_str(), E.Message.c_str());
-      AllOk = false;
+    if (!RunFn.empty()) {
+      if (RunOk)
+        printf("[run ] %s() -> %lld\n", RunFn.c_str(), RunRet);
+      else
+        printf("[run ] %s() FAILED: %s\n", RunFn.c_str(), RunMsg.c_str());
     }
   }
 

@@ -1,0 +1,156 @@
+//===- verifyd.cpp - The verification daemon --------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `verifyd file.c` is a long-lived verification server: it loads the file,
+/// verifies every annotated function, then watches the file and re-verifies
+/// on save — and because every Checker session of the daemon shares one
+/// in-memory result tier (plus an optional disk tier), a save only re-runs
+/// proof search for the functions whose verification problem actually
+/// changed. Diagnostics are JSON lines (see DESIGN.md, "Verification
+/// daemon"). Flags:
+///
+///   --stdio            serve the protocol on stdin/stdout (default; used
+///                      by tests and editor integrations)
+///   --socket=PATH      serve on a Unix domain socket instead;
+///                      `verify_tool --connect=PATH` is a thin client
+///   --once             one cold-start verification, then exit (no watch)
+///   --cache-dir=DIR    persist results under DIR: a daemon restart serves
+///                      unchanged functions from the replayed disk tier
+///   --cache-max-bytes=N  GC budget for DIR (LRU by entry mtime; enforced
+///                      after every revision and at shutdown)
+///   --jobs=N           concurrent verification jobs per revision (0 = all
+///                      cores)
+///   --no-recheck       skip the independent derivation replay
+///   --poll-ms=N        watch poll interval (default 200)
+///   --trace=FILE       write a Chrome trace of the daemon's lifetime on
+///                      clean shutdown (revision spans, daemon.* counters)
+///   --version          print the version and exit
+///
+/// Exit code 0 iff the last processed revision fully verified.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Daemon.h"
+#include "support/Util.h"
+#include "trace/Export.h"
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+using namespace rcc;
+
+static int usage(const char *Bad = nullptr) {
+  if (Bad)
+    fprintf(stderr, "error: unknown or malformed option '%s'\n", Bad);
+  fprintf(stderr,
+          "usage: verifyd [--stdio | --socket=PATH] [--once] "
+          "[--cache-dir=DIR] [--cache-max-bytes=N] [--jobs=N] "
+          "[--no-recheck] [--poll-ms=N] [--trace=FILE] [--version] "
+          "<file.c>\n");
+  return 2;
+}
+
+static bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    if (V > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+int main(int argc, char **argv) {
+  daemon::DaemonOptions O;
+  std::string SockPath;
+  std::string TraceFile;
+  bool Once = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--stdio")
+      SockPath.clear();
+    else if (A.rfind("--socket=", 0) == 0) {
+      SockPath = A.substr(9);
+      if (SockPath.empty())
+        return usage(argv[I]);
+    } else if (A == "--once")
+      Once = true;
+    else if (A.rfind("--cache-dir=", 0) == 0) {
+      O.CacheDir = A.substr(12);
+      if (O.CacheDir.empty())
+        return usage(argv[I]);
+    } else if (A.rfind("--cache-max-bytes=", 0) == 0) {
+      if (!parseU64(A.substr(18), O.CacheMaxBytes))
+        return usage(argv[I]);
+    } else if (A.rfind("--jobs=", 0) == 0) {
+      uint64_t V;
+      if (!parseU64(A.substr(7), V) || V > 0xffffffffULL)
+        return usage(argv[I]);
+      O.Jobs = static_cast<unsigned>(V);
+    } else if (A == "--no-recheck")
+      O.Recheck = false;
+    else if (A.rfind("--poll-ms=", 0) == 0) {
+      uint64_t V;
+      if (!parseU64(A.substr(10), V) || V == 0 || V > 60000)
+        return usage(argv[I]);
+      O.PollMs = static_cast<unsigned>(V);
+    } else if (A.rfind("--trace=", 0) == 0)
+      TraceFile = A.substr(8);
+    else if (A == "--version") {
+      printf("%s\n", versionString());
+      return 0;
+    } else if (A.rfind("--", 0) == 0)
+      return usage(argv[I]);
+    else if (O.Path.empty())
+      O.Path = A;
+    else
+      return usage(argv[I]);
+  }
+  if (O.Path.empty())
+    return usage();
+
+  std::unique_ptr<trace::TraceSession> TS;
+  if (!TraceFile.empty())
+    TS = std::make_unique<trace::TraceSession>();
+  O.Trace = TS.get();
+
+  daemon::Daemon::installSignalHandlers();
+  daemon::Daemon D(O);
+
+  int Ret;
+  if (Once) {
+    // One cold-start check; events still go to stdout as JSON lines.
+    D.checkOnce(
+        [](const std::string &L) {
+          fputs(L.c_str(), stdout);
+          fputc('\n', stdout);
+          fflush(stdout);
+        },
+        /*Force=*/true);
+    Ret = D.lastAllVerified() ? 0 : 1;
+  } else if (!SockPath.empty()) {
+    Ret = D.runSocket(SockPath);
+  } else {
+    Ret = D.runStdio(std::cin, std::cout);
+  }
+
+  // Clean shutdown flushes the trace last, after the final store GC.
+  if (TS && !TraceFile.empty()) {
+    std::string Err;
+    if (!trace::writeChromeTrace(*TS, TraceFile, &Err))
+      fprintf(stderr, "verifyd: %s\n", Err.c_str());
+  }
+  return Ret;
+}

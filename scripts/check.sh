@@ -31,10 +31,44 @@ if echo "$out" | grep -q '"cache_hits": 0'; then
   echo "check.sh: warm cache run reported zero hits"; exit 1
 fi
 
-# 4. ASan/UBSan configuration (trace subsystem, parallel driver, and the
-#    result store's deserializer are the main customers: data races on
-#    buffers, lifetime of cached pointers, attacker-controlled cache bytes).
-#    The store tests (test_store) run as part of the suite below.
+# 4. Daemon smoke: start verifyd --stdio on a copy of the demo, wait for
+#    the cold-start revision, edit one function in place, force a check,
+#    and assert exactly that one function was re-verified (the daemon's
+#    warm-L1 acceptance path), then shut down cleanly.
+rm -rf build/check_daemon && mkdir -p build/check_daemon
+cp examples/demo.c build/check_daemon/watched.c
+fifo=build/check_daemon/in; mkfifo "$fifo"
+dout=build/check_daemon/out
+./build/examples/verifyd --stdio build/check_daemon/watched.c \
+    < "$fifo" > "$dout" &
+dpid=$!
+exec 9> "$fifo"
+for _ in $(seq 1 100); do
+  grep -q '"event": "revision_done", "rev": 1' "$dout" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q '"event": "revision_done", "rev": 1' "$dout"
+grep -q '"all_verified": true' "$dout"
+# Same-length in-place edit of max_sz only (later lines keep their
+# locations, so only one function's content hash changes).
+sed -i 's/a < b ? b : a/b < a ? a : b/' build/check_daemon/watched.c
+echo check >&9
+for _ in $(seq 1 100); do
+  grep -q '"event": "revision_done", "rev": 2' "$dout" 2>/dev/null && break
+  sleep 0.1
+done
+grep '"event": "revision_done", "rev": 2' "$dout" | grep -q '"reverified": 1'
+echo shutdown >&9
+exec 9>&-
+wait $dpid
+grep -q '"event": "shutdown"' "$dout"
+
+# 5. ASan/UBSan configuration (trace subsystem, parallel driver, the
+#    result store's deserializer, and the daemon are the main customers:
+#    data races on buffers, lifetime of cached pointers,
+#    attacker-controlled cache bytes, revision/session lifetimes).
+#    The store and daemon tests (test_store, test_daemon) run as part of
+#    the sanitized suite below.
 #    Skippable for quick local runs: CHECK_SKIP_SANITIZERS=1 scripts/check.sh
 if [ -z "$CHECK_SKIP_SANITIZERS" ]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

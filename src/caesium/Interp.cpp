@@ -464,8 +464,17 @@ RtVal Machine::evalBinOp(const Expr &E, RtVal L, RtVal R) {
   case BinOpKind::Shr: {
     if (B < 0 || static_cast<uint64_t>(B) >= Ity.bits())
       return UB("shift amount out of range");
-    if (E.Op == BinOpKind::Shl)
+    if (E.Op == BinOpKind::Shl) {
+      // Caesium gives signed left shift C's UB semantics: a negative left
+      // operand or an unrepresentable result is UB, exactly like the
+      // checked treatment of +, -, * above — not unsigned wrap.
+      if (Ity.Signed) {
+        if (A < 0)
+          return UB("left shift of a negative value");
+        return checkedSigned(static_cast<__int128>(A) << B);
+      }
       return wrap(UA << B);
+    }
     if (Ity.Signed)
       return RtVal::fromInt(Ity, A >> B);
     return wrap(UA >> B);

@@ -1,0 +1,464 @@
+//===- Daemon.cpp - Long-lived verification server (verifyd) --------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Daemon.h"
+
+#include "refinedc/FnHash.h"
+#include "support/Util.h"
+#include "trace/Trace.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+using namespace rcc;
+using namespace rcc::daemon;
+
+//===----------------------------------------------------------------------===//
+// Shutdown flag (async-signal-safe; the run loops poll it)
+//===----------------------------------------------------------------------===//
+
+static volatile sig_atomic_t GShutdownRequested = 0;
+
+static void requestShutdown(int) { GShutdownRequested = 1; }
+
+void Daemon::installSignalHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = requestShutdown;
+  sigemptyset(&SA.sa_mask);
+  // No SA_RESTART: poll()/read() must return EINTR so the loops notice the
+  // flag promptly instead of sleeping out their timeout.
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
+
+bool Daemon::shutdownRequested() { return GShutdownRequested != 0; }
+
+void Daemon::resetShutdownFlag() { GShutdownRequested = 0; }
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+static bool readWholeFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+static std::string fmtMs(double Ms) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%.3f", Ms);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon
+//===----------------------------------------------------------------------===//
+
+Daemon::Daemon(DaemonOptions Opts) : O(std::move(Opts)) {
+  L1 = std::make_shared<store::MemoryResultStore>();
+  if (!O.CacheDir.empty())
+    L2 = std::make_shared<store::DiskResultStore>(O.CacheDir);
+}
+
+Daemon::~Daemon() {
+  // Chk references *AP; destroy it first.
+  Chk.reset();
+  AP.reset();
+}
+
+bool Daemon::verifyRevision(const std::string &Source, const EventSink &Sink) {
+  trace::Span RevSpan(trace::Category::Checker, "daemon.revision",
+                      "\"rev\": " + std::to_string(Rev));
+  trace::count("daemon.revisions");
+
+  rcc::DiagnosticEngine Diags;
+  std::unique_ptr<front::AnnotatedProgram> NewAP =
+      front::compileSource(Source, Diags);
+  if (!NewAP) {
+    LastGood = false;
+    Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
+         ", \"message\": " + jsonQuote(Diags.render(Source)) + "}");
+    return false;
+  }
+
+  // Fresh session over the shared tiers. The old session (if any) stays
+  // live until the new one is fully built, so a spec error keeps serving
+  // `status` from the previous good revision.
+  auto NewChk = std::make_unique<refinedc::Checker>(*NewAP, Diags);
+  NewChk->adoptStoreTiers(L1, L2);
+  if (!NewChk->buildEnv()) {
+    LastGood = false;
+    Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
+         ", \"message\": " + jsonQuote(Diags.render(Source)) + "}");
+    return false;
+  }
+
+  refinedc::VerifyOptions VO;
+  VO.Jobs = O.Jobs;
+  VO.Recheck = O.Recheck;
+  VO.Trace = O.Trace;
+
+  Sink("{\"event\": \"revision\", \"rev\": " + std::to_string(Rev) +
+       ", \"file\": " + jsonQuote(O.Path) + "}");
+
+  refinedc::ProgramResult PR = NewChk->verifyAll(VO);
+
+  for (const refinedc::FnResult &R : PR.Fns) {
+    std::string E = "{\"event\": \"diagnostic\", \"rev\": " +
+                    std::to_string(Rev) + ", \"fn\": " + jsonQuote(R.Name) +
+                    std::string(", \"verified\": ") +
+                    (R.Verified ? "true" : "false") +
+                    std::string(", \"cached\": ") +
+                    (R.CacheHit ? "true" : "false");
+    if (R.Trusted)
+      E += ", \"trusted\": true";
+    if (!R.Error.empty()) {
+      E += ", \"error\": " + jsonQuote(R.Error);
+      if (R.ErrorLoc.isValid())
+        E += ", \"line\": " + std::to_string(R.ErrorLoc.Line) +
+             ", \"col\": " + std::to_string(R.ErrorLoc.Col);
+    }
+    E += ", \"wall_ms\": " + fmtMs(R.WallMillis) + "}";
+    Sink(E);
+  }
+
+  unsigned Failed = 0;
+  for (const refinedc::FnResult &R : PR.Fns)
+    if (!R.Verified)
+      ++Failed;
+  trace::count("daemon.reverified", PR.CacheMisses);
+
+  // Commit the new session.
+  Chk.reset();
+  AP = std::move(NewAP);
+  Chk = std::move(NewChk);
+  Last = std::move(PR);
+  LastGood = true;
+
+  Sink("{\"event\": \"revision_done\", \"rev\": " + std::to_string(Rev) +
+       ", \"functions\": " + std::to_string(Last.Fns.size()) +
+       ", \"reverified\": " + std::to_string(Last.CacheMisses) +
+       ", \"cached\": " + std::to_string(Last.CacheHits) +
+       ", \"l1_hits\": " + std::to_string(Last.L1Hits) +
+       ", \"l2_hits\": " + std::to_string(Last.L2Hits) +
+       ", \"replayed\": " + std::to_string(Last.ReplayedHits) +
+       ", \"failed\": " + std::to_string(Failed) +
+       std::string(", \"all_verified\": ") +
+       (lastAllVerified() ? "true" : "false") +
+       ", \"wall_ms\": " + fmtMs(Last.WallMillis) + "}");
+  return true;
+}
+
+bool Daemon::checkOnce(const EventSink &Sink, bool Force) {
+  trace::SessionScope Scope(O.Trace);
+
+  // Cheap poll: mtime + size. Only a change here (or Force) pays for the
+  // read + hash below.
+  std::error_code EC;
+  fs::file_time_type MT = fs::last_write_time(O.Path, EC);
+  uint64_t Size = EC ? 0 : static_cast<uint64_t>(fs::file_size(O.Path, EC));
+  if (EC) {
+    if (Force) {
+      Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
+           ", \"message\": " +
+           jsonQuote("cannot stat '" + O.Path + "': " + EC.message()) + "}");
+    }
+    return false;
+  }
+  int64_t Ticks = MT.time_since_epoch().count();
+  if (!Force && HaveStat && Ticks == LastMTimeTicks && Size == LastSize)
+    return false;
+  HaveStat = true;
+  LastMTimeTicks = Ticks;
+  LastSize = Size;
+
+  std::string Source;
+  if (!readWholeFile(O.Path, Source)) {
+    if (Force)
+      Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
+           ", \"message\": " + jsonQuote("cannot read '" + O.Path + "'") +
+           "}");
+    return false;
+  }
+
+  // Content hash: `touch` without an edit is not a revision.
+  uint64_t Hash = refinedc::ContentHasher().mix(Source).get();
+  if (Rev > 0 && Hash == LastHash) {
+    if (Force)
+      Sink("{\"event\": \"unchanged\", \"rev\": " + std::to_string(Rev) +
+           std::string(", \"all_verified\": ") +
+           (lastAllVerified() ? "true" : "false") + "}");
+    return false;
+  }
+  LastHash = Hash;
+  ++Rev;
+
+  verifyRevision(Source, Sink);
+  runGc(Sink);
+  return true;
+}
+
+void Daemon::runGc(const EventSink &Sink) {
+  if (!L2 || O.CacheMaxBytes == 0)
+    return;
+  store::GcStats S = L2->gc(O.CacheMaxBytes);
+  if (S.Evicted == 0)
+    return;
+  Sink("{\"event\": \"gc\", \"bytes_before\": " +
+       std::to_string(S.BytesBefore) +
+       ", \"bytes_after\": " + std::to_string(S.BytesAfter) +
+       ", \"evicted\": " + std::to_string(S.Evicted) +
+       ", \"max_bytes\": " + std::to_string(O.CacheMaxBytes) + "}");
+}
+
+bool Daemon::handleLine(const std::string &Line, const EventSink &Sink) {
+  std::string Cmd = trim(Line);
+  if (Cmd.empty())
+    return true;
+  if (Cmd == "check" || Cmd == "verify") {
+    checkOnce(Sink, /*Force=*/true);
+    return true;
+  }
+  if (Cmd == "status") {
+    Sink("{\"event\": \"status\", \"rev\": " + std::to_string(Rev) +
+         ", \"file\": " + jsonQuote(O.Path) +
+         ", \"functions\": " + std::to_string(Last.Fns.size()) +
+         std::string(", \"all_verified\": ") +
+         (lastAllVerified() ? "true" : "false") + "}");
+    return true;
+  }
+  if (Cmd == "shutdown" || Cmd == "quit")
+    return false;
+  Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
+       ", \"message\": " + jsonQuote("unknown command '" + Cmd + "'") + "}");
+  return true;
+}
+
+void Daemon::emitShutdown(const EventSink &Sink) {
+  trace::SessionScope Scope(O.Trace);
+  // Final GC so a bounded cache directory is within budget on exit even if
+  // the last revision's eviction raced with concurrent writers.
+  runGc(Sink);
+  Sink("{\"event\": \"shutdown\", \"rev\": " + std::to_string(Rev) + "}");
+}
+
+//===----------------------------------------------------------------------===//
+// Stdio transport
+//===----------------------------------------------------------------------===//
+
+int Daemon::runStdio(std::istream &In, std::ostream &Out) {
+  EventSink Sink = [&Out](const std::string &L) {
+    Out << L << '\n';
+    Out.flush();
+  };
+
+  // Cold start: verify everything before serving requests.
+  checkOnce(Sink, /*Force=*/true);
+
+  if (&In == &std::cin) {
+    // Watch mode: poll stdin with a timeout; every timeout is a watch tick
+    // on the source file, so saves re-verify without any request.
+    std::string Buf;
+    char Chunk[4096];
+    bool Eof = false;
+    while (!Eof && !shutdownRequested()) {
+      struct pollfd PFD;
+      PFD.fd = 0;
+      PFD.events = POLLIN;
+      int N = poll(&PFD, 1, static_cast<int>(O.PollMs));
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      if (N == 0) {
+        checkOnce(Sink, /*Force=*/false);
+        continue;
+      }
+      ssize_t R = read(0, Chunk, sizeof(Chunk));
+      if (R <= 0) {
+        Eof = true;
+        break;
+      }
+      Buf.append(Chunk, static_cast<size_t>(R));
+      size_t NL;
+      while ((NL = Buf.find('\n')) != std::string::npos) {
+        std::string Line = Buf.substr(0, NL);
+        Buf.erase(0, NL + 1);
+        if (!handleLine(Line, Sink)) {
+          Eof = true;
+          break;
+        }
+      }
+    }
+  } else {
+    // Test harness mode: drain the stream line by line, no watching.
+    std::string Line;
+    while (!shutdownRequested() && std::getline(In, Line))
+      if (!handleLine(Line, Sink))
+        break;
+  }
+
+  emitShutdown(Sink);
+  return lastAllVerified() ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Unix-domain-socket transport
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// One connected client: its fd and its partial-line input buffer.
+struct Client {
+  int Fd = -1;
+  std::string InBuf;
+  bool Dead = false;
+};
+} // namespace
+
+static void writeAll(Client &C, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t W = write(C.Fd, S.data() + Off, S.size() - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      C.Dead = true; // disconnected mid-write; reaped by the loop
+      return;
+    }
+    Off += static_cast<size_t>(W);
+  }
+}
+
+int Daemon::runSocket(const std::string &SockPath) {
+  // A client that disconnects mid-broadcast must not kill the daemon.
+  signal(SIGPIPE, SIG_IGN);
+
+  int ListenFd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    fprintf(stderr, "verifyd: socket: %s\n", strerror(errno));
+    return 2;
+  }
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SockPath.size() >= sizeof(Addr.sun_path)) {
+    fprintf(stderr, "verifyd: socket path too long: %s\n", SockPath.c_str());
+    close(ListenFd);
+    return 2;
+  }
+  std::memcpy(Addr.sun_path, SockPath.c_str(), SockPath.size() + 1);
+  ::unlink(SockPath.c_str()); // stale socket from a crashed daemon
+  if (bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+           sizeof(Addr)) < 0 ||
+      listen(ListenFd, 8) < 0) {
+    fprintf(stderr, "verifyd: bind %s: %s\n", SockPath.c_str(),
+            strerror(errno));
+    close(ListenFd);
+    return 2;
+  }
+
+  std::vector<Client> Clients;
+  // Every event goes to stdout (the daemon's log) and to every connected
+  // subscriber — watch revisions broadcast, and a requesting client sees
+  // its own terminating event because it is a subscriber too.
+  EventSink Broadcast = [&Clients](const std::string &L) {
+    fputs(L.c_str(), stdout);
+    fputc('\n', stdout);
+    fflush(stdout);
+    std::string Line = L + "\n";
+    for (Client &C : Clients)
+      if (!C.Dead)
+        writeAll(C, Line);
+  };
+
+  checkOnce(Broadcast, /*Force=*/true);
+
+  bool Stop = false;
+  char Chunk[4096];
+  while (!Stop && !shutdownRequested()) {
+    std::vector<struct pollfd> PFDs;
+    PFDs.push_back({ListenFd, POLLIN, 0});
+    for (const Client &C : Clients)
+      PFDs.push_back({C.Fd, POLLIN, 0});
+
+    int N = poll(PFDs.data(), PFDs.size(), static_cast<int>(O.PollMs));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0) {
+      checkOnce(Broadcast, /*Force=*/false);
+      continue;
+    }
+
+    if (PFDs[0].revents & POLLIN) {
+      int Fd = accept(ListenFd, nullptr, nullptr);
+      if (Fd >= 0)
+        Clients.push_back(Client{Fd, {}, false});
+    }
+
+    // PFDs[I+1] belongs to Clients[I]; accept above only appended.
+    for (size_t I = 0; I < Clients.size() && I + 1 < PFDs.size(); ++I) {
+      Client &C = Clients[I];
+      short Rev = PFDs[I + 1].revents;
+      if (Rev & (POLLERR | POLLNVAL)) {
+        C.Dead = true;
+        continue;
+      }
+      if (!(Rev & (POLLIN | POLLHUP)))
+        continue;
+      ssize_t R = read(C.Fd, Chunk, sizeof(Chunk));
+      if (R <= 0) {
+        C.Dead = true;
+        continue;
+      }
+      C.InBuf.append(Chunk, static_cast<size_t>(R));
+      size_t NL;
+      while (!Stop && (NL = C.InBuf.find('\n')) != std::string::npos) {
+        std::string Line = C.InBuf.substr(0, NL);
+        C.InBuf.erase(0, NL + 1);
+        if (!handleLine(Line, Broadcast))
+          Stop = true;
+      }
+    }
+
+    for (size_t I = Clients.size(); I-- > 0;) {
+      if (Clients[I].Dead) {
+        close(Clients[I].Fd);
+        Clients.erase(Clients.begin() + static_cast<ptrdiff_t>(I));
+      }
+    }
+  }
+
+  emitShutdown(Broadcast);
+  for (Client &C : Clients)
+    close(C.Fd);
+  close(ListenFd);
+  ::unlink(SockPath.c_str());
+  return lastAllVerified() ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+//===- Daemon.h - Long-lived verification server (verifyd) -----*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verification daemon behind `verifyd` (DESIGN.md, "Verification
+/// daemon"). A Daemon owns one watched source file and a pair of store
+/// tiers that outlive any single compile: the in-memory L1 stays warm
+/// across *revisions* (each revision is a fresh frontend compile and a
+/// fresh Checker session sharing the tiers via
+/// Checker::adoptStoreTiers), and the optional disk L2 stays warm across
+/// *restarts* (entries are replayed through the proof checker before they
+/// are trusted, exactly as in batch mode). Because result-store keys fold
+/// in the function body, its callee specs, and the spec-environment
+/// fingerprint, a revision re-verifies exactly the functions whose
+/// verification problem actually changed — everything else is an L1 hit.
+///
+/// Change detection is portable polling: a cheap mtime+size stat per tick,
+/// then a content hash over the bytes before anything recompiles (so
+/// `touch` without an edit is not a revision).
+///
+/// The protocol is JSON lines over either stdio (`verifyd --stdio`, for
+/// tests and editor integrations) or a Unix domain socket
+/// (`verifyd --socket=PATH`, where `verify_tool --connect=PATH` is a thin
+/// client). Requests are single words (`check`, `status`, `shutdown`);
+/// every `check` exchange is terminated by a `revision_done`, `unchanged`,
+/// or `error` event. Watch-triggered revisions broadcast the same events
+/// to every connected subscriber.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_DAEMON_DAEMON_H
+#define RCC_DAEMON_DAEMON_H
+
+#include "frontend/Frontend.h"
+#include "refinedc/Checker.h"
+#include "store/ResultStore.h"
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace rcc::daemon {
+
+struct DaemonOptions {
+  /// The watched source file.
+  std::string Path;
+  /// Persistent L2 cache directory (empty: L1 only — warm across
+  /// revisions, cold across restarts).
+  std::string CacheDir;
+  /// GC budget for the cache directory, enforced after every revision and
+  /// at shutdown (0 = unbounded). See DiskResultStore::gc.
+  uint64_t CacheMaxBytes = 0;
+  /// Concurrent verification jobs per revision (0 = all cores).
+  unsigned Jobs = 1;
+  /// Replay derivations through the independent ProofChecker (both fresh
+  /// results and L2 hits); off = content-hash trust.
+  bool Recheck = true;
+  /// Watch poll interval in milliseconds.
+  unsigned PollMs = 200;
+  /// Optional trace session: revision spans and the `daemon.revisions` /
+  /// `daemon.reverified` counters land here.
+  trace::TraceSession *Trace = nullptr;
+};
+
+/// Receives one rendered JSON event (a single line, no trailing newline).
+using EventSink = std::function<void(const std::string &)>;
+
+class Daemon {
+public:
+  explicit Daemon(DaemonOptions Opts);
+  ~Daemon();
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// One revision step. \p Force re-reads the file even when the cheap
+  /// mtime/size poll saw no change (a `check` request); the watch loop
+  /// calls with Force=false. Returns true when a revision was processed
+  /// (verified or failed to compile); false when nothing changed. On an
+  /// unchanged forced check, emits an `unchanged` event so a request is
+  /// never left without a terminating reply.
+  bool checkOnce(const EventSink &Sink, bool Force = false);
+
+  /// Dispatches one protocol line (`check` / `status` / `shutdown`;
+  /// unknown commands produce an `error` event). Returns false when the
+  /// daemon should shut down.
+  bool handleLine(const std::string &Line, const EventSink &Sink);
+
+  /// Stdio transport: cold-start verification, then one command per input
+  /// line. When \p In is std::cin, the loop polls the file between lines
+  /// (watch mode); other streams (tests) are drained line by line.
+  /// Returns the exit code (0 iff the last revision fully verified).
+  int runStdio(std::istream &In, std::ostream &Out);
+
+  /// Unix-domain-socket transport: accepts any number of clients, serves
+  /// their requests, broadcasts watch revisions to all of them, and
+  /// mirrors every event to stdout. Returns the exit code.
+  int runSocket(const std::string &SockPath);
+
+  /// Installs SIGINT/SIGTERM handlers that request a clean shutdown (the
+  /// run loops flush the store GC and emit a final `shutdown` event).
+  static void installSignalHandlers();
+  static bool shutdownRequested();
+  /// Clears the flag (tests reuse the process).
+  static void resetShutdownFlag();
+
+  unsigned revision() const { return Rev; }
+  const refinedc::ProgramResult &lastResult() const { return Last; }
+  /// True when the last processed revision compiled and fully verified.
+  bool lastAllVerified() const {
+    return LastGood && Last.allVerified() && Last.allRechecksOk();
+  }
+  store::DiskResultStore *l2() { return L2.get(); }
+
+private:
+  /// Compiles \p Source, builds a fresh Checker session over the shared
+  /// tiers, verifies every annotated function, and emits the revision's
+  /// events. False when the source does not compile (an `error` event is
+  /// emitted and the previous session stays live).
+  bool verifyRevision(const std::string &Source, const EventSink &Sink);
+  /// Enforces CacheMaxBytes on L2, emitting a `gc` event when anything
+  /// was evicted.
+  void runGc(const EventSink &Sink);
+  void emitShutdown(const EventSink &Sink);
+
+  DaemonOptions O;
+  /// Shared tiers, adopted by every revision's Checker.
+  std::shared_ptr<store::MemoryResultStore> L1;
+  std::shared_ptr<store::DiskResultStore> L2;
+
+  /// Cheap poll state (mtime+size) and the authoritative content hash.
+  bool HaveStat = false;
+  int64_t LastMTimeTicks = 0;
+  uint64_t LastSize = 0;
+  uint64_t LastHash = 0;
+
+  unsigned Rev = 0;
+  bool LastGood = false;
+  /// The live session. Chk references *AP, so AP must outlive it; both are
+  /// replaced together on a successful recompile (Chk first).
+  std::unique_ptr<front::AnnotatedProgram> AP;
+  std::unique_ptr<refinedc::Checker> Chk;
+  refinedc::ProgramResult Last;
+};
+
+} // namespace rcc::daemon
+
+#endif // RCC_DAEMON_DAEMON_H

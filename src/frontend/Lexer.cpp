@@ -121,28 +121,52 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
       continue;
     }
 
-    // Numbers (decimal and hex; optional U/L suffixes ignored).
+    // Numbers (decimal and hex; optional U/L suffixes ignored). Literals
+    // that do not fit in 64 bits are a hard diagnostic: silently wrapping
+    // would hand the type checker a wrong constant, and a wrong constant in
+    // an otherwise well-formed program is far worse than a rejection.
     if (std::isdigit(static_cast<unsigned char>(C))) {
       std::string Text;
       uint64_t Val = 0;
+      bool Overflow = false;
       if (C == '0' && (S.peek(1) == 'x' || S.peek(1) == 'X')) {
         Text += S.advance();
         Text += S.advance();
+        bool AnyDigit = false;
         while (std::isxdigit(static_cast<unsigned char>(S.peek()))) {
           char D = S.advance();
           Text += D;
-          Val = Val * 16 +
-                (std::isdigit(static_cast<unsigned char>(D))
-                     ? D - '0'
-                     : std::tolower(static_cast<unsigned char>(D)) - 'a' + 10);
+          AnyDigit = true;
+          uint64_t Dig =
+              std::isdigit(static_cast<unsigned char>(D))
+                  ? static_cast<uint64_t>(D - '0')
+                  : static_cast<uint64_t>(
+                        std::tolower(static_cast<unsigned char>(D)) - 'a' +
+                        10);
+          if (Val > (UINT64_MAX - Dig) / 16)
+            Overflow = true;
+          else
+            Val = Val * 16 + Dig;
         }
+        // A bare "0x" must not lex as the number 0 (with the 'x' then
+        // re-lexed as an identifier, or worse).
+        if (!AnyDigit)
+          Diags.error(Loc, "hexadecimal literal '" + Text +
+                               "' expects at least one digit");
       } else {
         while (std::isdigit(static_cast<unsigned char>(S.peek()))) {
           char D = S.advance();
           Text += D;
-          Val = Val * 10 + (D - '0');
+          uint64_t Dig = static_cast<uint64_t>(D - '0');
+          if (Val > (UINT64_MAX - Dig) / 10)
+            Overflow = true;
+          else
+            Val = Val * 10 + Dig;
         }
       }
+      if (Overflow)
+        Diags.error(Loc, "integer literal '" + Text +
+                             "' does not fit in 64 bits");
       while (S.peek() == 'u' || S.peek() == 'U' || S.peek() == 'l' ||
              S.peek() == 'L')
         S.advance();

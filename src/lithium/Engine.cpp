@@ -6,6 +6,8 @@
 
 #include "lithium/Engine.h"
 
+#include "support/Util.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -496,11 +498,14 @@ bool Engine::prove(GoalRef G) {
   while (true) {
     if (trace::Counter *C = CtGoal[static_cast<size_t>(G->K)])
       C->add(1);
-    if (std::getenv("RCC_TRACE")) {
-      if (Stats.GoalSteps % 1000 == 0)
-        fprintf(stderr, "[engine] step %u\n", Stats.GoalSteps);
-      if (std::getenv("RCC_TRACE")[0] == '2' && G->K == GoalKind::Judg)
-        fprintf(stderr, "[goal] %.200s\n", G->J->str().c_str());
+    // RCC_TRACE debug dump, through the mutex-guarded log: raw fprintf here
+    // interleaved garbage under --jobs>1, and a getenv per goal step was
+    // measurable (debugTraceLevel caches the environment read).
+    if (int Dbg = debugTraceLevel()) {
+      if (Stats.GoalSteps && Stats.GoalSteps % 1000 == 0)
+        debugLog("[engine] step " + std::to_string(Stats.GoalSteps));
+      if (Dbg >= 2 && G->K == GoalKind::Judg)
+        debugLog("[goal] " + G->J->str().substr(0, 200));
     }
     if (++Stats.GoalSteps > MaxSteps) {
       fail("proof search exceeded its step budget (diverging rules?)");

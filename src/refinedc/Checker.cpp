@@ -613,7 +613,22 @@ void Checker::invalidateCache() {
   EnvFingerprintValid = false;
 }
 
+void Checker::adoptStoreTiers(
+    std::shared_ptr<store::MemoryResultStore> SharedL1,
+    std::shared_ptr<store::DiskResultStore> SharedL2) {
+  L1 = SharedL1 ? std::move(SharedL1)
+                : std::make_shared<store::MemoryResultStore>();
+  L2 = std::move(SharedL2);
+  ExternalTiers = true;
+  Store.resetTiers();
+  Store.addTier(L1);
+  if (L2)
+    Store.addTier(L2);
+}
+
 void Checker::configureStore(const VerifyOptions &Opts) {
+  if (ExternalTiers)
+    return; // the daemon owns the composition; CacheDir is ignored
   const bool WantL2 = !Opts.CacheDir.empty() && !Opts.NoCache;
   if (WantL2 && L2 && L2->dir() == Opts.CacheDir)
     return; // same directory as the previous run: keep the tier (and its

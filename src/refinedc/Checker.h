@@ -95,6 +95,19 @@ public:
   /// Builds the type environment from annotations. False on spec errors.
   bool buildEnv();
 
+  /// Adopts externally-owned store tiers in place of the session-owned
+  /// ones. This is how the verification daemon (src/daemon) keeps results
+  /// warm across *revisions*: each revision compiles a fresh Checker
+  /// session, but all sessions share one in-memory L1 (and optionally one
+  /// disk L2), and the content-hash keys — which fold in the function
+  /// body, callee specs, and the spec-environment fingerprint — guarantee
+  /// a stale entry can only miss. \p SharedL1 must be a trusted in-memory
+  /// tier (nullptr keeps a fresh private one); \p SharedL2 may be null.
+  /// Once adopted, VerifyOptions::CacheDir is ignored (the tiers are
+  /// fixed); VerifyOptions::NoCache still bypasses probes per run.
+  void adoptStoreTiers(std::shared_ptr<store::MemoryResultStore> SharedL1,
+                       std::shared_ptr<store::DiskResultStore> SharedL2);
+
   /// Verifies one function against its annotations. Thread-safe: shares
   /// only immutable session state, and bypasses the result store.
   FnResult verifyFunction(const std::string &Name,
@@ -197,6 +210,9 @@ private:
   std::shared_ptr<store::MemoryResultStore> L1;
   std::shared_ptr<store::DiskResultStore> L2;
   store::TieredResultStore Store;
+  /// True once adoptStoreTiers ran: the tier composition is owned by the
+  /// caller (the daemon) and configureStore must not rebuild it.
+  bool ExternalTiers = false;
 };
 
 /// Registers the RefinedC standard library of typing rules (Section 6 and

@@ -74,7 +74,7 @@ static void jsonEscape(std::string &Out, const std::string &S) {
   Out += '"';
 }
 
-std::string ProgramResult::toJson() const {
+std::string ProgramResult::toJson(const std::string &ExtraJson) const {
   std::string S;
   char Buf[64];
   S += "{\n";
@@ -150,6 +150,10 @@ std::string ProgramResult::toJson() const {
   if (!Metrics.empty()) {
     S += ",\n  \"metrics\": ";
     S += Metrics;
+  }
+  if (!ExtraJson.empty()) {
+    S += ",\n  ";
+    S += ExtraJson;
   }
   S += "\n}\n";
   return S;

@@ -153,8 +153,11 @@ struct ProgramResult {
   }
   /// Machine-readable rendering (verify_tool --format=json): per-function
   /// name, verdict, error + location, and engine statistics, plus the
-  /// run-level wall time and per-tier store counters.
-  std::string toJson() const;
+  /// run-level wall time and per-tier store counters. \p ExtraJson, when
+  /// non-empty, is a pre-rendered `"key": value` fragment appended as an
+  /// additional top-level member (verify_tool injects the `run` object of
+  /// `--run` this way, so JSON mode cannot swallow the run outcome).
+  std::string toJson(const std::string &ExtraJson = std::string()) const;
 };
 
 } // namespace rcc::refinedc

@@ -10,6 +10,7 @@
 #include "support/Util.h"
 #include "trace/Trace.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -146,6 +147,12 @@ bool DiskResultStore::get(const std::string &Name, uint64_t Key,
   if (!deserializeFnResult(Payload, Out))
     return Reject();
 
+  // Refresh the entry's mtime so the GC's LRU order reflects use recency,
+  // not just creation time. Best effort: a read-only cache directory still
+  // serves hits, it just ages like FIFO.
+  std::error_code EC;
+  fs::last_write_time(Path, fs::file_time_type::clock::now(), EC);
+
   Counters.Hits.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -206,6 +213,67 @@ void DiskResultStore::clear() {
     if (E.path().extension() == ".rcv")
       fs::remove(E.path(), EC);
   }
+}
+
+uint64_t DiskResultStore::sizeBytes() const {
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const auto &E : fs::directory_iterator(Dir, EC)) {
+    if (E.path().extension() != ".rcv")
+      continue;
+    uint64_t Sz = E.file_size(EC);
+    if (!EC)
+      Total += Sz;
+  }
+  return Total;
+}
+
+GcStats DiskResultStore::gc(uint64_t MaxBytes) {
+  trace::Span GcSpan(trace::Category::Cache, "store.l2.gc");
+  GcStats S;
+
+  // Snapshot (path, mtime, size) for every entry. Entries that vanish or
+  // fail to stat mid-scan (concurrent writers share the directory) are
+  // skipped; the next pass sees the settled state.
+  struct Ent {
+    fs::path Path;
+    fs::file_time_type MTime;
+    uint64_t Size;
+  };
+  std::vector<Ent> Ents;
+  std::error_code EC;
+  for (const auto &E : fs::directory_iterator(Dir, EC)) {
+    if (E.path().extension() != ".rcv")
+      continue;
+    std::error_code SEC;
+    uint64_t Sz = E.file_size(SEC);
+    auto MT = E.last_write_time(SEC);
+    if (SEC)
+      continue;
+    Ents.push_back({E.path(), MT, Sz});
+    S.BytesBefore += Sz;
+  }
+  S.BytesAfter = S.BytesBefore;
+  if (S.BytesBefore <= MaxBytes)
+    return S;
+
+  // Oldest first; ties broken by path so the pass is deterministic.
+  std::sort(Ents.begin(), Ents.end(), [](const Ent &A, const Ent &B) {
+    if (A.MTime != B.MTime)
+      return A.MTime < B.MTime;
+    return A.Path < B.Path;
+  });
+  for (const Ent &E : Ents) {
+    if (S.BytesAfter <= MaxBytes)
+      break;
+    std::error_code REC;
+    if (fs::remove(E.Path, REC) && !REC) {
+      S.BytesAfter -= E.Size;
+      ++S.Evicted;
+    }
+  }
+  Counters.Evictions.fetch_add(S.Evicted, std::memory_order_relaxed);
+  return S;
 }
 
 //===----------------------------------------------------------------------===//

@@ -57,6 +57,8 @@ struct StoreCounters {
   /// mismatches, foreign format or tool versions, key/name mismatches.
   /// Rejected files are unlinked (a corrupt entry must not miss forever).
   std::atomic<uint64_t> CorruptDrops{0};
+  /// Entries removed by the GC path (DiskResultStore::gc).
+  std::atomic<uint64_t> Evictions{0};
 };
 
 /// One tier of the result store.
@@ -102,6 +104,13 @@ private:
   std::map<std::string, std::pair<uint64_t, refinedc::FnResult>> Entries;
 };
 
+/// Outcome of one GC pass over a cache directory.
+struct GcStats {
+  uint64_t BytesBefore = 0; ///< total .rcv bytes before the pass
+  uint64_t BytesAfter = 0;  ///< total .rcv bytes after the pass
+  unsigned Evicted = 0;     ///< entries unlinked by the pass
+};
+
 /// L2: one file per (name, key) under \p Dir, named
 /// `<sanitized-name>.<key-hex>.rcv`. Writers write to a process-unique
 /// temp file and atomically rename it into place, so two verify_tool
@@ -124,6 +133,16 @@ public:
   /// The entry path for (Name, Key) — exposed for tests that corrupt or
   /// truncate entries on purpose.
   std::string entryPath(const std::string &Name, uint64_t Key) const;
+
+  /// Total bytes of .rcv entries currently under the directory.
+  uint64_t sizeBytes() const;
+  /// Evicts least-recently-used entries (ordered by file mtime; `get`
+  /// refreshes an entry's mtime on every hit, so recency tracks use, not
+  /// just creation) until the directory holds at most \p MaxBytes of
+  /// entries. A long-lived daemon calls this after every revision so its
+  /// cache directory cannot grow without bound (`verifyd
+  /// --cache-max-bytes`). MaxBytes = 0 evicts everything.
+  GcStats gc(uint64_t MaxBytes);
 
 private:
   std::string Dir;

@@ -7,6 +7,9 @@
 #include "support/Util.h"
 
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <sstream>
 
 using namespace rcc;
@@ -50,6 +53,62 @@ std::string rcc::trim(const std::string &S) {
 
 bool rcc::startsWith(const std::string &S, const std::string &Prefix) {
   return S.size() >= Prefix.size() && S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string rcc::jsonQuote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+int rcc::debugTraceLevel() {
+  // Compatible with the historical contract: any set RCC_TRACE (even empty)
+  // enables level 1; a leading '2' (or any numeric value >= 2) enables
+  // per-goal dumps.
+  static const int Level = [] {
+    const char *E = std::getenv("RCC_TRACE");
+    if (!E)
+      return 0;
+    int V = std::atoi(E);
+    return V >= 2 ? V : 1;
+  }();
+  return Level;
+}
+
+void rcc::debugLog(const std::string &Line) {
+  static std::mutex M;
+  std::lock_guard<std::mutex> G(M);
+  fputs(Line.c_str(), stderr);
+  fputc('\n', stderr);
 }
 
 /// Annotation kinds classified for Figure 7 accounting.

@@ -35,6 +35,20 @@ std::string trim(const std::string &S);
 /// True if \p S starts with \p Prefix.
 bool startsWith(const std::string &S, const std::string &Prefix);
 
+/// Renders \p S as a double-quoted JSON string with all mandatory escapes
+/// (used by the daemon protocol and verify_tool's JSON mode).
+std::string jsonQuote(const std::string &S);
+
+/// The RCC_TRACE debug level: 0 = off, 1 = step progress, 2 = per-goal
+/// dumps. Read from the environment once per process (a getenv per engine
+/// step is measurable on hot paths).
+int debugTraceLevel();
+
+/// Writes one complete line to stderr under a process-wide mutex, so
+/// concurrent verification jobs can never interleave partial lines
+/// (`--jobs>1` with RCC_TRACE set used to produce garbage).
+void debugLog(const std::string &Line);
+
 /// Line statistics of an annotated C source, in the counting style of the
 /// paper's Figure 7 (tokei-like: blank lines and comment-only lines are not
 /// code; `[[rc::...]]` attribute lines are annotations, not implementation).

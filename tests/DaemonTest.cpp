@@ -1,0 +1,413 @@
+//===- DaemonTest.cpp - verifyd daemon and debug-log contracts ------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contracts of the verification daemon (DESIGN.md, "Verification daemon"):
+/// the JSON-lines protocol over handleLine/runStdio, the incremental
+/// revision model (editing one function re-verifies exactly that function),
+/// L2 warm starts across daemon restarts, GC honoring the cache byte
+/// budget — plus the mutex-guarded RCC_TRACE debug log the daemon's
+/// parallel revisions depend on.
+///
+/// NOTE: the first test sets RCC_TRACE before anything queries
+/// debugTraceLevel(), which caches the environment once per process; gtest
+/// runs tests of one file in declaration order, so keep it first.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Daemon.h"
+#include "support/Util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace rcc;
+using namespace rcc::daemon;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A self-deleting unique temp directory per test.
+struct TempDir {
+  fs::path Path;
+  TempDir() {
+    static int Counter = 0;
+    Path = fs::temp_directory_path() /
+           ("rcc_daemon_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(Counter++));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+/// Two annotated functions; editing kEditedSecond changes only `idB` (same
+/// line/column layout, so `idA`'s body and source locations are
+/// untouched and its content hash — and L1 entry — stay valid).
+const char *kTwoFns = R"([[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idA(int x) { return x; }
+[[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idB(int x) { return x; }
+)";
+const char *kEditedSecond = R"([[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idA(int x) { return x; }
+[[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idB(int x) { int y = x; return y; }
+)";
+
+void writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Content;
+}
+
+/// Collects emitted events and answers simple queries about them.
+struct Events {
+  std::vector<std::string> Lines;
+  EventSink sink() {
+    return [this](const std::string &L) { Lines.push_back(L); };
+  }
+  /// The last line containing \p Needle ("" if none).
+  std::string last(const std::string &Needle) const {
+    for (auto It = Lines.rbegin(); It != Lines.rend(); ++It)
+      if (It->find(Needle) != std::string::npos)
+        return *It;
+    return "";
+  }
+  size_t count(const std::string &Needle) const {
+    size_t N = 0;
+    for (const std::string &L : Lines)
+      N += L.find(Needle) != std::string::npos;
+    return N;
+  }
+};
+
+/// Extracts the unsigned value of `"key": N` from an event line (or -1).
+long long field(const std::string &Line, const std::string &Key) {
+  std::string Pat = "\"" + Key + "\": ";
+  size_t P = Line.find(Pat);
+  if (P == std::string::npos)
+    return -1;
+  return atoll(Line.c_str() + P + Pat.size());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RCC_TRACE debug log (keep first: debugTraceLevel caches the env once)
+//===----------------------------------------------------------------------===//
+
+TEST(DebugLog, TraceLevelParsingAndConcurrentLines) {
+  ::setenv("RCC_TRACE", "1", 1);
+  EXPECT_EQ(debugTraceLevel(), 1) << "cached from the env set above";
+
+  // Hammer the log from several threads; the process-wide mutex guarantees
+  // whole lines (the raw fprintf it replaced interleaved under --jobs>1).
+  // Silence stderr for the duration so test output stays readable.
+  fflush(stderr);
+  int SavedErr = dup(2);
+  ASSERT_GE(SavedErr, 0);
+  FILE *Null = fopen("/dev/null", "w");
+  ASSERT_TRUE(Null != nullptr);
+  dup2(fileno(Null), 2);
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([T] {
+      for (int I = 0; I < 50; ++I)
+        debugLog("debuglog-test thread " + std::to_string(T) + " line " +
+                 std::to_string(I));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  fflush(stderr);
+  dup2(SavedErr, 2);
+  close(SavedErr);
+  fclose(Null);
+}
+
+TEST(DebugLog, EngineRunsUnderTraceEnv) {
+  // With RCC_TRACE=1 cached as level 1 above, a parallel daemon revision
+  // exercises the engine's debug-log path; it must still verify cleanly.
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  fflush(stderr);
+  int SavedErr = dup(2);
+  ASSERT_GE(SavedErr, 0);
+  FILE *Null = fopen("/dev/null", "w");
+  ASSERT_TRUE(Null != nullptr);
+  dup2(fileno(Null), 2);
+
+  DaemonOptions O;
+  O.Path = Src;
+  O.Jobs = 4;
+  Daemon D(O);
+  Events E;
+  EXPECT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+
+  fflush(stderr);
+  dup2(SavedErr, 2);
+  close(SavedErr);
+  fclose(Null);
+
+  EXPECT_TRUE(D.lastAllVerified());
+}
+
+//===----------------------------------------------------------------------===//
+// Revision model: edit -> re-verify exactly the changed function
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, ColdStartVerifiesEverything) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  Events E;
+  EXPECT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+  EXPECT_EQ(D.revision(), 1u);
+  EXPECT_TRUE(D.lastAllVerified());
+
+  std::string Done = E.last("\"event\": \"revision_done\"");
+  ASSERT_FALSE(Done.empty());
+  EXPECT_EQ(field(Done, "functions"), 2);
+  EXPECT_EQ(field(Done, "reverified"), 2);
+  EXPECT_EQ(field(Done, "cached"), 0);
+  EXPECT_NE(Done.find("\"all_verified\": true"), std::string::npos);
+  EXPECT_EQ(E.count("\"event\": \"diagnostic\""), 2u);
+}
+
+TEST(Daemon, EditReverifiesExactlyTheChangedFunction) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  Events Cold;
+  ASSERT_TRUE(D.checkOnce(Cold.sink(), /*Force=*/true));
+
+  // An unchanged forced check is not a revision but still gets a reply.
+  Events Same;
+  EXPECT_FALSE(D.checkOnce(Same.sink(), /*Force=*/true));
+  EXPECT_EQ(D.revision(), 1u);
+  EXPECT_FALSE(Same.last("\"event\": \"unchanged\"").empty());
+
+  // Edit the second function in place: exactly one function re-verifies,
+  // the other is a warm L1 hit.
+  writeFile(Src, kEditedSecond);
+  Events Edit;
+  EXPECT_TRUE(D.checkOnce(Edit.sink(), /*Force=*/true));
+  EXPECT_EQ(D.revision(), 2u);
+  std::string Done = Edit.last("\"event\": \"revision_done\"");
+  ASSERT_FALSE(Done.empty());
+  EXPECT_EQ(field(Done, "reverified"), 1);
+  EXPECT_EQ(field(Done, "cached"), 1);
+  EXPECT_EQ(field(Done, "l1_hits"), 1);
+  EXPECT_NE(Done.find("\"all_verified\": true"), std::string::npos);
+
+  std::string DiagB = Edit.last("\"fn\": \"idB\"");
+  ASSERT_FALSE(DiagB.empty());
+  EXPECT_NE(DiagB.find("\"cached\": false"), std::string::npos);
+  std::string DiagA = Edit.last("\"fn\": \"idA\"");
+  ASSERT_FALSE(DiagA.empty());
+  EXPECT_NE(DiagA.find("\"cached\": true"), std::string::npos);
+}
+
+TEST(Daemon, TouchWithoutEditIsNotARevision) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  Events E;
+  ASSERT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+
+  // Rewriting identical bytes bumps the mtime; the content hash must stop
+  // the watch tick from spending a revision on it.
+  writeFile(Src, kTwoFns);
+  Events Tick;
+  EXPECT_FALSE(D.checkOnce(Tick.sink(), /*Force=*/false));
+  EXPECT_EQ(D.revision(), 1u);
+  EXPECT_TRUE(Tick.Lines.empty()) << "watch ticks are silent on no change";
+}
+
+TEST(Daemon, CompileErrorKeepsServingPreviousRevision) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  Events E;
+  ASSERT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+
+  writeFile(Src, "int broken( { return 0; }\n");
+  Events Bad;
+  EXPECT_TRUE(D.checkOnce(Bad.sink(), /*Force=*/true));
+  EXPECT_FALSE(D.lastAllVerified());
+  EXPECT_FALSE(Bad.last("\"event\": \"error\"").empty());
+
+  // Fixing the file verifies again; the pre-error results are still warm.
+  writeFile(Src, kTwoFns);
+  Events Fixed;
+  EXPECT_TRUE(D.checkOnce(Fixed.sink(), /*Force=*/true));
+  EXPECT_TRUE(D.lastAllVerified());
+  std::string Done = Fixed.last("\"event\": \"revision_done\"");
+  EXPECT_EQ(field(Done, "l1_hits"), 2) << "unchanged bodies stay warm "
+                                          "across a broken intermediate "
+                                          "revision";
+}
+
+//===----------------------------------------------------------------------===//
+// Restart -> L2 warm start; GC honors the byte budget
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, RestartServesUnchangedFunctionsFromReplayedL2) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  O.CacheDir = Dir.str() + "/cache";
+  {
+    Daemon D(O);
+    Events E;
+    ASSERT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+    ASSERT_TRUE(D.lastAllVerified());
+  }
+
+  // A fresh daemon (cold L1) on the same cache dir: everything is an L2
+  // hit, replayed through the proof checker before being trusted.
+  Daemon D2(O);
+  Events E2;
+  ASSERT_TRUE(D2.checkOnce(E2.sink(), /*Force=*/true));
+  EXPECT_TRUE(D2.lastAllVerified());
+  std::string Done = E2.last("\"event\": \"revision_done\"");
+  ASSERT_FALSE(Done.empty());
+  EXPECT_EQ(field(Done, "reverified"), 0);
+  EXPECT_EQ(field(Done, "l2_hits"), 2);
+  EXPECT_EQ(field(Done, "replayed"), 2);
+}
+
+TEST(Daemon, GcHonorsCacheMaxBytes) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  O.CacheDir = Dir.str() + "/cache";
+  O.CacheMaxBytes = 1; // every entry is bigger than this
+  Daemon D(O);
+  Events E;
+  ASSERT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+  ASSERT_TRUE(D.l2() != nullptr);
+  EXPECT_LE(D.l2()->sizeBytes(), O.CacheMaxBytes);
+  std::string Gc = E.last("\"event\": \"gc\"");
+  ASSERT_FALSE(Gc.empty());
+  EXPECT_EQ(field(Gc, "evicted"), 2);
+  EXPECT_EQ(field(Gc, "max_bytes"), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: handleLine and the stdio transport
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, HandleLineProtocol) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  Events E;
+  ASSERT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+
+  Events R;
+  EXPECT_TRUE(D.handleLine("status", R.sink()));
+  std::string St = R.last("\"event\": \"status\"");
+  ASSERT_FALSE(St.empty());
+  EXPECT_EQ(field(St, "functions"), 2);
+  EXPECT_NE(St.find("\"all_verified\": true"), std::string::npos);
+
+  EXPECT_TRUE(D.handleLine("check", R.sink()));
+  EXPECT_FALSE(R.last("\"event\": \"unchanged\"").empty());
+
+  EXPECT_TRUE(D.handleLine("", R.sink())) << "blank lines are ignored";
+  EXPECT_TRUE(D.handleLine("bogus", R.sink()));
+  EXPECT_NE(R.last("\"event\": \"error\"").find("unknown command"),
+            std::string::npos);
+
+  EXPECT_FALSE(D.handleLine("shutdown", R.sink()));
+  EXPECT_FALSE(D.handleLine("quit", R.sink()));
+}
+
+TEST(Daemon, StdioRoundTrip) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  std::istringstream In("status\ncheck\nshutdown\n");
+  std::ostringstream Out;
+  EXPECT_EQ(D.runStdio(In, Out), 0);
+
+  std::string Log = Out.str();
+  EXPECT_NE(Log.find("\"event\": \"revision_done\""), std::string::npos)
+      << "cold start verifies before serving requests";
+  EXPECT_NE(Log.find("\"event\": \"status\""), std::string::npos);
+  EXPECT_NE(Log.find("\"event\": \"unchanged\""), std::string::npos);
+  EXPECT_NE(Log.find("\"event\": \"shutdown\""), std::string::npos);
+}
+
+TEST(Daemon, StdioExitCodeReflectsVerdict) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  // A function whose spec cannot hold: returns claims x+1 but body returns x.
+  writeFile(Src, R"([[rc::parameters("n: nat")]]
+[[rc::args("n @ int<u32>")]]
+[[rc::returns("{n + 1} @ int<u32>")]]
+[[rc::requires("{n <= 100}")]]
+unsigned int inc(unsigned int x) { return x; }
+)");
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  std::istringstream In("shutdown\n");
+  std::ostringstream Out;
+  EXPECT_EQ(D.runStdio(In, Out), 1);
+  EXPECT_NE(Out.str().find("\"verified\": false"), std::string::npos);
+  EXPECT_NE(Out.str().find("\"all_verified\": false"), std::string::npos);
+}

@@ -67,6 +67,25 @@ TEST(FrontendNegative, MalformedAnnotations) {
   EXPECT_TRUE(compileFails("[[oops::args(\"x\")]] void f(int x) {}"));
 }
 
+TEST(FrontendNegative, IntegerLiteralOverflow) {
+  // Literals that do not fit in 64 bits used to wrap silently; they must
+  // be diagnosed (the spec the user wrote is not the one verified).
+  EXPECT_TRUE(compileFails(
+      "int main() { return 18446744073709551616 != 0; }"))
+      << "2^64 does not fit in 64 bits";
+  EXPECT_TRUE(compileFails(
+      "int main() { return 0x10000000000000000 != 0; }"))
+      << "hex 2^64 does not fit in 64 bits";
+  EXPECT_TRUE(compileFails(
+      "int main() { return 99999999999999999999 != 0; }"));
+  // A bare 0x prefix used to lex as 0.
+  EXPECT_TRUE(compileFails("int main() { return 0x; }"));
+  // The boundary values still lex.
+  EXPECT_EQ(
+      runs("int main() { return 18446744073709551615 == 0xffffffffffffffff; }"),
+      1);
+}
+
 //===----------------------------------------------------------------------===//
 // Accepted edge cases (executed for their observable behaviour)
 //===----------------------------------------------------------------------===//

@@ -97,6 +97,46 @@ TEST(InterpSemantics, ShortCircuitAgreement) {
   EXPECT_EQ(runExpr("int z = 1; return z == 1 || 1 / 0 > 0;"), 1);
 }
 
+namespace {
+/// Runs `main` and returns the raw ExecResult (for UB assertions).
+ExecResult execMain(const std::string &Body) {
+  std::string Src = "int main() { " + Body + " }\n";
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Src, Diags);
+  EXPECT_TRUE(AP != nullptr) << Diags.render(Src);
+  if (!AP)
+    return {};
+  Machine M(AP->Prog);
+  return M.run("main", {});
+}
+} // namespace
+
+TEST(InterpSemantics, SignedLeftShiftOverflowIsUB) {
+  // Signed << used to wrap like the unsigned case; C makes an
+  // unrepresentable result UB, exactly like the checked +, -, *.
+  ExecResult R = execMain("int a = 1; return a << 31;");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Message.find("overflow"), std::string::npos) << R.Message;
+  ExecResult R2 = execMain("int a = 3; return (a << 30) != 0;");
+  EXPECT_FALSE(R2.ok());
+}
+
+TEST(InterpSemantics, SignedLeftShiftOfNegativeIsUB) {
+  ExecResult R = execMain("int a = -1; return a << 1;");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Message.find("negative"), std::string::npos) << R.Message;
+}
+
+TEST(InterpSemantics, DefinedShiftsUnchanged) {
+  EXPECT_EQ(runExpr("long long a = 1; return a << 20;"), 1LL << 20);
+  EXPECT_EQ(runExpr("long long a = -8; return a >> 2;"), -2);
+  EXPECT_EQ(runExpr("unsigned int a = 2147483648u; return (a << 1) == 0;"),
+            1)
+      << "unsigned left shift still wraps";
+  // INT_MAX's top usable shift: 1 << 30 is representable in i32.
+  EXPECT_EQ(runExpr("int a = 1; return (a << 30) == 1073741824;"), 1);
+}
+
 TEST(InterpSemantics, CastTruncation) {
   // Implementation-defined narrowing is pinned to two's-complement wrap.
   EXPECT_EQ(runExpr("unsigned char c = (unsigned char)300; return c;"), 44);

@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <unistd.h>
@@ -494,4 +495,87 @@ TEST(Store, NoCacheBypassesEveryTier) {
   EXPECT_EQ(PR.CacheHits, 0u) << "--no-cache must re-verify";
   EXPECT_EQ(PR.CacheMisses, 1u);
   EXPECT_EQ(countEntries(Dir.str()), 0u) << "--no-cache must not write";
+}
+
+//===----------------------------------------------------------------------===//
+// GC: LRU eviction under a byte budget (verifyd --cache-max-bytes)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Backdates the entry for (Name, Key) by \p Seconds so the LRU order is
+/// under test control (gc orders by file mtime).
+void backdate(DiskResultStore &S, const std::string &Name, uint64_t Key,
+              int Seconds) {
+  fs::path P = S.entryPath(Name, Key);
+  std::error_code EC;
+  fs::last_write_time(
+      P, fs::last_write_time(P, EC) - std::chrono::seconds(Seconds), EC);
+  ASSERT_FALSE(EC) << "cannot backdate " << P;
+}
+} // namespace
+
+TEST(Store, GcEvictsOldestFirstUntilUnderBudget) {
+  TempDir Dir;
+  DiskResultStore S(Dir.str());
+  FnResult R = verifiedInc();
+  S.put("oldest", 1, R);
+  S.put("middle", 2, R);
+  S.put("newest", 3, R);
+  backdate(S, "oldest", 1, 300);
+  backdate(S, "middle", 2, 200);
+  backdate(S, "newest", 3, 100);
+
+  uint64_t Total = S.sizeBytes();
+  ASSERT_GT(Total, 0u);
+  uint64_t OneEntry = Total / 3;
+
+  // Budget for two entries: exactly the oldest goes.
+  GcStats G = S.gc(2 * OneEntry + OneEntry / 2);
+  EXPECT_EQ(G.Evicted, 1u);
+  EXPECT_EQ(G.BytesBefore, Total);
+  EXPECT_LE(G.BytesAfter, 2 * OneEntry + OneEntry / 2);
+  FnResult Out;
+  EXPECT_FALSE(S.get("oldest", 1, Out));
+  EXPECT_TRUE(S.get("middle", 2, Out));
+  EXPECT_TRUE(S.get("newest", 3, Out));
+  EXPECT_EQ(S.counters().Evictions.load(), 1u);
+
+  // A zero budget clears the directory.
+  GcStats G2 = S.gc(0);
+  EXPECT_EQ(G2.Evicted, 2u);
+  EXPECT_EQ(S.sizeBytes(), 0u);
+  EXPECT_EQ(countEntries(Dir.str()), 0u);
+}
+
+TEST(Store, GcIsANoOpUnderBudget) {
+  TempDir Dir;
+  DiskResultStore S(Dir.str());
+  FnResult R = verifiedInc();
+  S.put("inc", 1, R);
+  uint64_t Total = S.sizeBytes();
+  GcStats G = S.gc(Total);
+  EXPECT_EQ(G.Evicted, 0u);
+  EXPECT_EQ(G.BytesBefore, Total);
+  EXPECT_EQ(G.BytesAfter, Total);
+  EXPECT_EQ(countEntries(Dir.str()), 1u);
+}
+
+TEST(Store, GetRefreshesRecencySoHitEntriesSurviveGc) {
+  TempDir Dir;
+  DiskResultStore S(Dir.str());
+  FnResult R = verifiedInc();
+  S.put("hot", 1, R);
+  S.put("cold", 2, R);
+  // "hot" is older on disk...
+  backdate(S, "hot", 1, 400);
+  backdate(S, "cold", 2, 100);
+  // ...but a hit refreshes its mtime, so "cold" is now the LRU entry.
+  FnResult Out;
+  ASSERT_TRUE(S.get("hot", 1, Out));
+
+  uint64_t OneEntry = S.sizeBytes() / 2;
+  GcStats G = S.gc(OneEntry + OneEntry / 2);
+  EXPECT_EQ(G.Evicted, 1u);
+  EXPECT_TRUE(S.get("hot", 1, Out)) << "recently used entries survive";
+  EXPECT_FALSE(S.get("cold", 2, Out));
 }
