@@ -1,0 +1,89 @@
+//===- rcc_lsp.cpp - The RefinedC++ language server -----------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `rcc-lsp` speaks the Language Server Protocol over stdio: editors open
+/// annotated C files, the server verifies them through the daemon's
+/// workspace (sharing one in-memory result tier across saves, so a save
+/// only re-runs proof search for the functions whose verification problem
+/// changed), and failures come back as `publishDiagnostics` with real
+/// source ranges. See README.md, "Editor integration". Flags:
+///
+///   --cache-dir=DIR      persist results under DIR (warm restarts)
+///   --cache-max-bytes=N  GC budget for DIR
+///   --jobs=N             concurrent verification jobs (0 = all cores)
+///   --no-recheck         skip the independent derivation replay
+///   --version            print the version and exit
+///
+/// Exit code 0 iff the client performed the shutdown/exit handshake in
+/// order (LSP: `exit` before `shutdown` must exit with 1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lsp/LspServer.h"
+#include "support/Util.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace rcc;
+
+static int usage(const char *Bad = nullptr) {
+  if (Bad)
+    fprintf(stderr, "error: unknown or malformed option '%s'\n", Bad);
+  fprintf(stderr, "usage: rcc-lsp [--cache-dir=DIR] [--cache-max-bytes=N] "
+                  "[--jobs=N] [--no-recheck] [--version]\n");
+  return 2;
+}
+
+static bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    if (V > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+int main(int argc, char **argv) {
+  lsp::LspOptions O;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A.rfind("--cache-dir=", 0) == 0) {
+      O.CacheDir = A.substr(12);
+      if (O.CacheDir.empty())
+        return usage(argv[I]);
+    } else if (A.rfind("--cache-max-bytes=", 0) == 0) {
+      if (!parseU64(A.substr(18), O.CacheMaxBytes))
+        return usage(argv[I]);
+    } else if (A.rfind("--jobs=", 0) == 0) {
+      uint64_t V;
+      if (!parseU64(A.substr(7), V) || V > 0xffffffffULL)
+        return usage(argv[I]);
+      O.Jobs = static_cast<unsigned>(V);
+    } else if (A == "--no-recheck") {
+      O.Recheck = false;
+    } else if (A == "--version") {
+      printf("%s\n", versionString());
+      return 0;
+    } else {
+      return usage(argv[I]);
+    }
+  }
+
+  // stdout carries framed protocol bytes only; never mix in C stdio.
+  std::ios::sync_with_stdio(false);
+  lsp::LspServer Server(std::move(O));
+  return Server.run(std::cin, std::cout);
+}

@@ -259,6 +259,15 @@ int main(int argc, char **argv) {
   Opts.Profile = Profile;
   refinedc::ProgramResult PR = Checker.verifyFunctions(Functions, Opts);
 
+  // Attribute diagnostics to the input file, exactly as the daemon
+  // attributes them to the watched document: the entries of the JSON
+  // "diagnostics" array below are byte-identical to the `diagnostic`
+  // objects of verifyd's events for the same failure.
+  for (refinedc::FnResult &R : PR.Fns)
+    for (rcc::Diagnostic &Dg : R.Diags)
+      if (Dg.File.empty())
+        Dg.File = Path;
+
   bool AllOk = PR.allVerified() && PR.allRechecksOk();
 
   // The run happens before any output so JSON mode can report it: the run

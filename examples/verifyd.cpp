@@ -10,8 +10,9 @@
 /// on save — and because every Checker session of the daemon shares one
 /// in-memory result tier (plus an optional disk tier), a save only re-runs
 /// proof search for the functions whose verification problem actually
-/// changed. Diagnostics are JSON lines (see DESIGN.md, "Verification
-/// daemon"). Flags:
+/// changed. Several files form a workspace sharing the same tiers: a save
+/// re-verifies only the changed functions of the saved file. Diagnostics
+/// are JSON lines (see DESIGN.md, "Verification daemon"). Flags:
 ///
 ///   --stdio            serve the protocol on stdin/stdout (default; used
 ///                      by tests and editor integrations)
@@ -52,7 +53,7 @@ static int usage(const char *Bad = nullptr) {
           "usage: verifyd [--stdio | --socket=PATH] [--once] "
           "[--cache-dir=DIR] [--cache-max-bytes=N] [--jobs=N] "
           "[--no-recheck] [--poll-ms=N] [--trace=FILE] [--version] "
-          "<file.c>\n");
+          "<file.c> [file2.c ...]\n");
   return 2;
 }
 
@@ -116,7 +117,7 @@ int main(int argc, char **argv) {
     else if (O.Path.empty())
       O.Path = A;
     else
-      return usage(argv[I]);
+      O.Paths.push_back(A);
   }
   if (O.Path.empty())
     return usage();

@@ -63,12 +63,18 @@ exec 9>&-
 wait $dpid
 grep -q '"event": "shutdown"' "$dout"
 
-# 5. ASan/UBSan configuration (trace subsystem, parallel driver, the
-#    result store's deserializer, and the daemon are the main customers:
-#    data races on buffers, lifetime of cached pointers,
-#    attacker-controlled cache bytes, revision/session lifetimes).
-#    The store and daemon tests (test_store, test_daemon) run as part of
-#    the sanitized suite below.
+# 5. LSP smoke: a scripted editor session against a real rcc-lsp process
+#    over stdio Content-Length framing (initialize -> didOpen with a
+#    failing function -> located publishDiagnostics -> fixed didSave ->
+#    empty clear -> shutdown/exit, plus exit-before-shutdown exiting 1).
+scripts/lsp_smoke.sh ./build/examples/rcc-lsp
+
+# 6. ASan/UBSan configuration (trace subsystem, parallel driver, the
+#    result store's deserializer, the daemon, and the LSP framing layer are
+#    the main customers: data races on buffers, lifetime of cached
+#    pointers, attacker-controlled cache and frame bytes, revision/session
+#    lifetimes). The store, daemon, and LSP tests (test_store, test_daemon,
+#    test_lsp) run as part of the sanitized suite below.
 #    Skippable for quick local runs: CHECK_SKIP_SANITIZERS=1 scripts/check.sh
 if [ -z "$CHECK_SKIP_SANITIZERS" ]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -77,6 +83,8 @@ if [ -z "$CHECK_SKIP_SANITIZERS" ]; then
   (cd build-asan && ctest --output-on-failure -j)
   ./build-asan/examples/verify_tool --trace=build-asan/demo_trace.json \
       --profile examples/demo.c > /dev/null
+  # The sanitized LSP smoke drives the whole daemon/LSP stack end to end.
+  scripts/lsp_smoke.sh ./build-asan/examples/rcc-lsp
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,76 @@
+#!/bin/sh
+# lsp_smoke.sh — scripted LSP session against a real rcc-lsp process.
+#
+#   scripts/lsp_smoke.sh path/to/rcc-lsp
+#
+# Drives the server over genuine stdio Content-Length framing:
+#
+#   initialize -> didOpen (one failing function) -> publishDiagnostics with
+#   a real range -> didSave with the fix -> empty publishDiagnostics clear
+#   -> shutdown -> exit (exit code 0)
+#
+# and separately checks that `exit` before `shutdown` exits with code 1.
+set -u
+LC_ALL=C
+export LC_ALL
+
+LSP=${1:?usage: lsp_smoke.sh <path-to-rcc-lsp>}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/rcc_lsp_smoke.XXXXXX") || exit 1
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+fail() {
+  echo "lsp_smoke: FAIL: $1" >&2
+  exit 1
+}
+
+# One framed message. ${#1} is a byte count under LC_ALL=C.
+req() {
+  printf 'Content-Length: %d\r\n\r\n%s' "${#1}" "$1"
+}
+
+URI="file://$WORK/t.c"
+
+# Two annotated functions; `inc` claims to return n+1 but returns n, so its
+# verification fails with a located diagnostic. The buffer travels as a
+# didOpen overlay — nothing needs to exist on disk.
+FAILING='[[rc::args(\"int<i32>\")]]\n[[rc::returns(\"int<i32>\")]]\nint idA(int x) { return x; }\n[[rc::parameters(\"n: nat\")]]\n[[rc::args(\"n @ int<u32>\")]]\n[[rc::returns(\"{n + 1} @ int<u32>\")]]\n[[rc::requires(\"{n <= 100}\")]]\nunsigned int inc(unsigned int x) { return x; }\n'
+# The fix replaces `inc` with a function that verifies; idA is untouched, so
+# the daemon serves it from L1 and re-verifies only the changed function.
+FIXED='[[rc::args(\"int<i32>\")]]\n[[rc::returns(\"int<i32>\")]]\nint idA(int x) { return x; }\n[[rc::args(\"int<i32>\")]]\n[[rc::returns(\"int<i32>\")]]\nint idB(int x) { return x; }\n'
+
+INIT='{"jsonrpc":"2.0","id":1,"method":"initialize","params":{"capabilities":{}}}'
+INITED='{"jsonrpc":"2.0","method":"initialized","params":{}}'
+OPEN='{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{"textDocument":{"uri":"'$URI'","languageId":"c","version":1,"text":"'$FAILING'"}}}'
+SAVE='{"jsonrpc":"2.0","method":"textDocument/didSave","params":{"textDocument":{"uri":"'$URI'"},"text":"'$FIXED'"}}'
+SHUT='{"jsonrpc":"2.0","id":2,"method":"shutdown"}'
+EXITN='{"jsonrpc":"2.0","method":"exit"}'
+
+out=$({ req "$INIT"; req "$INITED"; req "$OPEN"; req "$SAVE"; req "$SHUT"; req "$EXITN"; } | "$LSP") ||
+  fail "clean session exited non-zero"
+out=$(printf '%s' "$out" | tr -d '\r')
+
+printf '%s' "$out" | grep -q '"textDocumentSync"' ||
+  fail "initialize response carries no textDocumentSync capability"
+
+pubs=$(printf '%s' "$out" | grep -o 'textDocument/publishDiagnostics' | wc -l)
+[ "$pubs" -eq 2 ] || fail "expected 2 publishDiagnostics, got $pubs"
+
+printf '%s' "$out" | grep -q '"severity":1' ||
+  fail "failing function produced no error diagnostic"
+printf '%s' "$out" | grep -q '"source":"refinedc"' ||
+  fail "diagnostic is not attributed to refinedc"
+printf '%s' "$out" | grep -q '"range":{"start":{"line":' ||
+  fail "diagnostic carries no source range"
+printf '%s' "$out" | grep -q '\[inc\]' ||
+  fail "diagnostic does not name the failing function"
+printf '%s' "$out" | grep -q '"diagnostics":\[\]' ||
+  fail "fixed save did not clear diagnostics"
+printf '%s' "$out" | grep -q '"id":2,"result":null' ||
+  fail "shutdown request was not acknowledged"
+
+# LSP: `exit` without a prior `shutdown` must exit with code 1.
+{ req "$INIT"; req "$EXITN"; } | "$LSP" >/dev/null
+rc=$?
+[ "$rc" -eq 1 ] || fail "exit before shutdown returned $rc, want 1"
+
+echo "lsp_smoke: OK"

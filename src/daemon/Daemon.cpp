@@ -67,10 +67,26 @@ static bool readWholeFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-static std::string fmtMs(double Ms) {
-  char Buf[32];
-  snprintf(Buf, sizeof(Buf), "%.3f", Ms);
-  return Buf;
+/// A document's last processed revision compiled and every function
+/// verified. Never-checked documents (Rev == 0) count as unverified.
+static bool docVerified(const refinedc::ProgramResult &Last, bool LastGood) {
+  if (!LastGood)
+    return false;
+  for (const refinedc::FnResult &R : Last.Fns)
+    if (!R.Verified)
+      return false;
+  return true;
+}
+
+static Event errorEvent(unsigned Rev, std::string File, std::string Message,
+                        SourceLoc Loc = {}) {
+  Event E;
+  E.Kind = EventKind::Error;
+  E.Rev = Rev;
+  E.File = std::move(File);
+  E.Diag.Message = std::move(Message);
+  E.Diag.Loc = Loc;
+  return E;
 }
 
 //===----------------------------------------------------------------------===//
@@ -81,26 +97,104 @@ Daemon::Daemon(DaemonOptions Opts) : O(std::move(Opts)) {
   L1 = std::make_shared<store::MemoryResultStore>();
   if (!O.CacheDir.empty())
     L2 = std::make_shared<store::DiskResultStore>(O.CacheDir);
+  if (!O.Path.empty())
+    addDocument(O.Path);
+  for (const std::string &P : O.Paths)
+    addDocument(P);
 }
 
-Daemon::~Daemon() {
-  // Chk references *AP; destroy it first.
-  Chk.reset();
-  AP.reset();
+Daemon::~Daemon() = default;
+
+StructuredSink Daemon::render(const EventSink &Sink) {
+  // Copy the sink: the returned adapter may outlive the caller's reference.
+  return [Sink](const Event &E) { Sink(E.toJsonLine()); };
 }
 
-bool Daemon::verifyRevision(const std::string &Source, const EventSink &Sink) {
+Daemon::Document *Daemon::find(const std::string &Path) {
+  for (auto &D : Docs)
+    if (D->Path == Path)
+      return D.get();
+  return nullptr;
+}
+
+const Daemon::Document *Daemon::find(const std::string &Path) const {
+  for (const auto &D : Docs)
+    if (D->Path == Path)
+      return D.get();
+  return nullptr;
+}
+
+bool Daemon::addDocument(const std::string &Path) {
+  if (Path.empty())
+    return false;
+  if (find(Path))
+    return true;
+  auto D = std::make_unique<Document>();
+  D->Path = Path;
+  Docs.push_back(std::move(D));
+  return true;
+}
+
+bool Daemon::removeDocument(const std::string &Path) {
+  for (size_t I = 0; I < Docs.size(); ++I) {
+    if (Docs[I]->Path == Path) {
+      Docs.erase(Docs.begin() + static_cast<ptrdiff_t>(I));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Daemon::documents() const {
+  std::vector<std::string> Paths;
+  Paths.reserve(Docs.size());
+  for (const auto &D : Docs)
+    Paths.push_back(D->Path);
+  return Paths;
+}
+
+void Daemon::setOverlay(const std::string &Path, std::string Text) {
+  addDocument(Path);
+  Document *D = find(Path);
+  if (!D)
+    return;
+  D->HasOverlay = true;
+  D->Overlay = std::move(Text);
+}
+
+bool Daemon::clearOverlay(const std::string &Path) {
+  Document *D = find(Path);
+  if (!D || !D->HasOverlay)
+    return false;
+  D->HasOverlay = false;
+  D->Overlay.clear();
+  // The next check must re-stat the file; the content hash stays so that a
+  // file identical to the dropped overlay is not a new revision.
+  D->HaveStat = false;
+  return true;
+}
+
+bool Daemon::hasOverlay(const std::string &Path) const {
+  const Document *D = find(Path);
+  return D && D->HasOverlay;
+}
+
+bool Daemon::verifyRevision(Document &D, const std::string &Source,
+                            const StructuredSink &Sink) {
   trace::Span RevSpan(trace::Category::Checker, "daemon.revision",
-                      "\"rev\": " + std::to_string(Rev));
+                      "\"rev\": " + std::to_string(D.Rev));
   trace::count("daemon.revisions");
 
   rcc::DiagnosticEngine Diags;
   std::unique_ptr<front::AnnotatedProgram> NewAP =
       front::compileSource(Source, Diags);
   if (!NewAP) {
-    LastGood = false;
-    Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
-         ", \"message\": " + jsonQuote(Diags.render(Source)) + "}");
+    D.LastGood = false;
+    // Carry the frontend's source location so editors can anchor the error.
+    SourceLoc Loc;
+    if (!Diags.diagnostics().empty())
+      Loc = Diags.diagnostics().front().Loc;
+    Sink(errorEvent(D.Rev, D.Path, Diags.render(Source), Loc));
     return false;
   }
 
@@ -110,9 +204,11 @@ bool Daemon::verifyRevision(const std::string &Source, const EventSink &Sink) {
   auto NewChk = std::make_unique<refinedc::Checker>(*NewAP, Diags);
   NewChk->adoptStoreTiers(L1, L2);
   if (!NewChk->buildEnv()) {
-    LastGood = false;
-    Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
-         ", \"message\": " + jsonQuote(Diags.render(Source)) + "}");
+    D.LastGood = false;
+    SourceLoc Loc;
+    if (!Diags.diagnostics().empty())
+      Loc = Diags.diagnostics().front().Loc;
+    Sink(errorEvent(D.Rev, D.Path, Diags.render(Source), Loc));
     return false;
   }
 
@@ -121,148 +217,207 @@ bool Daemon::verifyRevision(const std::string &Source, const EventSink &Sink) {
   VO.Recheck = O.Recheck;
   VO.Trace = O.Trace;
 
-  Sink("{\"event\": \"revision\", \"rev\": " + std::to_string(Rev) +
-       ", \"file\": " + jsonQuote(O.Path) + "}");
+  Event Start;
+  Start.Kind = EventKind::Revision;
+  Start.Rev = D.Rev;
+  Start.File = D.Path;
+  Sink(Start);
 
   refinedc::ProgramResult PR = NewChk->verifyAll(VO);
 
-  for (const refinedc::FnResult &R : PR.Fns) {
-    std::string E = "{\"event\": \"diagnostic\", \"rev\": " +
-                    std::to_string(Rev) + ", \"fn\": " + jsonQuote(R.Name) +
-                    std::string(", \"verified\": ") +
-                    (R.Verified ? "true" : "false") +
-                    std::string(", \"cached\": ") +
-                    (R.CacheHit ? "true" : "false");
-    if (R.Trusted)
-      E += ", \"trusted\": true";
-    if (!R.Error.empty()) {
-      E += ", \"error\": " + jsonQuote(R.Error);
-      if (R.ErrorLoc.isValid())
-        E += ", \"line\": " + std::to_string(R.ErrorLoc.Line) +
-             ", \"col\": " + std::to_string(R.ErrorLoc.Col);
-    }
-    E += ", \"wall_ms\": " + fmtMs(R.WallMillis) + "}";
-    Sink(E);
-  }
-
   unsigned Failed = 0;
-  for (const refinedc::FnResult &R : PR.Fns)
+  for (const refinedc::FnResult &R : PR.Fns) {
+    Sink(Event::fromFnResult(D.Rev, D.Path, R));
     if (!R.Verified)
       ++Failed;
+  }
   trace::count("daemon.reverified", PR.CacheMisses);
 
-  // Commit the new session.
-  Chk.reset();
-  AP = std::move(NewAP);
-  Chk = std::move(NewChk);
-  Last = std::move(PR);
-  LastGood = true;
+  // Commit the new session (Chk references *AP: drop it first).
+  D.Chk.reset();
+  D.AP = std::move(NewAP);
+  D.Chk = std::move(NewChk);
+  D.Last = std::move(PR);
+  D.LastGood = true;
 
-  Sink("{\"event\": \"revision_done\", \"rev\": " + std::to_string(Rev) +
-       ", \"functions\": " + std::to_string(Last.Fns.size()) +
-       ", \"reverified\": " + std::to_string(Last.CacheMisses) +
-       ", \"cached\": " + std::to_string(Last.CacheHits) +
-       ", \"l1_hits\": " + std::to_string(Last.L1Hits) +
-       ", \"l2_hits\": " + std::to_string(Last.L2Hits) +
-       ", \"replayed\": " + std::to_string(Last.ReplayedHits) +
-       ", \"failed\": " + std::to_string(Failed) +
-       std::string(", \"all_verified\": ") +
-       (lastAllVerified() ? "true" : "false") +
-       ", \"wall_ms\": " + fmtMs(Last.WallMillis) + "}");
+  Event Done;
+  Done.Kind = EventKind::RevisionDone;
+  Done.Rev = D.Rev;
+  Done.File = D.Path;
+  Done.Functions = static_cast<unsigned>(D.Last.Fns.size());
+  Done.Reverified = static_cast<unsigned>(D.Last.CacheMisses);
+  Done.CachedFns = static_cast<unsigned>(D.Last.CacheHits);
+  Done.L1Hits = static_cast<unsigned>(D.Last.L1Hits);
+  Done.L2Hits = static_cast<unsigned>(D.Last.L2Hits);
+  Done.Replayed = static_cast<unsigned>(D.Last.ReplayedHits);
+  Done.Failed = Failed;
+  Done.AllVerified = docVerified(D.Last, D.LastGood);
+  Done.WallMs = D.Last.WallMillis;
+  Sink(Done);
   return true;
 }
 
-bool Daemon::checkOnce(const EventSink &Sink, bool Force) {
-  trace::SessionScope Scope(O.Trace);
-
-  // Cheap poll: mtime + size. Only a change here (or Force) pays for the
-  // read + hash below.
-  std::error_code EC;
-  fs::file_time_type MT = fs::last_write_time(O.Path, EC);
-  uint64_t Size = EC ? 0 : static_cast<uint64_t>(fs::file_size(O.Path, EC));
-  if (EC) {
-    if (Force) {
-      Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
-           ", \"message\": " +
-           jsonQuote("cannot stat '" + O.Path + "': " + EC.message()) + "}");
-    }
-    return false;
-  }
-  int64_t Ticks = MT.time_since_epoch().count();
-  if (!Force && HaveStat && Ticks == LastMTimeTicks && Size == LastSize)
-    return false;
-  HaveStat = true;
-  LastMTimeTicks = Ticks;
-  LastSize = Size;
-
+bool Daemon::checkDoc(Document &D, const StructuredSink &Sink, bool Force) {
   std::string Source;
-  if (!readWholeFile(O.Path, Source)) {
-    if (Force)
-      Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
-           ", \"message\": " + jsonQuote("cannot read '" + O.Path + "'") +
-           "}");
-    return false;
+  if (D.HasOverlay) {
+    // The editor owns the content; the file on disk is irrelevant until
+    // didClose drops the overlay.
+    Source = D.Overlay;
+  } else {
+    // Cheap poll: mtime + size. Only a change here (or Force) pays for the
+    // read + hash below.
+    std::error_code EC;
+    fs::file_time_type MT = fs::last_write_time(D.Path, EC);
+    uint64_t Size = EC ? 0 : static_cast<uint64_t>(fs::file_size(D.Path, EC));
+    if (EC) {
+      if (Force)
+        Sink(errorEvent(D.Rev, D.Path,
+                        "cannot stat '" + D.Path + "': " + EC.message()));
+      return false;
+    }
+    int64_t Ticks = MT.time_since_epoch().count();
+    if (!Force && D.HaveStat && Ticks == D.LastMTimeTicks &&
+        Size == D.LastSize)
+      return false;
+    D.HaveStat = true;
+    D.LastMTimeTicks = Ticks;
+    D.LastSize = Size;
+
+    if (!readWholeFile(D.Path, Source)) {
+      if (Force)
+        Sink(errorEvent(D.Rev, D.Path, "cannot read '" + D.Path + "'"));
+      return false;
+    }
   }
 
   // Content hash: `touch` without an edit is not a revision.
   uint64_t Hash = refinedc::ContentHasher().mix(Source).get();
-  if (Rev > 0 && Hash == LastHash) {
-    if (Force)
-      Sink("{\"event\": \"unchanged\", \"rev\": " + std::to_string(Rev) +
-           std::string(", \"all_verified\": ") +
-           (lastAllVerified() ? "true" : "false") + "}");
+  if (D.Rev > 0 && Hash == D.LastHash) {
+    if (Force) {
+      Event E;
+      E.Kind = EventKind::Unchanged;
+      E.Rev = D.Rev;
+      E.File = D.Path;
+      E.AllVerified = docVerified(D.Last, D.LastGood);
+      Sink(E);
+    }
     return false;
   }
-  LastHash = Hash;
-  ++Rev;
+  D.LastHash = Hash;
+  ++D.Rev;
 
-  verifyRevision(Source, Sink);
-  runGc(Sink);
+  verifyRevision(D, Source, Sink);
   return true;
 }
 
-void Daemon::runGc(const EventSink &Sink) {
+bool Daemon::checkOnce(const StructuredSink &Sink, bool Force) {
+  trace::SessionScope Scope(O.Trace);
+  bool Any = false;
+  for (auto &D : Docs)
+    Any |= checkDoc(*D, Sink, Force);
+  if (Any)
+    runGc(Sink);
+  return Any;
+}
+
+bool Daemon::checkOnce(const EventSink &Sink, bool Force) {
+  return checkOnce(render(Sink), Force);
+}
+
+bool Daemon::checkDocument(const std::string &Path, const StructuredSink &Sink,
+                           bool Force) {
+  trace::SessionScope Scope(O.Trace);
+  addDocument(Path);
+  Document *D = find(Path);
+  if (!D)
+    return false;
+  bool Any = checkDoc(*D, Sink, Force);
+  if (Any)
+    runGc(Sink);
+  return Any;
+}
+
+void Daemon::runGc(const StructuredSink &Sink) {
   if (!L2 || O.CacheMaxBytes == 0)
     return;
   store::GcStats S = L2->gc(O.CacheMaxBytes);
   if (S.Evicted == 0)
     return;
-  Sink("{\"event\": \"gc\", \"bytes_before\": " +
-       std::to_string(S.BytesBefore) +
-       ", \"bytes_after\": " + std::to_string(S.BytesAfter) +
-       ", \"evicted\": " + std::to_string(S.Evicted) +
-       ", \"max_bytes\": " + std::to_string(O.CacheMaxBytes) + "}");
+  Event E;
+  E.Kind = EventKind::Gc;
+  E.BytesBefore = S.BytesBefore;
+  E.BytesAfter = S.BytesAfter;
+  E.Evicted = S.Evicted;
+  E.MaxBytes = O.CacheMaxBytes;
+  Sink(E);
 }
 
 bool Daemon::handleLine(const std::string &Line, const EventSink &Sink) {
+  StructuredSink S = render(Sink);
   std::string Cmd = trim(Line);
   if (Cmd.empty())
     return true;
   if (Cmd == "check" || Cmd == "verify") {
-    checkOnce(Sink, /*Force=*/true);
+    checkOnce(S, /*Force=*/true);
     return true;
   }
   if (Cmd == "status") {
-    Sink("{\"event\": \"status\", \"rev\": " + std::to_string(Rev) +
-         ", \"file\": " + jsonQuote(O.Path) +
-         ", \"functions\": " + std::to_string(Last.Fns.size()) +
-         std::string(", \"all_verified\": ") +
-         (lastAllVerified() ? "true" : "false") + "}");
+    for (const auto &D : Docs) {
+      Event E;
+      E.Kind = EventKind::Status;
+      E.Rev = D->Rev;
+      E.File = D->Path;
+      E.Functions = static_cast<unsigned>(D->Last.Fns.size());
+      E.AllVerified = docVerified(D->Last, D->LastGood);
+      S(E);
+    }
     return true;
   }
   if (Cmd == "shutdown" || Cmd == "quit")
     return false;
-  Sink("{\"event\": \"error\", \"rev\": " + std::to_string(Rev) +
-       ", \"message\": " + jsonQuote("unknown command '" + Cmd + "'") + "}");
+  S(errorEvent(revision(), "", "unknown command '" + Cmd + "'"));
   return true;
 }
 
-void Daemon::emitShutdown(const EventSink &Sink) {
+void Daemon::emitShutdown(const StructuredSink &Sink) {
   trace::SessionScope Scope(O.Trace);
   // Final GC so a bounded cache directory is within budget on exit even if
   // the last revision's eviction raced with concurrent writers.
   runGc(Sink);
-  Sink("{\"event\": \"shutdown\", \"rev\": " + std::to_string(Rev) + "}");
+  Event E;
+  E.Kind = EventKind::Shutdown;
+  E.Rev = revision();
+  Sink(E);
+}
+
+//===----------------------------------------------------------------------===//
+// State queries
+//===----------------------------------------------------------------------===//
+
+unsigned Daemon::revision() const {
+  return Docs.empty() ? 0 : Docs.front()->Rev;
+}
+
+unsigned Daemon::documentRevision(const std::string &Path) const {
+  const Document *D = find(Path);
+  return D ? D->Rev : 0;
+}
+
+const refinedc::ProgramResult &Daemon::lastResult() const {
+  static const refinedc::ProgramResult Empty;
+  return Docs.empty() ? Empty : Docs.front()->Last;
+}
+
+const refinedc::ProgramResult *Daemon::result(const std::string &Path) const {
+  const Document *D = find(Path);
+  return D ? &D->Last : nullptr;
+}
+
+bool Daemon::lastAllVerified() const {
+  for (const auto &D : Docs)
+    if (!docVerified(D->Last, D->LastGood))
+      return false;
+  return !Docs.empty();
 }
 
 //===----------------------------------------------------------------------===//
@@ -280,7 +435,7 @@ int Daemon::runStdio(std::istream &In, std::ostream &Out) {
 
   if (&In == &std::cin) {
     // Watch mode: poll stdin with a timeout; every timeout is a watch tick
-    // on the source file, so saves re-verify without any request.
+    // on the workspace, so saves re-verify without any request.
     std::string Buf;
     char Chunk[4096];
     bool Eof = false;
@@ -322,7 +477,7 @@ int Daemon::runStdio(std::istream &In, std::ostream &Out) {
         break;
   }
 
-  emitShutdown(Sink);
+  emitShutdown(render(Sink));
   return lastAllVerified() ? 0 : 1;
 }
 
@@ -455,7 +610,7 @@ int Daemon::runSocket(const std::string &SockPath) {
     }
   }
 
-  emitShutdown(Broadcast);
+  emitShutdown(render(Broadcast));
   for (Client &C : Clients)
     close(C.Fd);
   close(ListenFd);

@@ -1,0 +1,124 @@
+//===- Event.cpp - Typed daemon events ------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Event.h"
+
+#include "support/Util.h"
+
+#include <cstdio>
+
+using namespace rcc;
+using namespace rcc::daemon;
+
+static std::string fmtMs(double Ms) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%.3f", Ms);
+  return Buf;
+}
+
+Event Event::fromFnResult(unsigned Rev, const std::string &File,
+                          const refinedc::FnResult &R) {
+  Event E;
+  E.Kind = EventKind::Diagnostic;
+  E.Rev = Rev;
+  E.File = File;
+  E.Verified = R.Verified;
+  E.Trusted = R.Trusted;
+  E.Cached = R.CacheHit;
+  E.WallMs = R.WallMillis;
+  if (!R.Diags.empty()) {
+    E.Diag = R.Diags.front();
+  } else {
+    // Verified functions (and legacy store entries) have no structured
+    // diagnostic; keep the attribution fields populated anyway.
+    E.Diag.Message = R.Error;
+    E.Diag.Loc = R.ErrorLoc;
+    E.Diag.Rule = R.FailedRule;
+  }
+  E.Diag.Fn = R.Name;
+  E.Diag.File = File;
+  return E;
+}
+
+std::string Event::toJsonLine() const {
+  std::string S;
+  switch (Kind) {
+  case EventKind::Revision:
+    S = "{\"event\": \"revision\", \"rev\": " + std::to_string(Rev) +
+        ", \"file\": " + jsonQuote(File) + "}";
+    break;
+
+  case EventKind::Diagnostic:
+    S = "{\"event\": \"diagnostic\", \"rev\": " + std::to_string(Rev) +
+        ", \"file\": " + jsonQuote(File) + ", \"fn\": " + jsonQuote(Diag.Fn) +
+        std::string(", \"verified\": ") + (Verified ? "true" : "false") +
+        std::string(", \"cached\": ") + (Cached ? "true" : "false");
+    if (Trusted)
+      S += ", \"trusted\": true";
+    if (!Diag.Message.empty()) {
+      S += ", \"error\": " + jsonQuote(Diag.Message);
+      if (Diag.Loc.isValid())
+        S += ", \"line\": " + std::to_string(Diag.Loc.Line) +
+             ", \"col\": " + std::to_string(Diag.Loc.Col);
+      // The unified wire shape, byte-identical to the entries of
+      // `verify_tool --format=json`'s "diagnostics" array.
+      S += ", \"diagnostic\": " + Diag.toJson();
+    }
+    S += ", \"wall_ms\": " + fmtMs(WallMs) + "}";
+    break;
+
+  case EventKind::RevisionDone:
+    S = "{\"event\": \"revision_done\", \"rev\": " + std::to_string(Rev) +
+        ", \"file\": " + jsonQuote(File) +
+        ", \"functions\": " + std::to_string(Functions) +
+        ", \"reverified\": " + std::to_string(Reverified) +
+        ", \"cached\": " + std::to_string(CachedFns) +
+        ", \"l1_hits\": " + std::to_string(L1Hits) +
+        ", \"l2_hits\": " + std::to_string(L2Hits) +
+        ", \"replayed\": " + std::to_string(Replayed) +
+        ", \"failed\": " + std::to_string(Failed) +
+        std::string(", \"all_verified\": ") + (AllVerified ? "true" : "false") +
+        ", \"wall_ms\": " + fmtMs(WallMs) + "}";
+    break;
+
+  case EventKind::Unchanged:
+    S = "{\"event\": \"unchanged\", \"rev\": " + std::to_string(Rev) +
+        ", \"file\": " + jsonQuote(File) +
+        std::string(", \"all_verified\": ") + (AllVerified ? "true" : "false") +
+        "}";
+    break;
+
+  case EventKind::Status:
+    S = "{\"event\": \"status\", \"rev\": " + std::to_string(Rev) +
+        ", \"file\": " + jsonQuote(File) +
+        ", \"functions\": " + std::to_string(Functions) +
+        std::string(", \"all_verified\": ") + (AllVerified ? "true" : "false") +
+        "}";
+    break;
+
+  case EventKind::Error:
+    S = "{\"event\": \"error\", \"rev\": " + std::to_string(Rev);
+    if (!File.empty())
+      S += ", \"file\": " + jsonQuote(File);
+    if (Diag.Loc.isValid())
+      S += ", \"line\": " + std::to_string(Diag.Loc.Line) +
+           ", \"col\": " + std::to_string(Diag.Loc.Col);
+    S += ", \"message\": " + jsonQuote(Diag.Message) + "}";
+    break;
+
+  case EventKind::Gc:
+    S = "{\"event\": \"gc\", \"bytes_before\": " + std::to_string(BytesBefore) +
+        ", \"bytes_after\": " + std::to_string(BytesAfter) +
+        ", \"evicted\": " + std::to_string(Evicted) +
+        ", \"max_bytes\": " + std::to_string(MaxBytes) + "}";
+    break;
+
+  case EventKind::Shutdown:
+    S = "{\"event\": \"shutdown\", \"rev\": " + std::to_string(Rev) + "}";
+    break;
+  }
+  return S;
+}

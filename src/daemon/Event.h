@@ -1,0 +1,96 @@
+//===- Event.h - Typed daemon events ---------------------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed event model of the verification daemon. Every observable
+/// daemon occurrence — a revision starting, a per-function verdict, a
+/// revision completing, a compile error — is an Event value; transports
+/// *render* events instead of assembling strings: the JSON-lines protocol
+/// calls toJsonLine() (byte-compatible with the historical ad-hoc format),
+/// and the LSP server maps the same values onto publishDiagnostics.
+/// Diagnostic payloads ride along as rcc::Diagnostic, the one wire-level
+/// diagnostic struct shared with `verify_tool --format=json`, so a
+/// function's failure serializes identically on every surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_DAEMON_EVENT_H
+#define RCC_DAEMON_EVENT_H
+
+#include "refinedc/Result.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rcc::daemon {
+
+enum class EventKind : uint8_t {
+  Revision,     ///< a document revision began verifying
+  Diagnostic,   ///< one function's verdict within a revision
+  RevisionDone, ///< revision summary (counters, verdict)
+  Unchanged,    ///< forced check found no content change
+  Status,       ///< status reply for one document
+  Error,        ///< compile/IO/protocol error
+  Gc,           ///< disk-tier eviction report
+  Shutdown      ///< final event before exit
+};
+
+/// One daemon event. Only the fields meaningful for the Kind are set; the
+/// rest keep their zero values and are not rendered.
+struct Event {
+  EventKind Kind = EventKind::Status;
+  unsigned Rev = 0;
+  std::string File; ///< the document this event belongs to ("" = daemon)
+
+  /// Diagnostic / Error payload. For Kind::Diagnostic, Diag.Fn is the
+  /// function and Diag carries the failure (empty Message when verified);
+  /// for Kind::Error, Diag.Loc carries the frontend's source location of a
+  /// compile failure (invalid for IO/protocol errors).
+  rcc::Diagnostic Diag;
+  bool Verified = false;
+  bool Trusted = false;
+  bool Cached = false;
+
+  // Kind::RevisionDone / Kind::Status counters.
+  unsigned Functions = 0;
+  unsigned Reverified = 0;
+  unsigned CachedFns = 0;
+  unsigned L1Hits = 0;
+  unsigned L2Hits = 0;
+  unsigned Replayed = 0;
+  unsigned Failed = 0;
+  bool AllVerified = false;
+  double WallMs = 0.0;
+
+  // Kind::Gc.
+  uint64_t BytesBefore = 0;
+  uint64_t BytesAfter = 0;
+  uint64_t Evicted = 0;
+  uint64_t MaxBytes = 0;
+
+  /// Renders the JSON-lines wire form (one line, no trailing newline).
+  /// Field names, order, and `": "`/`", "` spacing are stable protocol —
+  /// DaemonTest and scripts grep exact substrings of these lines.
+  std::string toJsonLine() const;
+
+  /// Builds the per-function Diagnostic event for \p R within revision
+  /// \p Rev of document \p File. Copies the checker's structured
+  /// diagnostic (if any) and attributes it to the file.
+  static Event fromFnResult(unsigned Rev, const std::string &File,
+                            const refinedc::FnResult &R);
+};
+
+/// Receives typed events (the LSP server and in-process consumers).
+using StructuredSink = std::function<void(const Event &)>;
+
+/// Receives one rendered JSON event line (the JSON-lines transports).
+using EventSink = std::function<void(const std::string &)>;
+
+} // namespace rcc::daemon
+
+#endif // RCC_DAEMON_EVENT_H

@@ -194,6 +194,9 @@ struct CFuncDecl {
   CStmtPtr Body; ///< null for prototypes
   std::vector<RcAnnot> Annots;
   rcc::SourceLoc Loc;
+  rcc::SourceLoc NameLoc; ///< where the function name token starts
+  rcc::SourceLoc NameEnd; ///< one past the function name token
+  rcc::SourceLoc EndLoc;  ///< one past the closing `}` (or the `;`)
 };
 
 struct CGlobalDecl {

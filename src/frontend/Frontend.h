@@ -52,6 +52,11 @@ struct FnInfo {
   std::map<std::string, CTypePtr> LocalTypes;
   rcc::SourceLoc Loc;
   bool HasBody = false;
+  /// Full extent of the declaration ([Loc, one past `}`/`;`)) and the range
+  /// of the function name token — what an editor should underline when a
+  /// failure has no better location.
+  rcc::SourceRange Range;
+  rcc::SourceRange NameRange;
 };
 
 struct GlobalInfo {

@@ -64,6 +64,13 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
   LexState S{Source, 0, 1, 1, Diags};
   std::vector<Token> Out;
 
+  // Every token is pushed through here so its end position (the lexer's
+  // current location, one past the last consumed character) is recorded.
+  auto push = [&](Token T) {
+    T.End = S.loc();
+    Out.push_back(std::move(T));
+  };
+
   // Multi-character punctuators, longest first.
   static const char *Puncts[] = {
       "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
@@ -101,13 +108,13 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
     if (C == '[' && S.peek(1) == '[') {
       S.advance();
       S.advance();
-      Out.push_back({TokKind::AttrOpen, "[[", 0, Loc});
+      push({TokKind::AttrOpen, "[[", 0, Loc});
       continue;
     }
     if (C == ']' && S.peek(1) == ']') {
       S.advance();
       S.advance();
-      Out.push_back({TokKind::AttrClose, "]]", 0, Loc});
+      push({TokKind::AttrClose, "]]", 0, Loc});
       continue;
     }
 
@@ -117,7 +124,7 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
       while (isIdentCont(S.peek()))
         Text += S.advance();
       TokKind K = keywords().count(Text) ? TokKind::Keyword : TokKind::Ident;
-      Out.push_back({K, std::move(Text), 0, Loc});
+      push({K, std::move(Text), 0, Loc});
       continue;
     }
 
@@ -170,7 +177,7 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
       while (S.peek() == 'u' || S.peek() == 'U' || S.peek() == 'l' ||
              S.peek() == 'L')
         S.advance();
-      Out.push_back({TokKind::Number, std::move(Text), Val, Loc});
+      push({TokKind::Number, std::move(Text), Val, Loc});
       continue;
     }
 
@@ -207,7 +214,7 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
         Diags.error(Loc, "unterminated string literal");
       else
         S.advance(); // closing quote
-      Out.push_back({TokKind::String, std::move(Text), 0, Loc});
+      push({TokKind::String, std::move(Text), 0, Loc});
       continue;
     }
 
@@ -223,7 +230,7 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
         S.advance();
       else
         Diags.error(Loc, "unterminated character literal");
-      Out.push_back({TokKind::Number, std::string(1, V),
+      push({TokKind::Number, std::string(1, V),
                      static_cast<uint64_t>(V), Loc});
       continue;
     }
@@ -235,7 +242,7 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
       if (Source.compare(S.Pos, Len, P) == 0) {
         for (size_t I = 0; I < Len; ++I)
           S.advance();
-        Out.push_back({TokKind::Punct, P, 0, Loc});
+        push({TokKind::Punct, P, 0, Loc});
         Matched = true;
         break;
       }
@@ -247,7 +254,7 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
     static const std::string Singles = "+-*/%&|^~!<>=(){}[];,.:?";
     if (Singles.find(C) != std::string::npos) {
       S.advance();
-      Out.push_back({TokKind::Punct, std::string(1, C), 0, Loc});
+      push({TokKind::Punct, std::string(1, C), 0, Loc});
       continue;
     }
 
@@ -255,6 +262,6 @@ std::vector<Token> rcc::front::lexSource(const std::string &Source,
     S.advance();
   }
 
-  Out.push_back({TokKind::Eof, "", 0, S.loc()});
+  push({TokKind::Eof, "", 0, S.loc()});
   return Out;
 }

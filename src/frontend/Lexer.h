@@ -38,6 +38,10 @@ struct Token {
   std::string Text;
   uint64_t IntVal = 0;
   rcc::SourceLoc Loc;
+  /// One past the token's last character (same line for all tokens the
+  /// lexer produces), giving parsers real ranges for diagnostics. The
+  /// lexer's push() stamps this after construction.
+  rcc::SourceLoc End = {};
 
   bool is(TokKind Kind) const { return K == Kind; }
   bool isPunct(const char *P) const { return K == TokKind::Punct && Text == P; }

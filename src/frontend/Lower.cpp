@@ -950,6 +950,8 @@ void Lowerer::lowerFunction(const CFuncDecl &FD) {
   FI->Annots = FD.Annots;
   FI->Loc = FD.Loc;
   FI->HasBody = FD.Body != nullptr;
+  FI->Range = {FD.Loc, FD.EndLoc};
+  FI->NameRange = {FD.NameLoc, FD.NameEnd};
   Fn->RetSize = FD.RetTy->isVoid() ? 0 : typeSize(FD.RetTy, FD.Loc);
 
   Scopes.clear();
@@ -1064,6 +1066,8 @@ std::unique_ptr<AnnotatedProgram> Lowerer::run(CTranslationUnit &TU,
       Info.Annots = FD.Annots;
       Info.Loc = FD.Loc;
       Info.HasBody = false;
+      Info.Range = {FD.Loc, FD.EndLoc};
+      Info.NameRange = {FD.NameLoc, FD.NameEnd};
       continue;
     }
     lowerFunction(FD);

@@ -303,10 +303,13 @@ CTypePtr Parser::parseDeclarator(CTypePtr Base, std::string &Name,
   if (atPunct("(") && peek(1).isPunct("*")) {
     advance(); // (
     advance(); // *
-    if (cur().isIdent())
+    if (cur().isIdent()) {
+      LastNameLoc = cur().Loc;
+      LastNameEnd = cur().End;
       Name = advance().Text;
-    else if (!AllowAbstract)
+    } else if (!AllowAbstract) {
       error("expected identifier in function-pointer declarator");
+    }
     expectPunct(")");
     expectPunct("(");
     std::vector<CTypePtr> Params;
@@ -322,6 +325,8 @@ CTypePtr Parser::parseDeclarator(CTypePtr Base, std::string &Name,
     return ctPtr(ctFunc(Base, std::move(Params)));
   }
   if (cur().isIdent()) {
+    LastNameLoc = cur().Loc;
+    LastNameEnd = cur().End;
     Name = advance().Text;
   } else if (!AllowAbstract && !atPunct("[")) {
     // Nameless declarator only allowed in abstract positions.
@@ -481,6 +486,10 @@ void Parser::parseTopLevel(CTranslationUnit &TU, std::vector<RcAnnot> Annots) {
   CTypePtr Base = parseTypeSpecifier();
   std::string Name;
   CTypePtr T = parseDeclarator(Base, Name);
+  // Snapshot the name range now: parseParamList runs parseDeclarator on
+  // every parameter and would overwrite it.
+  rcc::SourceLoc NameLoc = LastNameLoc;
+  rcc::SourceLoc NameEnd = LastNameEnd;
   if (Name.empty()) {
     error("expected declaration name");
     skipTo(";");
@@ -491,6 +500,8 @@ void Parser::parseTopLevel(CTranslationUnit &TU, std::vector<RcAnnot> Annots) {
     CFuncDecl FD;
     FD.Loc = Loc;
     FD.Name = Name;
+    FD.NameLoc = NameLoc;
+    FD.NameEnd = NameEnd;
     FD.RetTy = T;
     FD.Params = parseParamList();
     FD.Annots = std::move(Annots);
@@ -498,6 +509,7 @@ void Parser::parseTopLevel(CTranslationUnit &TU, std::vector<RcAnnot> Annots) {
       FD.Body = parseCompound();
     else
       expectPunct(";");
+    FD.EndLoc = Pos > 0 ? Toks[Pos - 1].End : cur().Loc;
     TU.Functions.push_back(std::move(FD));
     return;
   }

@@ -80,6 +80,12 @@ private:
   size_t Pos = 0;
   rcc::DiagnosticEngine &Diags;
 
+  /// Range of the most recent name token consumed by parseDeclarator, so
+  /// parseTopLevel can attribute a declaration to its name (for editor
+  /// diagnostics, which want to underline the name, not the return type).
+  rcc::SourceLoc LastNameLoc;
+  rcc::SourceLoc LastNameEnd;
+
   std::set<std::string> StructNames;
   std::map<std::string, CTypePtr> Typedefs;
   CTranslationUnit *Unit = nullptr;

@@ -79,6 +79,7 @@ void Engine::fail(const std::string &Msg, rcc::SourceLoc Loc) {
   Failure = Msg;
   FailureLoc = Loc.isValid() ? Loc : CurrentLoc;
   FailureContext = renderContext();
+  FailureRule = CurrentRule;
 }
 
 std::vector<std::string> Engine::renderContext() const {
@@ -591,6 +592,7 @@ bool Engine::prove(GoalRef G) {
           GoalRef Next;
           {
             trace::Span RuleSpan(trace::Category::Rule, Cands[I]->Name);
+            CurrentRule = Cands[I]->Name;
             Next = Cands[I]->Apply(*this, *G->J);
           }
           if (Next && prove(Next))
@@ -622,6 +624,7 @@ bool Engine::prove(GoalRef G) {
       GoalRef Next;
       {
         trace::Span RuleSpan(trace::Category::Rule, R->Name);
+        CurrentRule = R->Name;
         Next = R->Apply(*this, *G->J);
       }
       if (!Next) {

@@ -172,6 +172,11 @@ public:
   /// error messages).
   rcc::SourceLoc CurrentLoc;
   std::vector<std::string> FailureContext;
+  /// Name of the rule whose application produced the recorded failure, and
+  /// the rule currently being applied (maintained around Apply calls so
+  /// fail() can attribute side-condition failures to a rule).
+  std::string FailureRule;
+  std::string CurrentRule;
   void fail(const std::string &Msg, rcc::SourceLoc Loc = {});
 
   // --- Utilities for rules ---

@@ -1,0 +1,379 @@
+//===- LspServer.cpp - Language Server Protocol front end -----------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lsp/LspServer.h"
+
+#include "support/Framing.h"
+#include "support/Util.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+
+using namespace rcc;
+using namespace rcc::lsp;
+
+//===----------------------------------------------------------------------===//
+// JSON-RPC error codes (the subset rcc-lsp emits)
+//===----------------------------------------------------------------------===//
+
+static constexpr int kParseError = -32700;
+static constexpr int kInvalidRequest = -32600;
+static constexpr int kMethodNotFound = -32601;
+static constexpr int kServerNotInitialized = -32002;
+
+//===----------------------------------------------------------------------===//
+// file:// URI mapping
+//===----------------------------------------------------------------------===//
+
+static int hexVal(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+std::string lsp::uriToPath(const std::string &Uri) {
+  if (!startsWith(Uri, "file://"))
+    return Uri;
+  // file://HOST/path — only empty or "localhost" hosts make sense here.
+  size_t P = 7;
+  size_t Slash = Uri.find('/', P);
+  if (Slash == std::string::npos)
+    return Uri.substr(P);
+  P = Slash;
+  std::string Out;
+  Out.reserve(Uri.size() - P);
+  for (size_t I = P; I < Uri.size(); ++I) {
+    char C = Uri[I];
+    if (C == '%' && I + 2 < Uri.size()) {
+      int Hi = hexVal(Uri[I + 1]), Lo = hexVal(Uri[I + 2]);
+      if (Hi >= 0 && Lo >= 0) {
+        Out.push_back(static_cast<char>(Hi * 16 + Lo));
+        I += 2;
+        continue;
+      }
+    }
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+std::string lsp::pathToUri(const std::string &Path) {
+  static const char *Hex = "0123456789ABCDEF";
+  std::string Out = "file://";
+  for (char C : Path) {
+    unsigned char U = static_cast<unsigned char>(C);
+    // Unreserved characters plus the path separator stay literal.
+    if (std::isalnum(U) || C == '/' || C == '-' || C == '.' || C == '_' ||
+        C == '~') {
+      Out.push_back(C);
+    } else {
+      Out.push_back('%');
+      Out.push_back(Hex[U >> 4]);
+      Out.push_back(Hex[U & 0xf]);
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostic mapping (1-based half-open ranges -> 0-based LSP positions)
+//===----------------------------------------------------------------------===//
+
+static json::Value lspPosition(SourceLoc L) {
+  json::Value P = json::Value::object();
+  P.set("line", json::Value::number(static_cast<int64_t>(
+                    L.Line > 0 ? L.Line - 1 : 0)));
+  P.set("character",
+        json::Value::number(static_cast<int64_t>(L.Col > 0 ? L.Col - 1 : 0)));
+  return P;
+}
+
+static json::Value lspDiagnostic(const rcc::Diagnostic &Dg) {
+  json::Value Range = json::Value::object();
+  SourceLoc Begin = Dg.Loc.isValid() ? Dg.Loc : SourceLoc{1, 1};
+  SourceLoc End = Dg.End.isValid() ? Dg.End : Begin;
+  Range.set("start", lspPosition(Begin));
+  Range.set("end", lspPosition(End));
+
+  json::Value J = json::Value::object();
+  J.set("range", std::move(Range));
+  int Severity = 1; // Error
+  if (Dg.Level == DiagLevel::Warning)
+    Severity = 2;
+  else if (Dg.Level == DiagLevel::Note)
+    Severity = 3; // Information
+  J.set("severity", json::Value::number(static_cast<int64_t>(Severity)));
+  if (!Dg.Rule.empty())
+    J.set("code", json::Value::str(Dg.Rule));
+  J.set("source", json::Value::str("refinedc"));
+  std::string Msg = Dg.Message;
+  if (!Dg.Fn.empty())
+    Msg = "[" + Dg.Fn + "] " + Msg;
+  for (const std::string &Ctx : Dg.Context)
+    Msg += "\n" + Ctx;
+  J.set("message", json::Value::str(Msg));
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// LspServer
+//===----------------------------------------------------------------------===//
+
+LspServer::LspServer(LspOptions Opts) : O(Opts), D([&Opts] {
+  daemon::DaemonOptions DO;
+  DO.CacheDir = Opts.CacheDir;
+  DO.CacheMaxBytes = Opts.CacheMaxBytes;
+  DO.Jobs = Opts.Jobs;
+  DO.Recheck = Opts.Recheck;
+  DO.Trace = Opts.Trace;
+  return DO;
+}()) {}
+
+void LspServer::respond(std::ostream &Out, const json::Value &Id,
+                        json::Value Result) {
+  json::Value Msg = json::Value::object();
+  Msg.set("jsonrpc", json::Value::str("2.0"));
+  Msg.set("id", Id);
+  Msg.set("result", std::move(Result));
+  Out << rpc::encodeFrame(Msg.write());
+  Out.flush();
+}
+
+void LspServer::respondError(std::ostream &Out, const json::Value &Id,
+                             int Code, const std::string &Message) {
+  json::Value Err = json::Value::object();
+  Err.set("code", json::Value::number(static_cast<int64_t>(Code)));
+  Err.set("message", json::Value::str(Message));
+  json::Value Msg = json::Value::object();
+  Msg.set("jsonrpc", json::Value::str("2.0"));
+  Msg.set("id", Id);
+  Msg.set("error", std::move(Err));
+  Out << rpc::encodeFrame(Msg.write());
+  Out.flush();
+}
+
+void LspServer::notify(std::ostream &Out, const std::string &Method,
+                       json::Value Params) {
+  json::Value Msg = json::Value::object();
+  Msg.set("jsonrpc", json::Value::str("2.0"));
+  Msg.set("method", json::Value::str(Method));
+  Msg.set("params", std::move(Params));
+  Out << rpc::encodeFrame(Msg.write());
+  Out.flush();
+}
+
+void LspServer::publish(const std::string &Path,
+                        const std::vector<rcc::Diagnostic> &Diags,
+                        std::ostream &Out) {
+  json::Value Arr = json::Value::array();
+  for (const rcc::Diagnostic &Dg : Diags)
+    Arr.push(lspDiagnostic(Dg));
+  json::Value Params = json::Value::object();
+  Params.set("uri", json::Value::str(pathToUri(Path)));
+  Params.set("diagnostics", std::move(Arr));
+  notify(Out, "textDocument/publishDiagnostics", std::move(Params));
+}
+
+void LspServer::checkAndPublish(const std::string &Path, std::ostream &Out) {
+  std::vector<rcc::Diagnostic> Diags;
+  bool Processed = D.checkDocument(
+      Path,
+      [&Diags](const daemon::Event &E) {
+        if (E.Kind == daemon::EventKind::Diagnostic && !E.Verified &&
+            !E.Diag.Message.empty()) {
+          Diags.push_back(E.Diag);
+        } else if (E.Kind == daemon::EventKind::Error &&
+                   !E.Diag.Message.empty()) {
+          // Compile failure: one file-level diagnostic at the frontend's
+          // reported location (or the top of the file).
+          rcc::Diagnostic Dg = E.Diag;
+          Dg.File = E.File;
+          Diags.push_back(std::move(Dg));
+        }
+      },
+      /*Force=*/true);
+  if (!Processed) {
+    // Unchanged content (or unreadable without an overlay): the last
+    // published set still describes the document.
+    auto It = Published.find(Path);
+    if (It != Published.end())
+      Diags = It->second;
+  }
+  Published[Path] = Diags;
+  publish(Path, Diags, Out);
+}
+
+void LspServer::handleMessage(const std::string &Body, std::ostream &Out) {
+  json::Value Msg;
+  std::string Err;
+  if (!json::parse(Body, Msg, &Err)) {
+    respondError(Out, json::Value::null(), kParseError, "parse error: " + Err);
+    return;
+  }
+
+  const json::Value *MethodV = Msg.field("method");
+  const json::Value *IdV = Msg.field("id");
+  bool IsRequest = IdV != nullptr;
+  std::string Method = MethodV ? MethodV->asString() : "";
+  const json::Value *Params = Msg.field("params");
+
+  // A body with no method is a response (we send no requests) or garbage.
+  if (Method.empty()) {
+    if (IsRequest)
+      respondError(Out, *IdV, kInvalidRequest, "message has no method");
+    return;
+  }
+
+  // `exit` is valid in every state and ends the loop; exit code 0 only
+  // when `shutdown` was requested first.
+  if (Method == "exit") {
+    Exiting = true;
+    return;
+  }
+
+  if (!Initialized) {
+    if (Method == "initialize") {
+      json::Value SyncSave = json::Value::object();
+      SyncSave.set("includeText", json::Value::boolean(true));
+      json::Value Sync = json::Value::object();
+      Sync.set("openClose", json::Value::boolean(true));
+      Sync.set("change", json::Value::number(static_cast<int64_t>(1)));
+      Sync.set("save", std::move(SyncSave));
+      json::Value Caps = json::Value::object();
+      Caps.set("textDocumentSync", std::move(Sync));
+      json::Value Info = json::Value::object();
+      Info.set("name", json::Value::str("rcc-lsp"));
+      Info.set("version", json::Value::str(versionString()));
+      json::Value Result = json::Value::object();
+      Result.set("capabilities", std::move(Caps));
+      Result.set("serverInfo", std::move(Info));
+      respond(Out, IsRequest ? *IdV : json::Value::null(), std::move(Result));
+      Initialized = true;
+      return;
+    }
+    // Per the spec: reject requests with ServerNotInitialized, drop
+    // notifications silently.
+    if (IsRequest)
+      respondError(Out, *IdV, kServerNotInitialized,
+                   "server not initialized");
+    return;
+  }
+
+  if (ShutdownSeen && Method != "shutdown") {
+    // After shutdown only `exit` (handled above) is acceptable.
+    if (IsRequest)
+      respondError(Out, *IdV, kInvalidRequest,
+                   "request after shutdown");
+    return;
+  }
+
+  if (Method == "initialized")
+    return; // client handshake notification; nothing to do
+
+  if (Method == "shutdown") {
+    ShutdownSeen = true;
+    if (IsRequest)
+      respond(Out, *IdV, json::Value::null());
+    return;
+  }
+
+  if (Method == "textDocument/didOpen") {
+    const json::Value *Uri = Params ? Params->field("textDocument", "uri")
+                                    : nullptr;
+    const json::Value *Text = Params ? Params->field("textDocument", "text")
+                                     : nullptr;
+    if (!Uri || !Text)
+      return;
+    std::string Path = uriToPath(Uri->asString());
+    D.setOverlay(Path, Text->asString());
+    checkAndPublish(Path, Out);
+    return;
+  }
+
+  if (Method == "textDocument/didChange") {
+    const json::Value *Uri = Params ? Params->field("textDocument", "uri")
+                                    : nullptr;
+    const json::Value *Changes = Params ? Params->field("contentChanges")
+                                        : nullptr;
+    if (!Uri || !Changes || Changes->items().empty())
+      return;
+    // Full-document sync (capability change=1): the last change wins.
+    const json::Value *Text = Changes->items().back().field("text");
+    if (!Text)
+      return;
+    // Refresh the overlay only; verification runs on save (like batch
+    // RefinedC), so typing does not trigger proof search per keystroke.
+    D.setOverlay(uriToPath(Uri->asString()), Text->asString());
+    return;
+  }
+
+  if (Method == "textDocument/didSave") {
+    const json::Value *Uri = Params ? Params->field("textDocument", "uri")
+                                    : nullptr;
+    if (!Uri)
+      return;
+    std::string Path = uriToPath(Uri->asString());
+    // includeText capability: prefer the authoritative saved text.
+    if (const json::Value *Text = Params->field("text"))
+      if (Text->isString())
+        D.setOverlay(Path, Text->asString());
+    checkAndPublish(Path, Out);
+    return;
+  }
+
+  if (Method == "textDocument/didClose") {
+    const json::Value *Uri = Params ? Params->field("textDocument", "uri")
+                                    : nullptr;
+    if (!Uri)
+      return;
+    std::string Path = uriToPath(Uri->asString());
+    D.clearOverlay(Path);
+    D.removeDocument(Path);
+    // Clear the client's view of the closed document.
+    Published.erase(Path);
+    publish(Path, {}, Out);
+    return;
+  }
+
+  // "$/" methods are optional by definition; everything else unknown is a
+  // MethodNotFound for requests and silence for notifications.
+  if (IsRequest && !startsWith(Method, "$/"))
+    respondError(Out, *IdV, kMethodNotFound,
+                 "method not found: " + Method);
+}
+
+int LspServer::run(std::istream &In, std::ostream &Out) {
+  rpc::FrameDecoder Dec;
+  char Chunk[4096];
+  std::string Body;
+  while (!Exiting) {
+    while (!Exiting && Dec.next(Body))
+      handleMessage(Body, Out);
+    if (Exiting)
+      break;
+    if (Dec.hasError()) {
+      // A byte stream cannot be re-synchronised after a framing error;
+      // treat it as a disconnect (exit code still reflects shutdown).
+      break;
+    }
+    // Read only what the decoder can consume: single bytes while scanning
+    // headers (the terminator position is unknown), bulk inside a body.
+    size_t Want = Dec.bytesNeeded();
+    if (Want == 0 || Want > sizeof(Chunk))
+      Want = sizeof(Chunk);
+    In.read(Chunk, static_cast<std::streamsize>(Want));
+    std::streamsize N = In.gcount();
+    if (N <= 0)
+      break;
+    Dec.feed(Chunk, static_cast<size_t>(N));
+  }
+  return ShutdownSeen ? 0 : 1;
+}

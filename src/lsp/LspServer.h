@@ -1,0 +1,115 @@
+//===- LspServer.h - Language Server Protocol front end --------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `rcc-lsp` server (DESIGN.md, "LSP server"): a JSON-RPC 2.0 endpoint
+/// speaking the Language Server Protocol base protocol over stdio
+/// (Content-Length framing, see support/Framing.h) that maps editor
+/// document lifecycles onto the verification daemon's workspace:
+///
+///   didOpen   -> install the editor's buffer as the document's overlay,
+///                verify it, publish diagnostics
+///   didChange -> refresh the overlay (full-document sync); verification
+///                waits for the save, like batch RefinedC
+///   didSave   -> re-verify the document (result-store hits make this the
+///                incremental path: only changed functions re-run proof
+///                search) and publish fresh diagnostics — including the
+///                empty publish that clears a fixed file
+///   didClose  -> drop the overlay and the client's diagnostics
+///
+/// Verification failures arrive as typed daemon events carrying
+/// rcc::Diagnostic values with 1-based half-open source ranges; the server
+/// converts them to LSP's 0-based positions. Protocol-level failures use
+/// the JSON-RPC error codes the spec reserves: -32700 on unparseable
+/// bodies, -32002 for requests before `initialize`, -32601 for unknown
+/// methods. `exit` terminates the loop with code 0 iff `shutdown` was
+/// received first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_LSP_LSPSERVER_H
+#define RCC_LSP_LSPSERVER_H
+
+#include "daemon/Daemon.h"
+#include "support/Json.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rcc::lsp {
+
+struct LspOptions {
+  /// Persistent L2 cache directory (empty: in-memory L1 only).
+  std::string CacheDir;
+  /// GC budget for the cache directory (0 = unbounded).
+  uint64_t CacheMaxBytes = 0;
+  /// Concurrent verification jobs per revision (0 = all cores).
+  unsigned Jobs = 1;
+  /// Replay derivations through the independent proof checker.
+  bool Recheck = true;
+  /// Optional trace session for the daemon's revision spans.
+  trace::TraceSession *Trace = nullptr;
+};
+
+/// Converts a `file://` URI to a filesystem path (percent-decoded). Returns
+/// the input unchanged when it does not carry the file scheme, so plain
+/// paths also work (some clients are sloppy).
+std::string uriToPath(const std::string &Uri);
+
+/// Converts a filesystem path to a `file://` URI (percent-encoding the
+/// characters the RFC requires).
+std::string pathToUri(const std::string &Path);
+
+class LspServer {
+public:
+  explicit LspServer(LspOptions Opts);
+
+  /// Serves the protocol until `exit`, stream EOF, or an unrecoverable
+  /// framing error. Returns the process exit code: 0 iff a `shutdown`
+  /// request was received before the loop ended.
+  int run(std::istream &In, std::ostream &Out);
+
+  /// Dispatches one raw JSON-RPC body (exposed for tests; run() calls this
+  /// for every decoded frame). Responses and notifications are written to
+  /// \p Out as framed messages.
+  void handleMessage(const std::string &Body, std::ostream &Out);
+
+  /// True once an `exit` notification was processed.
+  bool exiting() const { return Exiting; }
+  /// True once a `shutdown` request was processed.
+  bool shutdownSeen() const { return ShutdownSeen; }
+
+  /// The underlying verification daemon (the LSP server's workspace).
+  daemon::Daemon &workspace() { return D; }
+
+private:
+  void respond(std::ostream &Out, const json::Value &Id, json::Value Result);
+  void respondError(std::ostream &Out, const json::Value &Id, int Code,
+                    const std::string &Message);
+  void notify(std::ostream &Out, const std::string &Method,
+              json::Value Params);
+  /// Runs one forced check of \p Path through the daemon and publishes the
+  /// resulting diagnostics (an unchanged document republishes the last
+  /// known set, so a save is never left without a publish).
+  void checkAndPublish(const std::string &Path, std::ostream &Out);
+  void publish(const std::string &Path,
+               const std::vector<rcc::Diagnostic> &Diags, std::ostream &Out);
+
+  LspOptions O;
+  daemon::Daemon D;
+  bool Initialized = false;
+  bool ShutdownSeen = false;
+  bool Exiting = false;
+  /// Last published diagnostics per document path (republished when a save
+  /// did not change the content, cleared on didClose).
+  std::map<std::string, std::vector<rcc::Diagnostic>> Published;
+};
+
+} // namespace rcc::lsp
+
+#endif // RCC_LSP_LSPSERVER_H

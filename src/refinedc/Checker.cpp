@@ -378,15 +378,43 @@ FnResult Checker::verifyFunction(const std::string &Name,
   auto FnStart = std::chrono::steady_clock::now();
   FnResult Res;
   Res.Name = Name;
-  struct TimeGuard {
+  // On every return path: record wall time, and synthesize the structured
+  // diagnostic for a failing result, so all transports (JSON mode, daemon
+  // events, LSP) render the same typed rcc::Diagnostic. Engine failures
+  // have a point location that is widened to the token at that position;
+  // early errors (missing spec, arity mismatch...) have none and fall back
+  // to the function's name range from the front end.
+  struct ResultGuard {
     std::chrono::steady_clock::time_point T0;
     FnResult &R;
-    ~TimeGuard() {
+    const front::AnnotatedProgram &AP;
+    ~ResultGuard() {
       R.WallMillis = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - T0)
                          .count();
+      if (R.Verified || R.Error.empty() || !R.Diags.empty())
+        return;
+      rcc::Diagnostic D;
+      D.Level = rcc::DiagLevel::Error;
+      D.Message = R.Error;
+      D.Fn = R.Name;
+      D.Rule = R.FailedRule;
+      D.Context = R.ErrorContext;
+      auto It = AP.Fns.find(R.Name);
+      const front::FnInfo *FI = It != AP.Fns.end() ? &It->second : nullptr;
+      if (R.ErrorLoc.isValid()) {
+        rcc::SourceRange Rng = tokenRangeAt(AP.Source, R.ErrorLoc);
+        D.Loc = Rng.Begin;
+        D.End = Rng.End;
+      } else if (FI && FI->NameRange.isValid()) {
+        D.Loc = FI->NameRange.Begin;
+        D.End = FI->NameRange.End;
+      } else if (FI && FI->Loc.isValid()) {
+        D.Loc = FI->Loc;
+      }
+      R.Diags.push_back(std::move(D));
     }
-  } TG{FnStart, Res};
+  } TG{FnStart, Res, AP};
 
   auto SIt = Env.FnSpecs.find(Name);
   if (SIt == Env.FnSpecs.end()) {
@@ -553,6 +581,7 @@ FnResult Checker::verifyFunction(const std::string &Name,
       Res.Error = E2.Failure;
       Res.ErrorLoc = E2.FailureLoc;
       Res.ErrorContext = E2.FailureContext;
+      Res.FailedRule = E2.FailureRule;
     }
   }
   Res.BacktrackedSteps += E.BacktrackedSteps;
@@ -561,6 +590,7 @@ FnResult Checker::verifyFunction(const std::string &Name,
     Res.Error = E.Failure;
     Res.ErrorLoc = E.FailureLoc;
     Res.ErrorContext = E.FailureContext;
+    Res.FailedRule = E.FailureRule;
   }
   Res.Verified = Ok;
   Res.EvarsInstantiated = Evars.numInstantiated();
@@ -849,20 +879,3 @@ ProgramResult Checker::verifyAll(const VerifyOptions &Opts) {
   }
   return verifyFunctions(Names, Opts);
 }
-
-// --- Deprecated shims (see Checker.h). They read the deprecated
-// Backtracking member, hence the pragma.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-FnResult Checker::verifyFunction(const std::string &Name) {
-  VerifyOptions Opts;
-  Opts.Backtracking = Backtracking;
-  return static_cast<const Checker *>(this)->verifyFunction(Name, Opts);
-}
-
-std::vector<FnResult> Checker::verifyAll() {
-  VerifyOptions Opts;
-  Opts.Backtracking = Backtracking;
-  return verifyAll(Opts).Fns;
-}
-#pragma GCC diagnostic pop

@@ -123,16 +123,6 @@ public:
   /// prototypes' specs); returns the aggregate result.
   ProgramResult verifyAll(const VerifyOptions &Opts);
 
-  // --- Deprecated pre-session API (PR 1). The VerifyOptions overloads
-  // above replace these; the shims keep out-of-tree callers compiling.
-  [[deprecated("pass VerifyOptions: verifyFunction(Name, {})")]]
-  FnResult verifyFunction(const std::string &Name);
-  [[deprecated("use verifyAll(VerifyOptions) and ProgramResult")]]
-  std::vector<FnResult> verifyAll();
-  /// Ablation flag of the old mutable-driver API.
-  [[deprecated("use VerifyOptions::Backtracking")]]
-  bool Backtracking = false;
-
   const TypeEnv &env() const { return Env; }
   const lithium::RuleRegistry &rules() const { return Rules; }
   const pure::PureSolver &solver() const { return SolverProto; }

@@ -116,6 +116,17 @@ std::string ProgramResult::toJson(const std::string &ExtraJson) const {
                R.ErrorLoc.Line, R.ErrorLoc.Col);
       S += Buf;
     }
+    if (!R.Diags.empty()) {
+      // The shared wire shape (rcc::Diagnostic::toJson), byte-identical to
+      // the daemon's `diagnostic` events for the same failure.
+      S += ", \"diagnostics\": [";
+      for (size_t D = 0; D < R.Diags.size(); ++D) {
+        if (D)
+          S += ", ";
+        S += R.Diags[D].toJson();
+      }
+      S += "]";
+    }
     snprintf(Buf, sizeof(Buf), ", \"rule_apps\": %u", R.Stats.RuleApps);
     S += Buf;
     snprintf(Buf, sizeof(Buf), ", \"distinct_rules\": %zu",

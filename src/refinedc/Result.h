@@ -17,6 +17,7 @@
 #define RCC_REFINEDC_RESULT_H
 
 #include "lithium/Engine.h"
+#include "support/Diagnostics.h"
 #include "support/SourceLoc.h"
 
 #include <string>
@@ -103,6 +104,15 @@ struct FnResult {
   bool CacheHit = false;   ///< served from the session's result store
   double WallMillis = 0.0; ///< wall time of this function's check (0 when
                            ///< the result came from the store)
+  /// Name of the typing rule whose application produced the failure
+  /// (Engine::FailureRule; empty for non-engine failures).
+  std::string FailedRule;
+  /// Structured diagnostics for this function, in the shared wire shape
+  /// (rcc::Diagnostic) that verify_tool --format=json, the daemon's
+  /// JSON-lines events, and the LSP server all render from. Synthesized by
+  /// the checker from Error/ErrorLoc/FailedRule on every failing result, so
+  /// transports never re-derive locations; empty when Verified.
+  std::vector<rcc::Diagnostic> Diags;
 
   /// Renders the Section 2.1-style error message.
   std::string renderError(const std::string &Source) const;

@@ -291,6 +291,25 @@ std::string rcc::store::serializeFnResult(const FnResult &R) {
   Body.boolean(R.RecheckOk);
   Body.f64(R.WallMillis);
 
+  // Format 2: structured diagnostics (failing results are stored too, and
+  // transports render from FnResult::Diags without re-deriving locations).
+  Body.str(R.FailedRule);
+  Body.u32(static_cast<uint32_t>(R.Diags.size()));
+  for (const rcc::Diagnostic &D : R.Diags) {
+    Body.u8(static_cast<uint8_t>(D.Level));
+    Body.u32(D.Loc.Line);
+    Body.u32(D.Loc.Col);
+    Body.u32(D.End.Line);
+    Body.u32(D.End.Col);
+    Body.str(D.Message);
+    Body.str(D.File);
+    Body.str(D.Fn);
+    Body.str(D.Rule);
+    Body.u32(static_cast<uint32_t>(D.Context.size()));
+    for (const std::string &C : D.Context)
+      Body.str(C);
+  }
+
   Terms.emit();
   std::string Out = Table.take();
   Out += Body.data();
@@ -368,6 +387,33 @@ bool rcc::store::deserializeFnResult(std::string_view Data, FnResult &Out) {
       !R.boolean(Out.Rechecked) || !R.boolean(Out.RecheckOk) ||
       !R.f64(Out.WallMillis))
     return false;
+
+  if (!R.str(Out.FailedRule) || !R.u32(Count))
+    return false;
+  // A diagnostic is at least level + 4 coords + 4 string lengths + context
+  // count = 37 bytes.
+  if (Count > R.remaining() / 37)
+    return false;
+  Out.Diags.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    rcc::Diagnostic D;
+    uint8_t Level;
+    uint32_t NCtx;
+    if (!R.u8(Level) || !R.u32(D.Loc.Line) || !R.u32(D.Loc.Col) ||
+        !R.u32(D.End.Line) || !R.u32(D.End.Col) || !R.str(D.Message) ||
+        !R.str(D.File) || !R.str(D.Fn) || !R.str(D.Rule) || !R.u32(NCtx))
+      return false;
+    if (Level > static_cast<uint8_t>(rcc::DiagLevel::Error))
+      return false;
+    D.Level = static_cast<rcc::DiagLevel>(Level);
+    if (NCtx > R.remaining() / 4)
+      return false;
+    D.Context.resize(NCtx);
+    for (std::string &C : D.Context)
+      if (!R.str(C))
+        return false;
+    Out.Diags.push_back(std::move(D));
+  }
 
   // Trailing bytes mean the payload was not produced by this writer.
   return R.atEnd();

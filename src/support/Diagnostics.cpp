@@ -5,10 +5,32 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Diagnostics.h"
+#include "support/Util.h"
 
 #include <sstream>
 
 using namespace rcc;
+
+std::string Diagnostic::toJson() const {
+  std::string Out = "{";
+  Out += "\"file\": " + jsonQuote(File);
+  Out += ", \"line\": " + std::to_string(Loc.Line);
+  Out += ", \"col\": " + std::to_string(Loc.Col);
+  if (End.isValid()) {
+    Out += ", \"end_line\": " + std::to_string(End.Line);
+    Out += ", \"end_col\": " + std::to_string(End.Col);
+  }
+  Out += ", \"severity\": \"";
+  Out += diagLevelName(Level);
+  Out += "\"";
+  if (!Fn.empty())
+    Out += ", \"fn\": " + jsonQuote(Fn);
+  if (!Rule.empty())
+    Out += ", \"rule\": " + jsonQuote(Rule);
+  Out += ", \"message\": " + jsonQuote(Message);
+  Out += "}";
+  return Out;
+}
 
 void DiagnosticEngine::addContext(std::string Line) {
   if (Diags.empty())
@@ -23,7 +45,7 @@ bool DiagnosticEngine::hasErrors() const {
   return false;
 }
 
-static const char *levelName(DiagLevel L) {
+const char *rcc::diagLevelName(DiagLevel L) {
   switch (L) {
   case DiagLevel::Note:
     return "note";
@@ -55,7 +77,7 @@ static std::string sourceLine(const std::string &Source, uint32_t N) {
 std::string DiagnosticEngine::render(const std::string &Source) const {
   std::ostringstream OS;
   for (const Diagnostic &D : Diags) {
-    OS << levelName(D.Level) << ": ";
+    OS << diagLevelName(D.Level) << ": ";
     if (D.Loc.isValid())
       OS << D.Loc.str() << ": ";
     OS << D.Message << "\n";

@@ -1,0 +1,130 @@
+//===- Framing.cpp --------------------------------------------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Framing.h"
+
+using namespace rcc::rpc;
+
+void FrameDecoder::fail(const std::string &Msg) {
+  if (!Error) {
+    Error = true;
+    ErrMsg = Msg;
+    Buf.clear();
+  }
+}
+
+void FrameDecoder::feed(const char *Data, size_t N) {
+  if (Error)
+    return;
+  Buf.append(Data, N);
+}
+
+/// Case-insensitive ASCII compare of \p S against \p Lower (pre-lowercased).
+static bool iequals(const std::string &S, const char *Lower) {
+  size_t I = 0;
+  for (; Lower[I]; ++I) {
+    if (I >= S.size())
+      return false;
+    char C = S[I];
+    if (C >= 'A' && C <= 'Z')
+      C = static_cast<char>(C - 'A' + 'a');
+    if (C != Lower[I])
+      return false;
+  }
+  return I == S.size();
+}
+
+bool FrameDecoder::parseHeader() {
+  // Find the header terminator. Until it arrives, enforce the header-size
+  // cap so a peer streaming garbage cannot grow the buffer forever.
+  size_t HdrEnd = Buf.find("\r\n\r\n");
+  if (HdrEnd == std::string::npos) {
+    if (Buf.size() > MaxHeader)
+      fail("header section exceeds " + std::to_string(MaxHeader) + " bytes");
+    return false;
+  }
+  if (HdrEnd > MaxHeader) {
+    fail("header section exceeds " + std::to_string(MaxHeader) + " bytes");
+    return false;
+  }
+
+  // Parse `Name: value` lines; only Content-Length is meaningful
+  // (Content-Type is tolerated and ignored, per the LSP base protocol).
+  bool HaveLen = false;
+  size_t Len = 0;
+  size_t LineStart = 0;
+  while (LineStart < HdrEnd) {
+    size_t LineEnd = Buf.find("\r\n", LineStart);
+    if (LineEnd == std::string::npos || LineEnd > HdrEnd)
+      LineEnd = HdrEnd;
+    std::string Line = Buf.substr(LineStart, LineEnd - LineStart);
+    LineStart = LineEnd + 2;
+
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos) {
+      fail("malformed header line '" + Line + "'");
+      return false;
+    }
+    std::string Name = Line.substr(0, Colon);
+    size_t VB = Colon + 1;
+    while (VB < Line.size() && (Line[VB] == ' ' || Line[VB] == '\t'))
+      ++VB;
+    std::string Val = Line.substr(VB);
+    if (!iequals(Name, "content-length"))
+      continue;
+    if (Val.empty()) {
+      fail("empty Content-Length");
+      return false;
+    }
+    size_t V = 0;
+    for (char C : Val) {
+      if (C < '0' || C > '9') {
+        fail("non-numeric Content-Length '" + Val + "'");
+        return false;
+      }
+      V = V * 10 + static_cast<size_t>(C - '0');
+      if (V > MaxBody) {
+        fail("Content-Length " + Val + " exceeds the " +
+             std::to_string(MaxBody) + "-byte body cap");
+        return false;
+      }
+    }
+    HaveLen = true;
+    Len = V;
+  }
+  if (!HaveLen) {
+    fail("missing Content-Length header");
+    return false;
+  }
+  Buf.erase(0, HdrEnd + 4);
+  BodyLen = Len;
+  return true;
+}
+
+bool FrameDecoder::next(std::string &Body) {
+  if (Error)
+    return false;
+  if (BodyLen == static_cast<size_t>(-1) && !parseHeader())
+    return false;
+  if (Buf.size() < BodyLen)
+    return false;
+  Body = Buf.substr(0, BodyLen);
+  Buf.erase(0, BodyLen);
+  BodyLen = static_cast<size_t>(-1);
+  return true;
+}
+
+size_t FrameDecoder::bytesNeeded() const {
+  if (Error)
+    return 0;
+  if (BodyLen == static_cast<size_t>(-1))
+    return 1;
+  return Buf.size() < BodyLen ? BodyLen - Buf.size() : 0;
+}
+
+std::string rcc::rpc::encodeFrame(const std::string &Body) {
+  return "Content-Length: " + std::to_string(Body.size()) + "\r\n\r\n" + Body;
+}

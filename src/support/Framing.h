@@ -1,0 +1,73 @@
+//===- Framing.h - Content-Length message framing --------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LSP base-protocol framing: each message is a header section of
+/// `Name: value\r\n` lines terminated by `\r\n\r\n`, followed by exactly
+/// `Content-Length` bytes of body. FrameDecoder is incremental — bytes can
+/// arrive in any chunking (a header split across two reads is the normal
+/// case over a pipe) — and defensive: oversized or malformed headers put
+/// the decoder into a sticky error state instead of crashing or consuming
+/// unbounded memory, because the peer is an arbitrary editor process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_SUPPORT_FRAMING_H
+#define RCC_SUPPORT_FRAMING_H
+
+#include <cstddef>
+#include <string>
+
+namespace rcc::rpc {
+
+/// Incremental decoder for Content-Length framed messages.
+class FrameDecoder {
+public:
+  /// \p MaxBody caps the declared Content-Length; \p MaxHeader caps the
+  /// header section. Both reject a malicious or corrupt peer early.
+  explicit FrameDecoder(size_t MaxBody = 16u << 20, size_t MaxHeader = 4096)
+      : MaxBody(MaxBody), MaxHeader(MaxHeader) {}
+
+  /// Appends \p N raw bytes. No-op once the decoder is in the error state.
+  void feed(const char *Data, size_t N);
+  void feed(const std::string &S) { feed(S.data(), S.size()); }
+
+  /// Extracts the next complete message body. Returns false when no full
+  /// frame is buffered yet (or after an error).
+  bool next(std::string &Body);
+
+  /// Sticky error state (malformed header, missing/overlong
+  /// Content-Length). The transport should drop the connection; there is
+  /// no reliable way to re-synchronise a byte stream after a framing error.
+  bool hasError() const { return Error; }
+  const std::string &errorMessage() const { return ErrMsg; }
+
+  /// Read hint for blocking transports: how many bytes the decoder can
+  /// consume right now without over-reading past the current frame. While
+  /// parsing headers this is 1 (the terminator position is unknown);
+  /// inside a body it is the number of missing body bytes.
+  size_t bytesNeeded() const;
+
+private:
+  bool parseHeader();
+  void fail(const std::string &Msg);
+
+  size_t MaxBody;
+  size_t MaxHeader;
+  std::string Buf;
+  /// Declared body length once the header section parsed; SIZE_MAX while
+  /// still reading headers.
+  size_t BodyLen = static_cast<size_t>(-1);
+  bool Error = false;
+  std::string ErrMsg;
+};
+
+/// Renders one framed message: `Content-Length: N\r\n\r\n<body>`.
+std::string encodeFrame(const std::string &Body);
+
+} // namespace rcc::rpc
+
+#endif // RCC_SUPPORT_FRAMING_H

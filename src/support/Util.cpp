@@ -90,6 +90,37 @@ std::string rcc::jsonQuote(const std::string &S) {
   return Out;
 }
 
+SourceRange rcc::tokenRangeAt(const std::string &Source, SourceLoc Loc) {
+  if (!Loc.isValid())
+    return {};
+  // Resolve the 1-based line/col into a byte offset.
+  size_t Pos = 0;
+  for (uint32_t L = 1; L < Loc.Line; ++L) {
+    Pos = Source.find('\n', Pos);
+    if (Pos == std::string::npos)
+      return {Loc, {Loc.Line, Loc.Col + 1}};
+    ++Pos;
+  }
+  size_t LineEnd = Source.find('\n', Pos);
+  if (LineEnd == std::string::npos)
+    LineEnd = Source.size();
+  size_t Off = Pos + (Loc.Col - 1);
+  if (Off >= LineEnd)
+    return {Loc, {Loc.Line, Loc.Col + 1}};
+
+  auto isIdent = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  };
+  uint32_t EndCol = Loc.Col + 1;
+  if (isIdent(Source[Off])) {
+    size_t E = Off;
+    while (E < LineEnd && isIdent(Source[E]))
+      ++E;
+    EndCol = Loc.Col + static_cast<uint32_t>(E - Off);
+  }
+  return {Loc, {Loc.Line, EndCol}};
+}
+
 int rcc::debugTraceLevel() {
   // Compatible with the historical contract: any set RCC_TRACE (even empty)
   // enables level 1; a leading '2' (or any numeric value >= 2) enables

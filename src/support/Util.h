@@ -14,6 +14,8 @@
 #ifndef RCC_SUPPORT_UTIL_H
 #define RCC_SUPPORT_UTIL_H
 
+#include "support/SourceLoc.h"
+
 #include <string>
 #include <vector>
 
@@ -38,6 +40,14 @@ bool startsWith(const std::string &S, const std::string &Prefix);
 /// Renders \p S as a double-quoted JSON string with all mandatory escapes
 /// (used by the daemon protocol and verify_tool's JSON mode).
 std::string jsonQuote(const std::string &S);
+
+/// Widens the point location \p Loc to the extent of the token that starts
+/// there in \p Source: the returned range ends after the run of identifier
+/// characters (or the single punctuation character) at \p Loc. Used to give
+/// engine failures — which carry only a point — a highlightable range for
+/// editors. Returns a [Loc, Loc+1) range when \p Loc does not resolve into
+/// \p Source, and an invalid range when \p Loc itself is invalid.
+SourceRange tokenRangeAt(const std::string &Source, SourceLoc Loc);
 
 /// The RCC_TRACE debug level: 0 = off, 1 = step progress, 2 = per-goal
 /// dumps. Read from the environment once per process (a getenv per engine

@@ -411,3 +411,195 @@ unsigned int inc(unsigned int x) { return x; }
   EXPECT_NE(Out.str().find("\"verified\": false"), std::string::npos);
   EXPECT_NE(Out.str().find("\"all_verified\": false"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Workspace: several documents over shared tiers, overlays, typed events
+//===----------------------------------------------------------------------===//
+
+/// A third function, so the second workspace document has its own keys.
+const char *kThirdFn = R"([[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idC(int x) { return x; }
+)";
+
+TEST(Workspace, EditingOneFileReverifiesOnlyThatFilesChangedFunctions) {
+  TempDir Dir;
+  std::string A = Dir.str() + "/a.c";
+  std::string B = Dir.str() + "/b.c";
+  writeFile(A, kTwoFns);
+  writeFile(B, kThirdFn);
+
+  DaemonOptions O;
+  O.Path = A;
+  O.Paths.push_back(B);
+  Daemon D(O);
+  EXPECT_EQ(D.documents().size(), 2u);
+
+  Events Cold;
+  ASSERT_TRUE(D.checkOnce(Cold.sink(), /*Force=*/true));
+  EXPECT_TRUE(D.lastAllVerified());
+  EXPECT_EQ(Cold.count("\"event\": \"revision_done\""), 2u)
+      << "one revision per document";
+
+  // Edit only the first document: the second must stay silent on the watch
+  // tick, and the first re-verifies exactly its changed function.
+  writeFile(A, kEditedSecond);
+  Events Tick;
+  ASSERT_TRUE(D.checkOnce(Tick.sink(), /*Force=*/false));
+  EXPECT_EQ(Tick.count("\"event\": \"revision_done\""), 1u);
+  std::string Done = Tick.last("\"event\": \"revision_done\"");
+  EXPECT_NE(Done.find("\"file\": \"" + A + "\""), std::string::npos);
+  EXPECT_EQ(field(Done, "reverified"), 1);
+  EXPECT_EQ(field(Done, "l1_hits"), 1);
+  EXPECT_EQ(D.documentRevision(A), 2u);
+  EXPECT_EQ(D.documentRevision(B), 1u);
+}
+
+TEST(Workspace, PerDocumentResultsAndStatus) {
+  TempDir Dir;
+  std::string A = Dir.str() + "/a.c";
+  std::string B = Dir.str() + "/b.c";
+  writeFile(A, kTwoFns);
+  writeFile(B, kThirdFn);
+
+  DaemonOptions O;
+  O.Path = A;
+  O.Paths.push_back(B);
+  Daemon D(O);
+  Events E;
+  ASSERT_TRUE(D.checkOnce(E.sink(), /*Force=*/true));
+
+  ASSERT_TRUE(D.result(A) != nullptr);
+  ASSERT_TRUE(D.result(B) != nullptr);
+  EXPECT_EQ(D.result(A)->Fns.size(), 2u);
+  EXPECT_EQ(D.result(B)->Fns.size(), 1u);
+  EXPECT_TRUE(D.result("/no/such/doc") == nullptr);
+
+  Events S;
+  EXPECT_TRUE(D.handleLine("status", S.sink()));
+  EXPECT_EQ(S.count("\"event\": \"status\""), 2u) << "status is per-document";
+}
+
+TEST(Workspace, OverlayShadowsDiskAndClearRestoresIt) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, kTwoFns);
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  Events Cold;
+  ASSERT_TRUE(D.checkOnce(Cold.sink(), /*Force=*/true));
+  ASSERT_TRUE(D.lastAllVerified());
+
+  // An editor buffer takes precedence over the file's bytes.
+  D.setOverlay(Src, kEditedSecond);
+  EXPECT_TRUE(D.hasOverlay(Src));
+  Events Ed;
+  StructuredSink Sink = [&Ed](const Event &E) {
+    Ed.Lines.push_back(E.toJsonLine());
+  };
+  ASSERT_TRUE(D.checkDocument(Src, Sink));
+  std::string Done = Ed.last("\"event\": \"revision_done\"");
+  EXPECT_EQ(field(Done, "reverified"), 1) << "only idB changed in the buffer";
+  EXPECT_EQ(field(Done, "l1_hits"), 1);
+
+  // While the overlay is installed, touching the file is not a revision.
+  writeFile(Src, kThirdFn);
+  Events Tick;
+  EXPECT_FALSE(D.checkOnce(Tick.sink(), /*Force=*/false))
+      << "the editor owns the content";
+
+  // Dropping the overlay hands authority back to the (new) file content.
+  EXPECT_TRUE(D.clearOverlay(Src));
+  EXPECT_FALSE(D.hasOverlay(Src));
+  Events After;
+  ASSERT_TRUE(D.checkOnce(After.sink(), /*Force=*/true));
+  std::string Done2 = After.last("\"event\": \"revision_done\"");
+  EXPECT_EQ(field(Done2, "functions"), 1) << "now verifying kThirdFn";
+}
+
+TEST(Workspace, AddRemoveDocumentsDynamically) {
+  TempDir Dir;
+  std::string A = Dir.str() + "/a.c";
+  writeFile(A, kTwoFns);
+
+  DaemonOptions O; // no initial path: the LSP server's configuration
+  Daemon D(O);
+  EXPECT_TRUE(D.documents().empty());
+  EXPECT_FALSE(D.lastAllVerified()) << "an empty workspace verifies nothing";
+  EXPECT_FALSE(D.addDocument(""));
+
+  Events E;
+  StructuredSink Sink = [&E](const Event &Ev) {
+    E.Lines.push_back(Ev.toJsonLine());
+  };
+  ASSERT_TRUE(D.checkDocument(A, Sink));
+  EXPECT_EQ(D.documents().size(), 1u);
+  EXPECT_TRUE(D.lastAllVerified());
+
+  EXPECT_TRUE(D.removeDocument(A));
+  EXPECT_FALSE(D.removeDocument(A));
+  EXPECT_TRUE(D.documents().empty());
+}
+
+TEST(Workspace, CompileErrorEventCarriesSourceLocation) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  // The parse error is on line 2 of the file.
+  writeFile(Src, "int ok(void) { return 0; }\nint broken( { return 0; }\n");
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+
+  std::vector<Event> Typed;
+  StructuredSink Sink = [&Typed](const Event &E) { Typed.push_back(E); };
+  ASSERT_TRUE(D.checkOnce(Sink, /*Force=*/true));
+
+  ASSERT_EQ(Typed.size(), 1u);
+  EXPECT_EQ(Typed[0].Kind, EventKind::Error);
+  EXPECT_EQ(Typed[0].File, Src);
+  EXPECT_TRUE(Typed[0].Diag.Loc.isValid())
+      << "frontend location must survive into the typed event";
+  EXPECT_EQ(Typed[0].Diag.Loc.Line, 2u);
+  // And the rendered JSON line exposes it to the line protocol too.
+  std::string L = Typed[0].toJsonLine();
+  EXPECT_NE(L.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(L.find("\"file\": \"" + Src + "\""), std::string::npos);
+}
+
+TEST(Workspace, DiagnosticEventsCarryTheUnifiedWireDiagnostic) {
+  TempDir Dir;
+  std::string Src = Dir.str() + "/t.c";
+  writeFile(Src, R"([[rc::parameters("n: nat")]]
+[[rc::args("n @ int<u32>")]]
+[[rc::returns("{n + 1} @ int<u32>")]]
+[[rc::requires("{n <= 100}")]]
+unsigned int inc(unsigned int x) { return x; }
+)");
+
+  DaemonOptions O;
+  O.Path = Src;
+  Daemon D(O);
+  std::vector<Event> Typed;
+  StructuredSink Sink = [&Typed](const Event &E) { Typed.push_back(E); };
+  ASSERT_TRUE(D.checkOnce(Sink, /*Force=*/true));
+
+  const Event *Fail = nullptr;
+  for (const Event &E : Typed)
+    if (E.Kind == EventKind::Diagnostic && !E.Verified)
+      Fail = &E;
+  ASSERT_TRUE(Fail != nullptr);
+  EXPECT_EQ(Fail->Diag.Fn, "inc");
+  EXPECT_EQ(Fail->Diag.File, Src);
+  EXPECT_FALSE(Fail->Diag.Message.empty());
+  EXPECT_TRUE(Fail->Diag.Loc.isValid())
+      << "failures anchor at the error or the function name";
+  // The JSON-lines rendering embeds Diagnostic::toJson() verbatim — the
+  // same bytes verify_tool --format=json prints for this failure.
+  std::string L = Fail->toJsonLine();
+  EXPECT_NE(L.find("\"diagnostic\": " + Fail->Diag.toJson()),
+            std::string::npos);
+  EXPECT_NE(L.find("\"severity\": \"error\""), std::string::npos);
+}

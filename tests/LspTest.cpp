@@ -1,0 +1,426 @@
+//===- LspTest.cpp - LSP framing, JSON, and server-session contracts ------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contracts of the LSP stack (DESIGN.md, "LSP server"), bottom up:
+///
+///  - FrameDecoder: Content-Length framing survives arbitrary chunking
+///    (headers split across reads are the normal pipe case) and rejects
+///    oversized or malformed headers with a sticky error instead of
+///    crashing or buffering unboundedly.
+///  - json: strict parsing and deterministic compact writing.
+///  - LspServer: the initialize handshake gates every request (-32002),
+///    unparseable bodies answer -32700, unknown methods -32601, and the
+///    didOpen/didSave document lifecycle maps verification failures onto
+///    publishDiagnostics with real ranges — including the empty publish
+///    that clears a fixed document. `exit` before `shutdown` exits 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lsp/LspServer.h"
+#include "support/Framing.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rcc;
+
+//===----------------------------------------------------------------------===//
+// FrameDecoder
+//===----------------------------------------------------------------------===//
+
+TEST(Framing, EncodeProducesParsableFrame) {
+  std::string F = rpc::encodeFrame("{\"x\":1}");
+  EXPECT_EQ(F, "Content-Length: 7\r\n\r\n{\"x\":1}");
+
+  rpc::FrameDecoder D;
+  D.feed(F);
+  std::string Body;
+  ASSERT_TRUE(D.next(Body));
+  EXPECT_EQ(Body, "{\"x\":1}");
+  EXPECT_FALSE(D.next(Body)) << "one frame in, one frame out";
+}
+
+TEST(Framing, HeaderSplitAcrossArbitraryChunkBoundaries) {
+  // Worst case: every byte arrives alone, including the split inside the
+  // "Content-Length" token and inside the \r\n\r\n terminator.
+  std::string F = rpc::encodeFrame("hello");
+  rpc::FrameDecoder D;
+  std::string Body;
+  for (size_t I = 0; I < F.size(); ++I) {
+    D.feed(&F[I], 1);
+    if (I + 1 < F.size()) {
+      EXPECT_FALSE(D.hasError());
+    }
+  }
+  ASSERT_TRUE(D.next(Body));
+  EXPECT_EQ(Body, "hello");
+}
+
+TEST(Framing, TwoFramesInOneFeedAndPartialSecondBody) {
+  std::string A = rpc::encodeFrame("first");
+  std::string B = rpc::encodeFrame("second-body");
+  rpc::FrameDecoder D;
+  // Everything of A plus B's header and half its body in one feed.
+  size_t Cut = B.size() - 6;
+  D.feed(A + B.substr(0, Cut));
+  std::string Body;
+  ASSERT_TRUE(D.next(Body));
+  EXPECT_EQ(Body, "first");
+  EXPECT_FALSE(D.next(Body)) << "second body incomplete";
+  D.feed(B.substr(Cut));
+  ASSERT_TRUE(D.next(Body));
+  EXPECT_EQ(Body, "second-body");
+}
+
+TEST(Framing, CaseInsensitiveHeaderAndExtraHeadersTolerated) {
+  std::string F = "content-length: 2\r\n"
+                  "Content-Type: application/vscode-jsonrpc; charset=utf-8\r\n"
+                  "\r\nok";
+  rpc::FrameDecoder D;
+  D.feed(F);
+  std::string Body;
+  ASSERT_TRUE(D.next(Body));
+  EXPECT_EQ(Body, "ok");
+}
+
+TEST(Framing, MissingContentLengthIsStickyError) {
+  rpc::FrameDecoder D;
+  D.feed("Content-Type: text/plain\r\n\r\nbody");
+  std::string Body;
+  EXPECT_FALSE(D.next(Body));
+  EXPECT_TRUE(D.hasError());
+  EXPECT_FALSE(D.errorMessage().empty());
+  // Sticky: feeding a valid frame afterwards cannot resynchronise.
+  D.feed(rpc::encodeFrame("x"));
+  EXPECT_FALSE(D.next(Body));
+  EXPECT_TRUE(D.hasError());
+}
+
+TEST(Framing, MalformedLengthValueRejected) {
+  for (const char *Bad : {"Content-Length: 12x\r\n\r\n",
+                          "Content-Length: -4\r\n\r\n",
+                          "Content-Length:\r\n\r\n",
+                          "Content-Length: 99999999999999999999\r\n\r\n"}) {
+    rpc::FrameDecoder D;
+    D.feed(Bad, strlen(Bad));
+    std::string Body;
+    EXPECT_FALSE(D.next(Body)) << Bad;
+    EXPECT_TRUE(D.hasError()) << Bad;
+  }
+}
+
+TEST(Framing, OversizedHeaderRejectedWithoutUnboundedBuffering) {
+  rpc::FrameDecoder D(/*MaxBody=*/1 << 20, /*MaxHeader=*/64);
+  // A header section that never terminates must trip MaxHeader, not grow.
+  std::string Junk(200, 'h');
+  D.feed(Junk);
+  std::string Body;
+  EXPECT_FALSE(D.next(Body));
+  EXPECT_TRUE(D.hasError());
+}
+
+TEST(Framing, BodyLargerThanMaxBodyRejected) {
+  rpc::FrameDecoder D(/*MaxBody=*/16);
+  D.feed("Content-Length: 17\r\n\r\n");
+  std::string Body;
+  EXPECT_FALSE(D.next(Body));
+  EXPECT_TRUE(D.hasError());
+}
+
+TEST(Framing, BytesNeededGuidesBlockingReads) {
+  rpc::FrameDecoder D;
+  EXPECT_EQ(D.bytesNeeded(), 1u) << "header terminator position unknown";
+  D.feed("Content-Length: 10\r\n\r\n123");
+  std::string Body;
+  // Headers parse lazily on next(); a failed extraction leaves the decoder
+  // knowing the declared length — the read hint is now exact.
+  EXPECT_FALSE(D.next(Body));
+  EXPECT_EQ(D.bytesNeeded(), 7u) << "exactly the missing body bytes";
+  D.feed("4567890");
+  ASSERT_TRUE(D.next(Body));
+  EXPECT_EQ(Body, "1234567890");
+}
+
+//===----------------------------------------------------------------------===//
+// URI mapping
+//===----------------------------------------------------------------------===//
+
+TEST(Uri, RoundTripWithSpacesAndUnicodeBytes) {
+  std::string Path = "/tmp/dir with space/a+b.c";
+  std::string Uri = lsp::pathToUri(Path);
+  EXPECT_EQ(Uri, "file:///tmp/dir%20with%20space/a%2Bb.c");
+  EXPECT_EQ(lsp::uriToPath(Uri), Path);
+  // Sloppy clients sometimes send bare paths; pass them through.
+  EXPECT_EQ(lsp::uriToPath("/plain/path.c"), "/plain/path.c");
+}
+
+//===----------------------------------------------------------------------===//
+// LspServer sessions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Two annotated functions, the second of which fails verification (it
+/// claims to return n+1 but returns n).
+const char *kOneFailing = R"([[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idA(int x) { return x; }
+[[rc::parameters("n: nat")]]
+[[rc::args("n @ int<u32>")]]
+[[rc::returns("{n + 1} @ int<u32>")]]
+[[rc::requires("{n <= 100}")]]
+unsigned int inc(unsigned int x) { return x; }
+)";
+
+/// The fix: both functions verify; idA's body is byte-identical, so the
+/// daemon serves it from L1 and re-verifies only the changed function.
+const char *kBothGood = R"([[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idA(int x) { return x; }
+[[rc::args("int<i32>")]]
+[[rc::returns("int<i32>")]]
+int idB(int x) { return x; }
+)";
+
+/// Builds one framed JSON-RPC message from raw body text.
+std::string frame(const std::string &Body) { return rpc::encodeFrame(Body); }
+
+/// Splits a server output stream back into decoded message bodies.
+std::vector<std::string> decodeAll(const std::string &Wire) {
+  rpc::FrameDecoder D;
+  D.feed(Wire);
+  std::vector<std::string> Out;
+  std::string Body;
+  while (D.next(Body))
+    Out.push_back(Body);
+  EXPECT_FALSE(D.hasError()) << "server emitted malformed framing";
+  return Out;
+}
+
+/// JSON-escapes \p S for embedding in a request body.
+std::string jstr(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += std::string("\\") + C;
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out.push_back(C);
+  }
+  Out += "\"";
+  return Out;
+}
+
+const std::string kInit =
+    R"({"jsonrpc":"2.0","id":1,"method":"initialize","params":{"capabilities":{}}})";
+const std::string kInited = R"({"jsonrpc":"2.0","method":"initialized","params":{}})";
+const std::string kShutdown = R"({"jsonrpc":"2.0","id":9,"method":"shutdown"})";
+const std::string kExit = R"({"jsonrpc":"2.0","method":"exit"})";
+
+std::string didOpen(const std::string &Uri, const std::string &Text) {
+  return "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didOpen\",\"params\":"
+         "{\"textDocument\":{\"uri\":" +
+         jstr(Uri) + ",\"languageId\":\"c\",\"version\":1,\"text\":" +
+         jstr(Text) + "}}}";
+}
+
+std::string didSave(const std::string &Uri, const std::string &Text) {
+  return "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didSave\",\"params\":"
+         "{\"textDocument\":{\"uri\":" +
+         jstr(Uri) + "},\"text\":" + jstr(Text) + "}}";
+}
+
+/// Runs one scripted session; returns (exit code, decoded server messages).
+int runSession(const std::vector<std::string> &Bodies,
+               std::vector<std::string> &Messages) {
+  std::string Wire;
+  for (const std::string &B : Bodies)
+    Wire += frame(B);
+  std::istringstream In(Wire);
+  std::ostringstream Out;
+  lsp::LspServer Server({});
+  int Rc = Server.run(In, Out);
+  Messages = decodeAll(Out.str());
+  return Rc;
+}
+
+} // namespace
+
+TEST(LspServer, InitializeHandshakeAndCleanShutdownExitsZero) {
+  std::vector<std::string> Msgs;
+  int Rc = runSession({kInit, kInited, kShutdown, kExit}, Msgs);
+  EXPECT_EQ(Rc, 0);
+  ASSERT_GE(Msgs.size(), 2u);
+  // initialize response advertises full-document sync with save text.
+  EXPECT_NE(Msgs[0].find("\"textDocumentSync\""), std::string::npos);
+  EXPECT_NE(Msgs[0].find("\"openClose\":true"), std::string::npos);
+  EXPECT_NE(Msgs[0].find("\"change\":1"), std::string::npos);
+  EXPECT_NE(Msgs[0].find("\"includeText\":true"), std::string::npos);
+  EXPECT_NE(Msgs[0].find("\"name\":\"rcc-lsp\""), std::string::npos);
+  // shutdown acknowledged with a null result.
+  EXPECT_NE(Msgs.back().find("\"id\":9"), std::string::npos);
+  EXPECT_NE(Msgs.back().find("\"result\":null"), std::string::npos);
+}
+
+TEST(LspServer, ExitBeforeShutdownExitsOne) {
+  std::vector<std::string> Msgs;
+  EXPECT_EQ(runSession({kInit, kExit}, Msgs), 1);
+  // Stream EOF without exit also counts as an unclean end.
+  std::vector<std::string> Msgs2;
+  EXPECT_EQ(runSession({kInit}, Msgs2), 1);
+}
+
+TEST(LspServer, RequestBeforeInitializeIsRejectedWith32002) {
+  std::vector<std::string> Msgs;
+  runSession({R"({"jsonrpc":"2.0","id":5,"method":"shutdown"})", kExit}, Msgs);
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_NE(Msgs[0].find("\"code\":-32002"), std::string::npos);
+  EXPECT_NE(Msgs[0].find("\"id\":5"), std::string::npos);
+}
+
+TEST(LspServer, UnparseableBodyAnswers32700) {
+  std::vector<std::string> Msgs;
+  runSession({"{not json", kExit}, Msgs);
+  ASSERT_EQ(Msgs.size(), 1u);
+  EXPECT_NE(Msgs[0].find("\"code\":-32700"), std::string::npos);
+  EXPECT_NE(Msgs[0].find("\"id\":null"), std::string::npos);
+}
+
+TEST(LspServer, UnknownMethodAnswers32601ButNotForDollarNotifications) {
+  std::vector<std::string> Msgs;
+  runSession({kInit,
+              R"({"jsonrpc":"2.0","id":7,"method":"textDocument/hover"})",
+              R"({"jsonrpc":"2.0","method":"$/cancelRequest","params":{}})",
+              kExit},
+             Msgs);
+  ASSERT_EQ(Msgs.size(), 2u) << "$/ notification must be silently dropped";
+  EXPECT_NE(Msgs[1].find("\"code\":-32601"), std::string::npos);
+  EXPECT_NE(Msgs[1].find("\"id\":7"), std::string::npos);
+}
+
+TEST(LspServer, DidOpenPublishesLocatedDiagnosticAndFixedSaveClearsIt) {
+  const std::string Uri = "file:///virtual/lsp_session.c";
+  std::vector<std::string> Msgs;
+  int Rc = runSession({kInit, kInited, didOpen(Uri, kOneFailing),
+                       didSave(Uri, kBothGood), kShutdown, kExit},
+                      Msgs);
+  EXPECT_EQ(Rc, 0);
+
+  std::vector<std::string> Pubs;
+  for (const std::string &M : Msgs)
+    if (M.find("textDocument/publishDiagnostics") != std::string::npos)
+      Pubs.push_back(M);
+  ASSERT_EQ(Pubs.size(), 2u) << "one publish per didOpen/didSave";
+
+  // The failing function arrives as an error diagnostic with a real
+  // 0-based range inside the 8-line document, attributed to refinedc and
+  // naming the function.
+  const std::string &Bad = Pubs[0];
+  EXPECT_NE(Bad.find(jstr(Uri)), std::string::npos);
+  EXPECT_NE(Bad.find("\"severity\":1"), std::string::npos);
+  EXPECT_NE(Bad.find("\"source\":\"refinedc\""), std::string::npos);
+  EXPECT_NE(Bad.find("[inc]"), std::string::npos);
+  json::Value V;
+  ASSERT_TRUE(json::parse(Bad, V));
+  const json::Value *Diags = V.field("params", "diagnostics");
+  ASSERT_TRUE(Diags && Diags->isArray());
+  ASSERT_EQ(Diags->items().size(), 1u) << "idA verified, only inc reports";
+  const json::Value *Start = Diags->items()[0].field("range")->field("start");
+  ASSERT_TRUE(Start != nullptr);
+  long long Line = Start->field("line")->asInt(-1);
+  EXPECT_GE(Line, 0) << "0-based line";
+  EXPECT_LE(Line, 8) << "within the document";
+
+  // The fix publishes an explicit empty set — the clear event editors need.
+  EXPECT_NE(Pubs[1].find("\"diagnostics\":[]"), std::string::npos);
+}
+
+TEST(LspServer, UnchangedSaveRepublishesLastDiagnostics) {
+  const std::string Uri = "file:///virtual/unchanged.c";
+  std::vector<std::string> Msgs;
+  runSession({kInit, kInited, didOpen(Uri, kOneFailing),
+              didSave(Uri, kOneFailing), kShutdown, kExit},
+             Msgs);
+  std::vector<std::string> Pubs;
+  for (const std::string &M : Msgs)
+    if (M.find("textDocument/publishDiagnostics") != std::string::npos)
+      Pubs.push_back(M);
+  ASSERT_EQ(Pubs.size(), 2u);
+  // The daemon saw no content change (same hash), but the save must still
+  // be answered with the current diagnostic set, not silence.
+  EXPECT_NE(Pubs[1].find("\"severity\":1"), std::string::npos);
+}
+
+TEST(LspServer, DidCloseClearsDiagnostics) {
+  const std::string Uri = "file:///virtual/close.c";
+  std::vector<std::string> Msgs;
+  runSession(
+      {kInit, kInited, didOpen(Uri, kOneFailing),
+       "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didClose\",\"params\":"
+       "{\"textDocument\":{\"uri\":" +
+           jstr(Uri) + "}}}",
+       kShutdown, kExit},
+      Msgs);
+  std::vector<std::string> Pubs;
+  for (const std::string &M : Msgs)
+    if (M.find("textDocument/publishDiagnostics") != std::string::npos)
+      Pubs.push_back(M);
+  ASSERT_EQ(Pubs.size(), 2u);
+  EXPECT_NE(Pubs[1].find("\"diagnostics\":[]"), std::string::npos);
+}
+
+TEST(LspServer, DidChangeOverlayIsVerifiedOnSave) {
+  // didChange refreshes the overlay without verifying; the following save
+  // (without includeText) verifies the overlay's content.
+  const std::string Uri = "file:///virtual/change.c";
+  std::string Change =
+      "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didChange\",\"params\":"
+      "{\"textDocument\":{\"uri\":" +
+      jstr(Uri) + ",\"version\":2},\"contentChanges\":[{\"text\":" +
+      jstr(kBothGood) + "}]}}";
+  std::string SaveNoText =
+      "{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/didSave\",\"params\":"
+      "{\"textDocument\":{\"uri\":" +
+      jstr(Uri) + "}}}";
+  std::vector<std::string> Msgs;
+  runSession({kInit, kInited, didOpen(Uri, kOneFailing), Change, SaveNoText,
+              kShutdown, kExit},
+             Msgs);
+  std::vector<std::string> Pubs;
+  for (const std::string &M : Msgs)
+    if (M.find("textDocument/publishDiagnostics") != std::string::npos)
+      Pubs.push_back(M);
+  ASSERT_EQ(Pubs.size(), 2u) << "didChange itself must not publish";
+  EXPECT_NE(Pubs[0].find("\"severity\":1"), std::string::npos);
+  EXPECT_NE(Pubs[1].find("\"diagnostics\":[]"), std::string::npos)
+      << "the edited overlay verifies on save";
+}
+
+TEST(LspServer, CompileErrorArrivesAsFileLevelDiagnostic) {
+  const std::string Uri = "file:///virtual/broken.c";
+  std::vector<std::string> Msgs;
+  runSession({kInit, kInited, didOpen(Uri, "int broken( { return 0; }\n"),
+              kShutdown, kExit},
+             Msgs);
+  std::vector<std::string> Pubs;
+  for (const std::string &M : Msgs)
+    if (M.find("textDocument/publishDiagnostics") != std::string::npos)
+      Pubs.push_back(M);
+  ASSERT_EQ(Pubs.size(), 1u);
+  EXPECT_NE(Pubs[0].find("\"severity\":1"), std::string::npos);
+  json::Value V;
+  ASSERT_TRUE(json::parse(Pubs[0], V));
+  const json::Value *Diags = V.field("params", "diagnostics");
+  ASSERT_TRUE(Diags && Diags->isArray());
+  ASSERT_EQ(Diags->items().size(), 1u);
+}
