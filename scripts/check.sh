@@ -31,7 +31,29 @@ if echo "$out" | grep -q '"cache_hits": 0'; then
   echo "check.sh: warm cache run reported zero hits"; exit 1
 fi
 
-# 4. Daemon smoke: start verifyd --stdio on a copy of the demo, wait for
+# 4. Rule-dispatch gate: over the full figure-7 corpus, (nearly) every
+#    multi-rule lookup must be served by the discrimination index. A rule
+#    registered with a too-coarse RuleKey degrades dispatch back to a full
+#    scan; this catches that regression at merge time. The whitelist budget
+#    (currently 0 observed) allows a couple of stragglers so an intentional
+#    wildcard rule added with cause does not hard-block CI.
+rm -rf build/check_dispatch && mkdir -p build/check_dispatch
+(cd build/check_dispatch && ../bench/figure7_table > /dev/null)
+python3 - build/check_dispatch/BENCH_figure7.json <<'PYEOF'
+import json, sys
+m = json.load(open(sys.argv[1]))["metrics"]
+fallbacks = m["engine.rule.scan_fallbacks"]
+budget = 2
+if fallbacks > budget:
+    sys.exit(f"check.sh: engine.rule.scan_fallbacks = {fallbacks} "
+             f"exceeds whitelist budget {budget} — a rule's RuleKey is "
+             f"too coarse (see DESIGN.md, 'Rule dispatch & memoized "
+             f"subsumption')")
+if m["engine.rule.index_hits"] == 0:
+    sys.exit("check.sh: discrimination index served zero lookups")
+PYEOF
+
+# 5. Daemon smoke: start verifyd --stdio on a copy of the demo, wait for
 #    the cold-start revision, edit one function in place, force a check,
 #    and assert exactly that one function was re-verified (the daemon's
 #    warm-L1 acceptance path), then shut down cleanly.
@@ -63,13 +85,13 @@ exec 9>&-
 wait $dpid
 grep -q '"event": "shutdown"' "$dout"
 
-# 5. LSP smoke: a scripted editor session against a real rcc-lsp process
+# 6. LSP smoke: a scripted editor session against a real rcc-lsp process
 #    over stdio Content-Length framing (initialize -> didOpen with a
 #    failing function -> located publishDiagnostics -> fixed didSave ->
 #    empty clear -> shutdown/exit, plus exit-before-shutdown exiting 1).
 scripts/lsp_smoke.sh ./build/examples/rcc-lsp
 
-# 6. ASan/UBSan configuration (trace subsystem, parallel driver, the
+# 7. ASan/UBSan configuration (trace subsystem, parallel driver, the
 #    result store's deserializer, the daemon, and the LSP framing layer are
 #    the main customers: data races on buffers, lifetime of cached
 #    pointers, attacker-controlled cache and frame bytes, revision/session

@@ -6,8 +6,10 @@
 
 #include "lithium/Engine.h"
 
+#include "caesium/Ast.h"
 #include "support/Util.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,56 +18,351 @@ using namespace rcc::refinedc;
 using namespace rcc::pure;
 
 //===----------------------------------------------------------------------===//
+// Rule keys
+//===----------------------------------------------------------------------===//
+
+RuleKey RuleKey::onTy(std::initializer_list<TypeKind> Ks) {
+  RuleKey K;
+  for (TypeKind T : Ks)
+    K.Head.push_back(static_cast<uint16_t>(T));
+  return K;
+}
+
+RuleKey RuleKey::onTyNot(std::initializer_list<TypeKind> Ks) {
+  RuleKey K;
+  for (uint32_t I = 0; I < NumTypeKinds; ++I) {
+    bool Excluded = false;
+    for (TypeKind T : Ks)
+      Excluded |= static_cast<uint32_t>(T) == I;
+    if (!Excluded)
+      K.Head.push_back(static_cast<uint16_t>(I));
+  }
+  return K;
+}
+
+RuleKey RuleKey::onPair(std::initializer_list<TypeKind> Have,
+                        std::initializer_list<TypeKind> WantKs) {
+  RuleKey K;
+  for (TypeKind T : Have)
+    K.Head.push_back(static_cast<uint16_t>(T));
+  for (TypeKind T : WantKs)
+    K.Want.push_back(static_cast<uint16_t>(T));
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
 // Rule registry
 //===----------------------------------------------------------------------===//
 
+/// The constructor of \p T, through Constraint wrappers. Purely structural:
+/// evar resolution rewrites terms only, never the type head, so this agrees
+/// with the kind of the resolveTy'd type.
+static TypeKind peeledKind(const TypeRef &T) {
+  const RType *P = T.get();
+  while (P->K == TypeKind::Constraint)
+    P = P->Children[0].get();
+  return P->K;
+}
+
+/// Packs a (have, want) peeled-kind pair into one bucket discriminator.
+static uint32_t packPair(uint32_t Have, uint32_t Want) {
+  return Have * NumTypeKinds + Want;
+}
+
+uint32_t RuleRegistry::discriminatorOf(const Judgment &J) {
+  switch (J.K) {
+  case JudgKind::IfJ:
+  case JudgKind::ReadJ:
+  case JudgKind::WriteJ:
+  case JudgKind::CASJ:
+  case JudgKind::CallJ:
+    // Null payloads occur only in hand-built test judgments; real goals
+    // always carry their scrutinee. 0 (= TypeKind::Int's bucket) is a safe
+    // answer for those: selection still runs the wildcard list.
+    return J.T1 ? static_cast<uint32_t>(peeledKind(J.T1)) : 0;
+  case JudgKind::BinOpJ:
+  case JudgKind::UnOpJ:
+    return static_cast<uint32_t>(J.Op);
+  case JudgKind::SubsumeV:
+  case JudgKind::SubsumeL:
+    if (!J.T1 || !J.T2)
+      return 0;
+    return packPair(static_cast<uint32_t>(peeledKind(J.T1)),
+                    static_cast<uint32_t>(peeledKind(J.T2)));
+  case JudgKind::BlockJ:
+    return J.Fn && J.Fn->Blocks[J.BlockId].AnnotId >= 0 ? 1 : 0;
+  case JudgKind::Stmt:
+  case JudgKind::Expr:
+    break;
+  }
+  return 0;
+}
+
+void RuleRegistry::add(Rule R) {
+  if (!Names.insert(R.Name).second) {
+    std::fprintf(stderr,
+                 "rcc: duplicate typing rule registration '%s' — rule names "
+                 "key derivation replay and must be unique\n",
+                 R.Name.c_str());
+    std::abort();
+  }
+  R.Seq = NextSeq++;
+  KindTable &T = Kinds[R.Kind];
+  T.All.push_back(std::move(R));
+  const Rule &Stored = T.All.back();
+  Fp = 0;
+  ++NumRulesTotal;
+
+  const RuleKey &K = Stored.Key;
+  if (K.wildcard()) {
+    T.Wildcards.push_back(&Stored);
+    return;
+  }
+  T.AnyIndexed = true;
+  bool IsPair =
+      Stored.Kind == JudgKind::SubsumeV || Stored.Kind == JudgKind::SubsumeL;
+  auto bucket = [&](uint32_t D) { T.Buckets[D].push_back(&Stored); };
+  if (!IsPair) {
+    // Single-dimension kinds: Want is meaningless, Head lists the values.
+    for (uint16_t H : K.Head)
+      bucket(H);
+    return;
+  }
+  if (K.Diagonal) {
+    for (uint32_t I = 0; I < NumTypeKinds; ++I)
+      bucket(packPair(I, I));
+    return;
+  }
+  // Pair kinds: an empty dimension is a wildcard over all TypeKinds.
+  std::vector<uint16_t> Have(K.Head), Want(K.Want);
+  if (Have.empty())
+    for (uint32_t I = 0; I < NumTypeKinds; ++I)
+      Have.push_back(static_cast<uint16_t>(I));
+  if (Want.empty())
+    for (uint32_t I = 0; I < NumTypeKinds; ++I)
+      Want.push_back(static_cast<uint16_t>(I));
+  for (uint16_t H : Have)
+    for (uint16_t W : Want)
+      bucket(packPair(H, W));
+}
+
+uint64_t RuleRegistry::fingerprint() const {
+  if (Fp)
+    return Fp;
+  // FNV-1a over the dispatch schema, in registration order (deterministic:
+  // registration happens in the Checker constructor).
+  uint64_t H = 1469598103934665603ull;
+  auto mix = [&H](uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  auto mixStr = [&H](const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+    H ^= 0xff; // terminator, so "ab"+"c" != "a"+"bc"
+    H *= 1099511628211ull;
+  };
+  mixStr("rule-dispatch-v2"); // format salt: bump on dispatch-semantics change
+  mix(NumRulesTotal);
+  for (const auto &[K, T] : Kinds) {
+    for (const Rule &R : T.All) {
+      mixStr(R.Name);
+      mix(static_cast<uint64_t>(R.Kind));
+      mix(static_cast<uint64_t>(static_cast<int64_t>(R.Priority)));
+      mix(R.Key.Diagonal ? 1 : 0);
+      mix(R.Key.Head.size());
+      for (uint16_t V : R.Key.Head)
+        mix(V);
+      mix(R.Key.Want.size());
+      for (uint16_t V : R.Key.Want)
+        mix(V);
+    }
+  }
+  Fp = H ? H : 1; // reserve 0 for "not cached"
+  return Fp;
+}
+
+template <typename F>
+void RuleRegistry::forEachCandidate(const KindTable &T, uint32_t D, F &&Fn) {
+  const std::vector<const Rule *> *B = nullptr;
+  if (T.AnyIndexed) {
+    auto It = T.Buckets.find(D);
+    if (It != T.Buckets.end())
+      B = &It->second;
+  }
+  const auto &W = T.Wildcards;
+  size_t I = 0, K = 0, NB = B ? B->size() : 0;
+  while (I < NB || K < W.size()) {
+    if (K >= W.size() || (I < NB && (*B)[I]->Seq < W[K]->Seq))
+      Fn(*(*B)[I++]);
+    else
+      Fn(*W[K++]);
+  }
+}
+
+namespace {
+/// Running best-candidate state, shared by the linear and indexed paths so
+/// selection semantics (highest priority wins, equal-priority tie is an
+/// ambiguity error) are identical by construction.
+struct SelectState {
+  const Rule *Best = nullptr;
+  bool Ambiguous = false;
+};
+} // namespace
+
 const Rule *RuleRegistry::lookup(Engine &E, const Judgment &J,
                                  std::string &Err) const {
-  auto It = Rules.find(J.K);
-  if (It == Rules.end()) {
+  auto It = Kinds.find(J.K);
+  if (It == Kinds.end()) {
     Err = "no typing rules registered for judgment '" +
           std::string(judgKindName(J.K)) + "'";
     return nullptr;
   }
-  const Rule *Best = nullptr;
-  bool Ambiguous = false;
-  for (const Rule &R : It->second) {
-    if (!R.Matches(E, J))
-      continue;
-    if (!Best || R.Priority > Best->Priority) {
-      Best = &R;
-      Ambiguous = false;
-    } else if (R.Priority == Best->Priority) {
-      Ambiguous = true;
-      Err = "ambiguous typing rules '" + Best->Name + "' and '" + R.Name +
-            "' for " + J.str() +
-            " (Lithium requires a unique applicable rule)";
+  const KindTable &T = It->second;
+  EngineStats &ES = E.stats();
+
+  auto consider = [&](SelectState &S, const Rule &R, std::string &E2) {
+    // A null Matches is a total rule: the key is the whole dispatch
+    // condition, so there is no residual guard to evaluate (or count).
+    if (R.Matches) {
+      ++ES.MatchesEvals;
+      if (!R.Matches(E, J))
+        return;
+    }
+    if (!S.Best || R.Priority > S.Best->Priority) {
+      S.Best = &R;
+      S.Ambiguous = false;
+    } else if (R.Priority == S.Best->Priority) {
+      S.Ambiguous = true;
+      E2 = "ambiguous typing rules '" + S.Best->Name + "' and '" + R.Name +
+           "' for " + J.str() +
+           " (Lithium requires a unique applicable rule)";
+    }
+  };
+  auto runScan = [&](std::string &E2) {
+    SelectState S;
+    for (const Rule &R : T.All)
+      consider(S, R, E2);
+    return S;
+  };
+  auto runIndexed = [&](std::string &E2) {
+    SelectState S;
+    size_t Considered = 0;
+    forEachCandidate(T, discriminatorOf(J), [&](const Rule &R) {
+      ++Considered;
+      consider(S, R, E2);
+    });
+    // A lookup counts as indexed when the candidate set was pruned (or the
+    // kind has a single rule, where there is nothing to prune); a full-width
+    // walk of a multi-rule kind is a scan fallback — the check.sh gate keeps
+    // those near zero on the corpus.
+    if (T.All.size() > 1 && !(T.AnyIndexed && Considered < T.All.size()))
+      ++ES.ScanFallbacks;
+    else
+      ++ES.IndexHits;
+    return S;
+  };
+
+  const bool UseIndex = Mode != DispatchMode::Linear;
+  const bool IsSub = J.K == JudgKind::SubsumeV || J.K == JudgKind::SubsumeL;
+  uint64_t MemoKey = 0;
+  bool CanMemo = false;
+  if (UseIndex && IsSub && J.T1 && J.T2) {
+    uint64_t S1 = E.shapeId(E.resolveTy(J.T1));
+    uint64_t S2 = E.shapeId(E.resolveTy(J.T2));
+    MemoKey = (uint64_t(J.K == JudgKind::SubsumeL) << 63) | (S1 << 32) | S2;
+    CanMemo = true;
+    auto MIt = E.SubsumeMemo.find(MemoKey);
+    if (MIt != E.SubsumeMemo.end()) {
+      ++ES.MemoHits;
+      ++ES.IndexHits;
+      if (Mode == DispatchMode::CrossCheck) {
+        std::string E2;
+        SelectState S = runScan(E2);
+        if (S.Best != MIt->second || S.Ambiguous)
+          XMismatch.fetch_add(1, std::memory_order_relaxed);
+      }
+      return MIt->second;
+    }
+    ++ES.MemoMisses;
+  }
+
+  SelectState S;
+  if (!UseIndex) {
+    S = runScan(Err);
+  } else {
+    S = runIndexed(Err);
+    if (Mode == DispatchMode::CrossCheck) {
+      std::string E2;
+      SelectState S2 = runScan(E2);
+      if (S2.Best != S.Best || S2.Ambiguous != S.Ambiguous)
+        XMismatch.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  if (!Best) {
+  if (!S.Best) {
     Err = "no typing rule applies to " + J.str();
     return nullptr;
   }
-  if (Ambiguous)
+  if (S.Ambiguous)
     return nullptr;
-  return Best;
+  if (CanMemo)
+    E.SubsumeMemo.emplace(MemoKey, S.Best);
+  return S.Best;
 }
 
 std::vector<const Rule *> RuleRegistry::lookupAll(Engine &E,
                                                   const Judgment &J,
                                                   bool Ascending) const {
-  std::vector<const Rule *> Out;
-  auto It = Rules.find(J.K);
-  if (It == Rules.end())
+  auto It = Kinds.find(J.K);
+  if (It == Kinds.end())
+    return {};
+  const KindTable &T = It->second;
+  EngineStats &ES = E.stats();
+
+  auto sortByPriority = [Ascending](std::vector<const Rule *> &V) {
+    // stable: equal-priority rules keep registration order, making the
+    // backtracking-ablation baseline deterministic.
+    std::stable_sort(V.begin(), V.end(),
+                     [Ascending](const Rule *A, const Rule *B) {
+                       return Ascending ? A->Priority < B->Priority
+                                        : A->Priority > B->Priority;
+                     });
+  };
+  auto collectScan = [&](bool Count) {
+    std::vector<const Rule *> Out;
+    for (const Rule &R : T.All) {
+      if (R.Matches && Count)
+        ++ES.MatchesEvals;
+      if (!R.Matches || R.Matches(E, J))
+        Out.push_back(&R);
+    }
+    sortByPriority(Out);
     return Out;
-  for (const Rule &R : It->second)
-    if (R.Matches(E, J))
+  };
+
+  if (Mode == DispatchMode::Linear)
+    return collectScan(/*Count=*/true);
+
+  std::vector<const Rule *> Out;
+  size_t Considered = 0;
+  forEachCandidate(T, discriminatorOf(J), [&](const Rule &R) {
+    ++Considered;
+    if (R.Matches)
+      ++ES.MatchesEvals;
+    if (!R.Matches || R.Matches(E, J))
       Out.push_back(&R);
-  std::sort(Out.begin(), Out.end(),
-            [Ascending](const Rule *A, const Rule *B) {
-              return Ascending ? A->Priority < B->Priority
-                               : A->Priority > B->Priority;
-            });
+  });
+  if (T.All.size() > 1 && !(T.AnyIndexed && Considered < T.All.size()))
+    ++ES.ScanFallbacks;
+  else
+    ++ES.IndexHits;
+  sortByPriority(Out);
+  if (Mode == DispatchMode::CrossCheck && Out != collectScan(/*Count=*/false))
+    XMismatch.fetch_add(1, std::memory_order_relaxed);
   return Out;
 }
 
@@ -95,6 +392,63 @@ std::vector<std::string> Engine::renderContext() const {
     Out.push_back(R.str());
   }
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Shape interning (subsumption memo keys)
+//===----------------------------------------------------------------------===//
+
+static void mixShape(uint64_t &H, uint64_t V) {
+  for (int I = 0; I < 8; ++I) {
+    H ^= (V >> (8 * I)) & 0xff;
+    H *= 1099511628211ull;
+  }
+}
+
+/// Structural hash of a canonical type, refining typeEqual: it mixes exactly
+/// the fields typeEqual compares, with term/layout/def/spec identity taken
+/// as the pointer (which is what typeEqual compares them by). In particular
+/// it must NOT mix fields typeEqual ignores (BinderSort), or typeEqual
+/// shapes could land in different interner buckets.
+static uint64_t hashShape(const RType &T) {
+  uint64_t H = 1469598103934665603ull;
+  mixShape(H, static_cast<uint64_t>(T.K));
+  mixShape(H, reinterpret_cast<uintptr_t>(T.Refn));
+  mixShape(H, reinterpret_cast<uintptr_t>(T.Size));
+  mixShape(H, reinterpret_cast<uintptr_t>(T.WandLoc));
+  mixShape(H, (uint64_t(T.Ity.ByteSize) << 1) | (T.Ity.Signed ? 1 : 0));
+  mixShape(H, reinterpret_cast<uintptr_t>(T.Layout));
+  mixShape(H, reinterpret_cast<uintptr_t>(T.Def.get()));
+  mixShape(H, reinterpret_cast<uintptr_t>(T.Spec.get()));
+  mixShape(H, T.ElemSize);
+  for (char C : T.Binder)
+    mixShape(H, static_cast<unsigned char>(C));
+  for (char C : T.ElemBinder)
+    mixShape(H, static_cast<unsigned char>(C));
+  mixShape(H, T.Children.size());
+  for (const TypeRef &C : T.Children)
+    mixShape(H, hashShape(*C));
+  auto MixRes = [&H](const ResList &L) {
+    mixShape(H, L.size());
+    for (const ResAtom &A : L) {
+      mixShape(H, static_cast<uint64_t>(A.K));
+      mixShape(H, reinterpret_cast<uintptr_t>(A.Subject));
+      mixShape(H, reinterpret_cast<uintptr_t>(A.Prop));
+      mixShape(H, A.Ty ? hashShape(*A.Ty) : 0);
+    }
+  };
+  MixRes(T.HTrue);
+  MixRes(T.HFalse);
+  return H;
+}
+
+uint32_t Engine::shapeId(const TypeRef &T) {
+  auto &Bucket = ShapeBuckets[hashShape(*T)];
+  for (const auto &[Shape, Id] : Bucket)
+    if (typeEqual(Shape, T))
+      return Id;
+  Bucket.emplace_back(T, NextShapeId);
+  return NextShapeId++;
 }
 
 //===----------------------------------------------------------------------===//

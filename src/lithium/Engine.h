@@ -35,13 +35,83 @@
 #include "pure/Solver.h"
 #include "trace/Trace.h"
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace rcc::lithium {
 
 class Engine;
+
+/// Number of TypeKind constructors, for sizing dispatch dimensions.
+/// TypeKind::Any is the last enumerator (Types.h keeps it last).
+inline constexpr uint32_t NumTypeKinds =
+    static_cast<uint32_t>(refinedc::TypeKind::Any) + 1;
+
+/// Declarative dispatch key: the goal-head discriminators a rule can fire
+/// on, declared at registration time so the registry can index rules rather
+/// than scanning every Matches lambda (DESIGN.md, "Rule dispatch & memoized
+/// subsumption").
+///
+/// The discriminator of a judgment depends on its kind:
+///  - IfJ/ReadJ/WriteJ/CASJ/CallJ: the TypeKind of the scrutinee T1 after
+///    peeling Constraint wrappers (evar resolution never changes a type's
+///    constructor, so the peeled kind is stable under resolveTy).
+///  - BinOpJ/UnOpJ: the operator code Judgment::Op.
+///  - SubsumeV/SubsumeL: the (have, want) pair of peeled TypeKinds.
+///  - BlockJ: 1 when the target block carries a loop-invariant annotation.
+///  - Stmt/Expr: none — rules for these always live on the wildcard list.
+///
+/// Head/Want list the accepted values for each dimension; an empty list is
+/// a wildcard for that dimension. A rule wildcard in every dimension joins
+/// the per-kind wildcard list and is considered for every goal of its kind,
+/// which is exactly the pre-index behaviour (and what a default-constructed
+/// key gives, so keyless registrations stay valid).
+///
+/// Contract (checked by the CrossCheck dispatch mode over the case-study
+/// corpus): the key must OVER-approximate Matches — whenever Matches(E, J)
+/// holds, the key must cover discriminatorOf(J) — and Matches must be PURE
+/// (no Engine mutation): the index skips guard evaluations per goal and the
+/// subsumption memo skips them across goals, so an effectful guard would
+/// make dispatch observable in the derivation.
+struct RuleKey {
+  std::vector<uint16_t> Head; ///< accepted first-dimension values ([] = any)
+  std::vector<uint16_t> Want; ///< accepted want-TypeKinds (subsume only)
+  bool Diagonal = false; ///< subsume only: exactly the (k, k) pairs (S-REFL)
+
+  bool wildcard() const { return Head.empty() && Want.empty() && !Diagonal; }
+
+  static RuleKey any() { return {}; }
+  /// Scrutinee-TypeKind key (IfJ/ReadJ/WriteJ/CASJ/CallJ).
+  static RuleKey onTy(std::initializer_list<refinedc::TypeKind> Ks);
+  /// Complement form, for "anything but ..." rules (WRITE-STRONG).
+  static RuleKey onTyNot(std::initializer_list<refinedc::TypeKind> Ks);
+  /// Operator key (BinOpJ/UnOpJ); accepts the caesium enum classes.
+  template <typename... E> static RuleKey onOp(E... Ops) {
+    RuleKey K;
+    (K.Head.push_back(static_cast<uint16_t>(Ops)), ...);
+    return K;
+  }
+  /// (have, want) peeled-TypeKind pair key (SubsumeV/SubsumeL); an empty
+  /// list leaves that dimension wildcard.
+  static RuleKey onPair(std::initializer_list<refinedc::TypeKind> Have,
+                        std::initializer_list<refinedc::TypeKind> WantKs);
+  /// The diagonal {(k, k)}: rules requiring typeEqual operands (S-REFL).
+  static RuleKey diagonal() {
+    RuleKey K;
+    K.Diagonal = true;
+    return K;
+  }
+  /// Block-annotation flag key (BlockJ).
+  static RuleKey onFlag(bool F) {
+    RuleKey K;
+    K.Head.push_back(F ? 1 : 0);
+    return K;
+  }
+};
 
 /// A typing rule: the unit of extensibility (Section 5, "Extensibility").
 /// Apply returns the premise goal, or nullptr when the rule itself detects
@@ -50,44 +120,99 @@ struct Rule {
   std::string Name;
   JudgKind Kind;
   int Priority = 0;
+  /// Residual applicability guard. May be null for a TOTAL rule — one that
+  /// applies to every goal of its kind (T-STMT, T-EXPR) — in which case no
+  /// guard runs (and none is counted) on either dispatch path. Only rules
+  /// whose guard would literally be `return true` may drop it: in Linear
+  /// mode there is no key to narrow dispatch, so a null guard on a partial
+  /// rule would break indexed/linear equivalence.
   std::function<bool(Engine &, const Judgment &)> Matches;
   std::function<GoalRef(Engine &, const Judgment &)> Apply;
+  /// Dispatch key; default (all-wildcard) reproduces the pre-index scan.
+  RuleKey Key = {};
+  /// Registration sequence number, assigned by RuleRegistry::add. Candidate
+  /// merging replays rules in exactly this order, so indexed dispatch sees
+  /// the same rule order the linear scan did.
+  unsigned Seq = 0;
 };
 
 /// The rule registry: Coq's typeclass database in the paper's implementation.
+/// Internally a discrimination index: per judgment kind, a bucket map from
+/// head discriminator to the (registration-ordered) rules keyed on it, plus
+/// the list of wildcard rules. A lookup merges bucket + wildcards by Seq.
 class RuleRegistry {
 public:
-  void add(Rule R) {
-    Names.insert(R.Name);
-    Rules[R.Kind].push_back(std::move(R));
-  }
+  /// How lookups assemble their candidate set. Indexed is the production
+  /// path; Linear is the pre-index full scan (kept as the measurement
+  /// baseline and the equivalence oracle); CrossCheck runs both per lookup
+  /// and counts disagreements (test-only — guards run twice).
+  enum class DispatchMode : uint8_t { Indexed, Linear, CrossCheck };
+
+  /// Registers a rule. A duplicate rule name is a hard error (diagnosed
+  /// abort): names key derivation replay and profile attribution, and a
+  /// collision would silently shadow one rule in both.
+  void add(Rule R);
 
   /// Finds the unique applicable rule (highest priority wins; an unresolved
   /// tie is an ambiguity error — Lithium must never need to choose).
   const Rule *lookup(Engine &E, const Judgment &J, std::string &Err) const;
 
   /// All applicable rules (for the backtracking baseline of the ablation
-  /// study), in the given priority order.
+  /// study), in the given priority order. Equal-priority rules keep their
+  /// registration order (stable sort), so the baseline is deterministic.
   std::vector<const Rule *> lookupAll(Engine &E, const Judgment &J,
                                       bool Ascending) const;
 
-  size_t numRules() const {
-    size_t N = 0;
-    for (const auto &[K, V] : Rules)
-      N += V.size();
-    return N;
-  }
+  size_t numRules() const { return NumRulesTotal; }
 
   /// True if a rule with this name is registered. The proof checker's
   /// replay queries this once per recorded derivation step, so it is a
   /// name-index lookup, not a scan over the ~200-rule library.
   bool hasRule(const std::string &Name) const { return Names.count(Name); }
 
+  /// Hash of the full dispatch schema (rule names, kinds, priorities, keys,
+  /// plus a dispatch-format salt). Folded into session fingerprints so
+  /// persisted results self-invalidate across any rule-set or dispatch
+  /// change, including memo-relevant key edits.
+  uint64_t fingerprint() const;
+
+  void setMode(DispatchMode M) { Mode = M; }
+  DispatchMode mode() const { return Mode; }
+  /// Lookups where CrossCheck saw indexed and linear dispatch disagree
+  /// (selected rule, ambiguity, or lookupAll sequence). Must stay 0.
+  uint64_t crossCheckMismatches() const {
+    return XMismatch.load(std::memory_order_relaxed);
+  }
+
 private:
-  std::map<JudgKind, std::vector<Rule>> Rules;
+  struct KindTable {
+    /// All rules of the kind in registration order. A deque: addresses
+    /// stay stable under growth, so buckets can hold plain pointers.
+    std::deque<Rule> All;
+    /// Discriminator → rules keyed on it, each in registration order.
+    std::unordered_map<uint32_t, std::vector<const Rule *>> Buckets;
+    /// Rules with an all-wildcard key, in registration order.
+    std::vector<const Rule *> Wildcards;
+    bool AnyIndexed = false;
+  };
+
+  /// The dispatch discriminator of a judgment (see RuleKey).
+  static uint32_t discriminatorOf(const Judgment &J);
+  /// Calls Fn on each candidate for discriminator D — the D-bucket merged
+  /// with the wildcard list in registration (Seq) order.
+  template <typename F>
+  static void forEachCandidate(const KindTable &T, uint32_t D, F &&Fn);
+
+  std::map<JudgKind, KindTable> Kinds;
   /// Name index maintained by add(); keeps hasRule O(1) in the number of
   /// registered rules.
   std::unordered_set<std::string> Names;
+  size_t NumRulesTotal = 0;
+  unsigned NextSeq = 0;
+  DispatchMode Mode = DispatchMode::Indexed;
+  mutable std::atomic<uint64_t> XMismatch{0};
+  /// Cached fingerprint (0 = recompute); add() invalidates.
+  mutable uint64_t Fp = 0;
 };
 
 /// One recorded proof step, for statistics and for replay by the proof
@@ -111,6 +236,13 @@ struct EngineStats {
   unsigned SideCondAuto = 0;
   unsigned SideCondManual = 0;
   unsigned GoalSteps = 0;
+  // --- Dispatch accounting (PR 6). Not persisted: a stored FnResult skips
+  // the engine entirely, so zeros are accurate for cache hits. ---
+  uint64_t IndexHits = 0;      ///< lookups served from the discrimination index
+  uint64_t ScanFallbacks = 0;  ///< multi-rule lookups the index could not prune
+  uint64_t MatchesEvals = 0;   ///< Matches-guard invocations
+  uint64_t MemoHits = 0;       ///< subsume dispatch answered by the memo
+  uint64_t MemoMisses = 0;     ///< subsume dispatch that had to select
 };
 
 /// Opaque verification context: the checker derives from this so that rules
@@ -205,6 +337,18 @@ public:
   pure::EvarEnv &evars() { return Evars; }
   pure::PureSolver &solver() { return Solver; }
   EngineStats &stats() { return Stats; }
+
+  // --- Subsumption dispatch memo (engine lifetime) ---
+  /// Interns a canonical (already resolveTy'd) type shape: structurally
+  /// hashed, with hash buckets verified by typeEqual, so equal ids are
+  /// exactly typeEqual shapes. Keys SubsumeMemo.
+  uint32_t shapeId(const TypeRef &T);
+  /// (SubsumeV/SubsumeL, have-shape, want-shape) → the uniquely selected
+  /// rule. Sound because every subsume Matches guard is a pure function of
+  /// the resolved operand types up to typeEqual (the RuleKey contract); a
+  /// hit skips guard evaluation only — the rule still Applies and records,
+  /// so derivations are unchanged. Maintained by RuleRegistry::lookup.
+  std::unordered_map<uint64_t, const Rule *> SubsumeMemo;
   TermRef resolve(TermRef T) { return Solver.simplifier().simplify(Evars.resolve(T)); }
   TypeRef resolveTy(TypeRef T) { return refinedc::resolveType(T, Evars); }
 
@@ -225,6 +369,12 @@ private:
   EngineStats &Stats;
   Derivation *Deriv;
   unsigned FreshCounter = 0;
+
+  /// Shape-interner buckets: structural hash → (shape, id) pairs, linear
+  /// within a bucket under typeEqual (collision-safe by construction).
+  std::unordered_map<uint64_t, std::vector<std::pair<TypeRef, uint32_t>>>
+      ShapeBuckets;
+  uint32_t NextShapeId = 0;
 
   /// Cached trace counters (see the constructor); indexed by GoalKind.
   trace::Counter *CtGoal[7] = {};

@@ -113,6 +113,49 @@ struct Goal {
   JudgPtr J;
 };
 
+/// Engine-lifetime slab pool for Goal/Judgment nodes. Goal construction is
+/// the hottest allocation site of the search (every rule application builds
+/// a continuation chain); allocate_shared against this pool folds each
+/// node + control block into one bump-pointer slab allocation and frees the
+/// whole run at once. Deallocation is a no-op — destructors still run via
+/// shared_ptr, only the memory outlives them until the pool dies — so the
+/// pool MUST outlive every GoalRef built while it was installed (the
+/// checker installs one per verified function, around the engines).
+class GoalPool {
+public:
+  GoalPool() = default;
+  GoalPool(const GoalPool &) = delete;
+  GoalPool &operator=(const GoalPool &) = delete;
+
+  void *allocate(size_t Bytes, size_t Align);
+  size_t bytesAllocated() const { return Allocated; }
+
+private:
+  static constexpr size_t kSlabBytes = 1 << 16;
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t Allocated = 0;
+};
+
+/// RAII: installs \p P as this thread's goal-allocation pool (builders fall
+/// back to the plain heap when none is installed, which is what bare-engine
+/// tests use). Scopes nest; the previous pool is restored on destruction.
+class GoalPoolScope {
+public:
+  explicit GoalPoolScope(GoalPool &P);
+  ~GoalPoolScope();
+  GoalPoolScope(const GoalPoolScope &) = delete;
+  GoalPoolScope &operator=(const GoalPoolScope &) = delete;
+
+private:
+  GoalPool *Prev;
+};
+
+/// The pool goal builders currently allocate from on this thread (nullptr:
+/// plain heap).
+GoalPool *currentGoalPool();
+
 GoalRef gTrue();
 GoalRef gJudg(Judgment J);
 /// H ∗ G: prove/consume the atoms of H, then continue with G.

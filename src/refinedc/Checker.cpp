@@ -15,6 +15,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 using namespace rcc;
@@ -30,6 +32,16 @@ Checker::Checker(const front::AnnotatedProgram &AP,
                  rcc::DiagnosticEngine &Diags)
     : AP(AP), Diags(Diags) {
   registerStandardRules(Rules);
+  // Dispatch-mode override for benchmarking and equivalence testing:
+  // "linear" restores the pre-index full scan (scripts/bench_engine.sh uses
+  // it as the baseline), "crosscheck" runs both paths per lookup and counts
+  // disagreements. Results are identical in every mode by construction.
+  if (const char *D = std::getenv("RCC_DISPATCH")) {
+    if (std::strcmp(D, "linear") == 0)
+      Rules.setMode(lithium::RuleRegistry::DispatchMode::Linear);
+    else if (std::strcmp(D, "crosscheck") == 0)
+      Rules.setMode(lithium::RuleRegistry::DispatchMode::CrossCheck);
+  }
   // The trusted in-memory tier is part of every session; configureStore
   // attaches the persistent tier per run.
   L1 = std::make_shared<store::MemoryResultStore>();
@@ -464,6 +476,14 @@ FnResult Checker::verifyFunction(const std::string &Name,
   // is not safe to share between concurrent jobs).
   rcc::DiagnosticEngine JobDiags;
 
+  // Per-job goal pool: every Goal/Judgment node built while verifying this
+  // function comes from these slabs and is released wholesale on return.
+  // Declared before the engines and the verify context so it outlives every
+  // GoalRef built below (nothing goal-shaped escapes into Res, which holds
+  // only stats, diagnostics and the derivation's rendered steps).
+  lithium::GoalPool Pool;
+  lithium::GoalPoolScope PoolScope(Pool);
+
   VerifyCtx C;
   C.AP = &AP;
   C.Env = &Env;
@@ -624,7 +644,11 @@ uint64_t Checker::fnContentHash(const std::string &Name,
   // changes the result — Jobs is deliberately excluded, results are
   // job-count-independent by construction.
   ContentHasher H;
-  H.mix(static_cast<uint64_t>(Rules.numRules()));
+  // The registry fingerprint covers every rule's name, kind, priority and
+  // dispatch key (plus a dispatch-format salt), so persisted results also
+  // self-invalidate when dispatch semantics — including the subsumption
+  // memo's key schema — change, not just when the rule count does.
+  H.mix(Rules.fingerprint());
   for (const auto &R : SolverProto.simplifier().rules())
     H.mix(R.Name);
   H.mix(static_cast<uint64_t>(Opts.Recheck))
@@ -831,6 +855,11 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
       MR.counter("engine.goal_steps").add(ES.GoalSteps);
       MR.counter("engine.side_cond_auto").add(ES.SideCondAuto);
       MR.counter("engine.side_cond_manual").add(ES.SideCondManual);
+      MR.counter("engine.rule.index_hits").add(ES.IndexHits);
+      MR.counter("engine.rule.scan_fallbacks").add(ES.ScanFallbacks);
+      MR.counter("engine.rule.matches").add(ES.MatchesEvals);
+      MR.counter("engine.subsume.memo_hit").add(ES.MemoHits);
+      MR.counter("engine.subsume.memo_miss").add(ES.MemoMisses);
     }
     MR.counter("cache.hits").add(PR.CacheHits);
     MR.counter("cache.misses").add(PR.CacheMisses);

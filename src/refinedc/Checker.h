@@ -127,6 +127,15 @@ public:
   const lithium::RuleRegistry &rules() const { return Rules; }
   const pure::PureSolver &solver() const { return SolverProto; }
 
+  /// Selects how rule lookups assemble candidates (Indexed by default; see
+  /// RuleRegistry::DispatchMode). Every mode selects the same rules — the
+  /// dispatch-equivalence property test runs the corpus in CrossCheck to
+  /// prove it — so no cache invalidation is needed. Also settable via the
+  /// RCC_DISPATCH environment variable ("linear" / "crosscheck").
+  void setDispatchMode(lithium::RuleRegistry::DispatchMode M) {
+    Rules.setMode(M);
+  }
+
   /// Mutable access to the session environment / solver template for
   /// user extensions (ExtensibilityTest registers simplification rules
   /// this way). Mutating either invalidates the in-memory result tier

@@ -51,6 +51,17 @@ TypeRef stripCtx(Engine &E, TypeRef T) {
   return T;
 }
 
+/// Pure variant for Matches guards: same peeled type, but the constraint
+/// facts stay put (the RuleKey contract requires guards to be effect-free —
+/// the index and the subsumption memo skip guard evaluations). Apply still
+/// goes through stripCtx, which is where the facts enter Γ.
+TypeRef peelCtx(Engine &E, TypeRef T) {
+  T = E.resolveTy(T);
+  while (T->K == TypeKind::Constraint)
+    T = T->Children[0];
+  return T;
+}
+
 /// The boolean proposition carried by a bool- or int-typed value.
 TermRef boolPropOf(TypeRef T) {
   if (T->K == TypeKind::Bool)
@@ -271,7 +282,7 @@ GoalRef invGoalWrap(const VerifyCtx *C, int Id, size_t I,
 
 void registerStmtRules(RuleRegistry &R) {
   R.add({"T-STMT", JudgKind::Stmt, 0,
-         [](Engine &, const Judgment &) { return true; },
+         /*Matches=*/nullptr, // total: every Stmt goal is dispatched here
          [](Engine &E, const Judgment &J) -> GoalRef {
            const caesium::Function *Fn = J.Fn;
            if (J.BlockId >= Fn->Blocks.size() ||
@@ -346,7 +357,8 @@ void registerStmtRules(RuleRegistry &R) {
              return nullptr;
            }
            return stmtGoal(J.Fn, J.BlockId, 0);
-         }});
+         },
+         RuleKey::onFlag(false)});
 
   // Jump to an annotated loop head: prove the invariant (existentials become
   // evars); the block body is checked once, separately, from the invariant.
@@ -366,12 +378,13 @@ void registerStmtRules(RuleRegistry &R) {
 
            // Build: ∃xs. (slot atoms ∗ constraints) ∗ True.
            return invGoalWrap(&C, Id, 0, {});
-         }});
+         },
+         RuleKey::onFlag(true)});
 
   // The condition-splitting rules of Figure 6.
   R.add({"IF-BOOL", JudgKind::IfJ, 0,
          [](Engine &E, const Judgment &J) {
-           TypeRef T = stripCtx(E, J.T1);
+           TypeRef T = peelCtx(E, J.T1);
            return T->K == TypeKind::Bool && T->Refn;
          },
          [](Engine &E, const Judgment &J) -> GoalRef {
@@ -379,10 +392,11 @@ void registerStmtRules(RuleRegistry &R) {
            TermRef Phi = T->Refn;
            return gConj(gWand({ResAtom::pure(Phi)}, J.GThen),
                         gWand({ResAtom::pure(mkNot(Phi))}, J.GElse));
-         }});
+         },
+         RuleKey::onTy({TypeKind::Bool})});
   R.add({"IF-INT", JudgKind::IfJ, 0,
          [](Engine &E, const Judgment &J) {
-           TypeRef T = stripCtx(E, J.T1);
+           TypeRef T = peelCtx(E, J.T1);
            return T->K == TypeKind::Int && T->Refn;
          },
          [](Engine &E, const Judgment &J) -> GoalRef {
@@ -390,7 +404,8 @@ void registerStmtRules(RuleRegistry &R) {
            TermRef N = T->Refn;
            return gConj(gWand({ResAtom::pure(mkNe(N, mkNat(0)))}, J.GThen),
                         gWand({ResAtom::pure(mkEq(N, mkNat(0)))}, J.GElse));
-         }});
+         },
+         RuleKey::onTy({TypeKind::Int})});
 }
 
 //===----------------------------------------------------------------------===//
@@ -422,7 +437,7 @@ GoalRef callArgChain(
 
 void registerExprRules(RuleRegistry &R) {
   R.add({"T-EXPR", JudgKind::Expr, 0,
-         [](Engine &, const Judgment &) { return true; },
+         /*Matches=*/nullptr, // total: every Expr goal is dispatched here
          [](Engine &E, const Judgment &J) -> GoalRef {
            const caesium::Expr &X = *J.E;
            auto K = J.KVal;
@@ -655,7 +670,7 @@ void registerExprRules(RuleRegistry &R) {
 
 void registerReadRules(RuleRegistry &R) {
   auto SlotKind = [](Engine &E, const Judgment &J) {
-    return stripCtx(E, J.T1)->K;
+    return peelCtx(E, J.T1)->K;
   };
 
   R.add({"READ-INT", JudgKind::ReadJ, 0,
@@ -686,7 +701,8 @@ void registerReadRules(RuleRegistry &R) {
            // Integers are copyable: the slot keeps its (now refined) type.
            E.pushAtom(ResAtom::loc(J.V1, VT));
            return J.KVal(V, VT);
-         }});
+         },
+         RuleKey::onTy({TypeKind::Int, TypeKind::Bool})});
 
   R.add({"READ-COPY-VALUE", JudgKind::ReadJ, 0,
          [SlotKind](Engine &E, const Judgment &J) {
@@ -704,7 +720,9 @@ void registerReadRules(RuleRegistry &R) {
            if (T->K == TypeKind::FnPtr)
              V = mkVar("fn:" + T->Spec->Name, Sort::Loc);
            return J.KVal(V, T);
-         }});
+         },
+         RuleKey::onTy({TypeKind::ValueOf, TypeKind::Place,
+                        TypeKind::FnPtr, TypeKind::Null})});
 
   R.add({"READ-MOVE", JudgKind::ReadJ, 0,
          [SlotKind](Engine &E, const Judgment &J) {
@@ -728,7 +746,9 @@ void registerReadRules(RuleRegistry &R) {
            E.pushAtom(ResAtom::loc(
                J.V1, tyValueOf(V, mkNat(static_cast<int64_t>(J.AccessSize)))));
            return J.KVal(V, VT);
-         }});
+         },
+         RuleKey::onTy({TypeKind::Own, TypeKind::Optional,
+                        TypeKind::Named, TypeKind::Wand})});
 
   R.add({"READ-UNINIT", JudgKind::ReadJ, 0,
          [SlotKind](Engine &E, const Judgment &J) {
@@ -739,7 +759,8 @@ void registerReadRules(RuleRegistry &R) {
                       E.resolve(J.V1)->str(),
                   J.Loc);
            return nullptr;
-         }});
+         },
+         RuleKey::onTy({TypeKind::Uninit})});
 
   R.add({"READ-ANY", JudgKind::ReadJ, 0,
          [SlotKind](Engine &E, const Judgment &J) {
@@ -750,7 +771,8 @@ void registerReadRules(RuleRegistry &R) {
            E.pushAtom(ResAtom::loc(J.V1, T));
            TermRef V = E.freshUniversal("v", Sort::Nat);
            return J.KVal(V, tyValueOf(V, T->Size));
-         }});
+         },
+         RuleKey::onTy({TypeKind::Any})});
 
   // Atomic read of an atomic boolean: no resource transfer unless the
   // branch payloads are pure (then the branch split will expose them via
@@ -777,7 +799,8 @@ void registerReadRules(RuleRegistry &R) {
                E.addFact(mkImplies(B, A.Prop));
            }
            return J.KVal(mkIte(Phi, mkNat(1), mkNat(0)), VT);
-         }});
+         },
+         RuleKey::onTy({TypeKind::AtomicBool})});
 }
 
 //===----------------------------------------------------------------------===//
@@ -788,7 +811,7 @@ void registerWriteRules(RuleRegistry &R) {
   // Generic strong update of a non-atomic slot.
   R.add({"WRITE-STRONG", JudgKind::WriteJ, 0,
          [](Engine &E, const Judgment &J) {
-           return stripCtx(E, J.T1)->K != TypeKind::AtomicBool && !J.Atomic;
+           return peelCtx(E, J.T1)->K != TypeKind::AtomicBool && !J.Atomic;
          },
          [](Engine &E, const Judgment &J) -> GoalRef {
            TypeRef TV = stripCtx(E, J.T2);
@@ -821,12 +844,13 @@ void registerWriteRules(RuleRegistry &R) {
            }
            return J.KVal(J.V2, tyValueOf(J.V2, mkNat(static_cast<int64_t>(
                                                     J.AccessSize))));
-         }});
+         },
+         RuleKey::onTyNot({TypeKind::AtomicBool})});
 
   // Atomic store into an atomicbool: hand over the matching payload.
   R.add({"WRITE-ATOMICBOOL", JudgKind::WriteJ, 0,
          [](Engine &E, const Judgment &J) {
-           return stripCtx(E, J.T1)->K == TypeKind::AtomicBool && J.Atomic;
+           return peelCtx(E, J.T1)->K == TypeKind::AtomicBool && J.Atomic;
          },
          [](Engine &E, const Judgment &J) -> GoalRef {
            TypeRef TL = stripCtx(E, J.T1);
@@ -845,7 +869,8 @@ void registerWriteRules(RuleRegistry &R) {
            return gConj(
                gWand({ResAtom::pure(Phi)}, gStar(NeedT, K)),
                gWand({ResAtom::pure(mkNot(Phi))}, gStar(NeedF, K)));
-         }});
+         },
+         RuleKey::onTy({TypeKind::AtomicBool})});
 }
 
 //===----------------------------------------------------------------------===//
@@ -855,7 +880,7 @@ void registerWriteRules(RuleRegistry &R) {
 void registerCasRules(RuleRegistry &R) {
   R.add({"CAS-BOOL", JudgKind::CASJ, 0,
          [](Engine &E, const Judgment &J) {
-           return stripCtx(E, J.T1)->K == TypeKind::AtomicBool;
+           return peelCtx(E, J.T1)->K == TypeKind::AtomicBool;
          },
          [](Engine &E, const Judgment &J) -> GoalRef {
            TypeRef TA = stripCtx(E, J.T1); // atomicbool
@@ -913,7 +938,8 @@ void registerCasRules(RuleRegistry &R) {
                                         tyBool(caesium::intI32(),
                                                mkTrue())))));
            return gConj(FailK, SuccK);
-         }});
+         },
+         RuleKey::onTy({TypeKind::AtomicBool})});
 }
 
 } // namespace

@@ -281,7 +281,12 @@ static void registerBinOpRules(RuleRegistry &R) {
              for (ResAtom A : rangeConds(J.Ity, V))
                Conds.push_back(A);
            return gStar(std::move(Conds), J.KVal(V, tyInt(J.Ity, V)));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::Add, BinOpKind::Sub, BinOpKind::Mul,
+                       BinOpKind::Div, BinOpKind::Mod,
+                       BinOpKind::Shl, BinOpKind::Shr,
+                       BinOpKind::BitAnd, BinOpKind::BitOr,
+                       BinOpKind::BitXor)});
 
   // Integer comparisons yield refined booleans.
   R.add({"BINOP-INT-CMP", JudgKind::BinOpJ, 0,
@@ -322,7 +327,10 @@ static void registerBinOpRules(RuleRegistry &R) {
            Phi = E.resolve(Phi);
            return J.KVal(mkIte(Phi, mkNat(1), mkNat(0)),
                          tyBool(caesium::intI32(), Phi));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::EqOp, BinOpKind::NeOp,
+                       BinOpKind::LtOp, BinOpKind::LeOp,
+                       BinOpKind::GtOp, BinOpKind::GeOp)});
 
   // O-ADD-UNINIT (Figure 6): splitting uninitialized blocks via pointer
   // arithmetic.
@@ -362,7 +370,8 @@ static void registerBinOpRules(RuleRegistry &R) {
                {ResAtom::pure(mkLe(Bytes, N1))},
                gWand({Keep},
                      J.KVal(NewPtr, tyOwn(tyUninit(Rest), NewPtr))));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::PtrAdd)});
 
   // Pointer arithmetic on an optional whose refinement is provable (e.g.
   // under a requires clause excluding NULL): act on the pointer branch.
@@ -387,7 +396,8 @@ static void registerBinOpRules(RuleRegistry &R) {
              Child = withRefn(Child, J.V1);
            J2.T1 = Child;
            return gJudg(std::move(J2));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::PtrAdd)});
 
   // Pointer + constant into an owned composite: focus the pointee into Δ
   // and yield a place (field access through &own).
@@ -413,7 +423,8 @@ static void registerBinOpRules(RuleRegistry &R) {
            E.pushAtom(ResAtom::loc(Ptr, T1->Children[0]));
            TermRef L = locOffset(Ptr, E.resolve(Bytes));
            return J.KVal(L, tyPlace(L));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::PtrAdd)});
 
   // Pointer arithmetic on places/valueOf values: pure address computation.
   R.add({"PTRADD-PLACE", JudgKind::BinOpJ, 0,
@@ -438,7 +449,8 @@ static void registerBinOpRules(RuleRegistry &R) {
              Bytes = mkSub(mkNat(0), Bytes);
            TermRef L = locOffset(Base, E.resolve(Bytes));
            return J.KVal(L, tyPlace(L));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::PtrAdd, BinOpKind::PtrSub)});
 
   // O-OPTIONAL-EQ (Figure 6): comparing an optional against NULL.
   auto OptNullRule = [](bool OptionalOnLeft) {
@@ -470,14 +482,16 @@ static void registerBinOpRules(RuleRegistry &R) {
                   peel(E.resolveTy(J.T1))->K == TypeKind::Optional &&
                   peel(E.resolveTy(J.T2))->K == TypeKind::Null;
          },
-         OptNullRule(true)});
+         OptNullRule(true),
+         RuleKey::onOp(BinOpKind::PtrEq, BinOpKind::PtrNe)});
   R.add({"O-OPTIONAL-EQ-SYM", JudgKind::BinOpJ, 19,
          [IsPtrCmp](Engine &E, const Judgment &J) {
            return IsPtrCmp(J) &&
                   peel(E.resolveTy(J.T2))->K == TypeKind::Optional &&
                   peel(E.resolveTy(J.T1))->K == TypeKind::Null;
          },
-         OptNullRule(false)});
+         OptNullRule(false),
+         RuleKey::onOp(BinOpKind::PtrEq, BinOpKind::PtrNe)});
 
   // Owned/placed pointers are never NULL.
   R.add({"PTR-CMP-NONNULL", JudgKind::BinOpJ, 10,
@@ -507,7 +521,8 @@ static void registerBinOpRules(RuleRegistry &R) {
            return gWand(Keep,
                         J.KVal(mkIte(Res, mkNat(1), mkNat(0)),
                                tyBool(caesium::intI32(), Res)));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::PtrEq, BinOpKind::PtrNe)});
 
   R.add({"PTR-CMP-NULL-NULL", JudgKind::BinOpJ, 9,
          [IsPtrCmp](Engine &E, const Judgment &J) {
@@ -520,7 +535,8 @@ static void registerBinOpRules(RuleRegistry &R) {
            TermRef Res = IsEq ? mkTrue() : mkFalse();
            return J.KVal(mkIte(Res, mkNat(1), mkNat(0)),
                          tyBool(caesium::intI32(), Res));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::PtrEq, BinOpKind::PtrNe)});
 
   // Pointer equality on two places: syntactic location equality.
   R.add({"PTR-CMP-PLACES", JudgKind::BinOpJ, 8,
@@ -536,7 +552,8 @@ static void registerBinOpRules(RuleRegistry &R) {
            Phi = E.resolve(Phi);
            return J.KVal(mkIte(Phi, mkNat(1), mkNat(0)),
                          tyBool(caesium::intI32(), Phi));
-         }});
+         },
+         RuleKey::onOp(BinOpKind::PtrEq, BinOpKind::PtrNe)});
 }
 
 //===----------------------------------------------------------------------===//
@@ -560,7 +577,8 @@ static void registerUnOpRules(RuleRegistry &R) {
            }
            ResList Conds = rangeConds(J.ToIty, N);
            return gStar(std::move(Conds), J.KVal(N, tyInt(J.ToIty, N)));
-         }});
+         },
+         RuleKey::onOp(UnOpKind::Cast)});
 
   R.add({"UNOP-NOT-BOOL", JudgKind::UnOpJ, 5,
          [UOpIs](Engine &E, const Judgment &J) {
@@ -576,7 +594,8 @@ static void registerUnOpRules(RuleRegistry &R) {
            }
            return J.KVal(mkIte(Phi, mkNat(1), mkNat(0)),
                          tyBool(caesium::intI32(), Phi));
-         }});
+         },
+         RuleKey::onOp(UnOpKind::LogicalNot)});
 
   R.add({"UNOP-NOT-INT", JudgKind::UnOpJ, 0,
          [UOpIs](Engine &E, const Judgment &J) {
@@ -590,7 +609,8 @@ static void registerUnOpRules(RuleRegistry &R) {
            TermRef Phi = E.resolve(mkEq(N, mkNat(0)));
            return J.KVal(mkIte(Phi, mkNat(1), mkNat(0)),
                          tyBool(caesium::intI32(), Phi));
-         }});
+         },
+         RuleKey::onOp(UnOpKind::LogicalNot)});
 
   R.add({"UNOP-NEG", JudgKind::UnOpJ, 0,
          [UOpIs](Engine &E, const Judgment &J) {
@@ -602,7 +622,8 @@ static void registerUnOpRules(RuleRegistry &R) {
              return nullptr;
            TermRef V = E.resolve(mkSub(mkInt(0), N));
            return gStar(rangeConds(J.Ity, V), J.KVal(V, tyInt(J.Ity, V)));
-         }});
+         },
+         RuleKey::onOp(UnOpKind::Neg)});
 }
 
 //===----------------------------------------------------------------------===//
@@ -673,7 +694,8 @@ static void registerCallRules(RuleRegistry &R) {
            auto Args = std::make_shared<
                std::vector<std::pair<TermRef, TypeRef>>>(J.Args);
            return callSpecChain(&E, S, Subst, Args, J.Loc, J.KVal, 0);
-         }});
+         },
+         RuleKey::onTy({TypeKind::FnPtr})});
 }
 
 namespace rcc::refinedc {

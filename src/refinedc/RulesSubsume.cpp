@@ -59,7 +59,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
          [](Engine &E, const Judgment &J) {
            return typeEqual(E.resolveTy(J.T1), E.resolveTy(J.T2));
          },
-         [](Engine &E, const Judgment &J) -> GoalRef { return J.KGoal; }});
+         [](Engine &E, const Judgment &J) -> GoalRef { return J.KGoal; },
+         RuleKey::diagonal()});
 
   // Constraints: on the left they are assumptions, on the right side
   // conditions.
@@ -92,7 +93,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            TermRef X = E.freshUniversal(T1->Binder, T1->BinderSort);
            return Recur(J.V1, substTypeVar(T1->Children[0], T1->Binder, X),
                         J.T2, J.KGoal, J.Loc);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Exists}, {})});
   R.add({Name("S-EXISTS-R"), JK, 92,
          [](Engine &E, const Judgment &J) {
            return E.resolveTy(J.T2)->K == TypeKind::Exists;
@@ -103,7 +105,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            return Recur(J.V1, J.T1,
                         substTypeVar(T2->Children[0], T2->Binder, X),
                         J.KGoal, J.Loc);
-         }});
+         },
+         RuleKey::onPair({}, {TypeKind::Exists})});
 
   // Named types: same definition reduces to refinement equality; otherwise
   // unfold (recursive types unfold on demand, Section 2.2).
@@ -116,7 +119,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
          [](Engine &E, const Judgment &J) -> GoalRef {
            TypeRef A = stripC(E, J.T1), B = stripC(E, J.T2);
            return refnEqGoal(A->Refn, B->Refn, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Named}, {TypeKind::Named})});
   // Unfolding is deliberately *below* the structural recomposition rules
   // (SL-TO-STRUCT/PADDED), so that recursive occurrences are cut at
   // S-NAMED-SAME instead of diverging through their unfoldings.
@@ -129,7 +133,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
          [Recur](Engine &E, const Judgment &J) -> GoalRef {
            TypeRef A = stripC(E, J.T1);
            return Recur(J.V1, unfoldNamed(*A), J.T2, J.KGoal, J.Loc);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Named}, {})});
   R.add({Name("S-NAMED-R"), JK, 65,
          [](Engine &E, const Judgment &J) {
            TypeRef A = peel(E.resolveTy(J.T1)), B = peel(E.resolveTy(J.T2));
@@ -139,7 +144,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
          [Recur](Engine &E, const Judgment &J) -> GoalRef {
            TypeRef B = stripC(E, J.T2);
            return Recur(J.V1, J.T1, unfoldNamed(*B), J.KGoal, J.Loc);
-         }});
+         },
+         RuleKey::onPair({}, {TypeKind::Named})});
 
   // Integers and booleans.
   R.add({Name("S-INT"), JK, 50,
@@ -160,7 +166,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
              return nullptr;
            }
            return refnEqGoal(A->Refn, B->Refn, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Int}, {TypeKind::Int})});
   R.add({Name("S-BOOL"), JK, 50,
          [](Engine &E, const Judgment &J) {
            return kind1(E, J) == TypeKind::Bool &&
@@ -178,7 +185,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            TermRef Iff = mkAnd(mkImplies(A->Refn, B->Refn),
                                mkImplies(B->Refn, A->Refn));
            return gStar({ResAtom::pure(Iff)}, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Bool}, {TypeKind::Bool})});
   // An integer viewed as a boolean (CAS expected slots, flag fields).
   R.add({Name("S-INT-BOOL"), JK, 49,
          [](Engine &E, const Judgment &J) {
@@ -195,7 +203,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            TermRef Iff = mkAnd(mkImplies(AsBool, B->Refn),
                                mkImplies(B->Refn, AsBool));
            return gStar({ResAtom::pure(Iff)}, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Int}, {TypeKind::Bool})});
 
   // Owned pointers: equal targets, subsume the pointee.
   R.add({Name("S-OWN-OWN"), JK, 50,
@@ -214,7 +223,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
                mkSubsumeL(Ptr, A->Children[0], B->Children[0], J.KGoal,
                           J.Loc);
            return refnEqGoal(Ptr, B->Refn, Inner);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Own}, {TypeKind::Own})});
 
   // S-NULL (Figure 6).
   R.add({Name("S-NULL"), JK, 60,
@@ -229,7 +239,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            if (peel(B->Children[1])->K != TypeKind::Null)
              Cont = Recur(J.V1, tyNull(), B->Children[1], Cont, J.Loc);
            return gStar({ResAtom::pure(mkNot(Phi))}, Cont);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Null}, {TypeKind::Optional})});
 
   // S-OWN (Figure 6): also covers places (addresses are non-null).
   R.add({Name("S-OWN"), JK, 60,
@@ -243,7 +254,9 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            TermRef Phi = B->Refn ? B->Refn : mkTrue();
            return gStar({ResAtom::pure(Phi)},
                         Recur(J.V1, J.T1, B->Children[0], J.KGoal, J.Loc));
-         }});
+         },
+         RuleKey::onPair({TypeKind::Own, TypeKind::Place},
+                         {TypeKind::Optional})});
 
   // Optionals on both sides: split on the left refinement.
   R.add({Name("S-OPT-OPT"), JK, 50,
@@ -266,7 +279,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
                            Recur(J.V1, A->Children[1], B->Children[1],
                                  J.KGoal, J.Loc)));
            return gConj(Pos, Neg);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Optional}, {TypeKind::Optional})});
 
   // An optional whose refinement is known true/false collapses.
   R.add({Name("S-OPT-OWN"), JK, 49,
@@ -285,7 +299,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
                           Recur(J.V1, A->Children[1], J.T2, J.KGoal, J.Loc));
            return gStar({ResAtom::pure(Phi)},
                         Recur(J.V1, A->Children[0], J.T2, J.KGoal, J.Loc));
-         }});
+         },
+         RuleKey::onPair({TypeKind::Optional}, {})});
 
   // Forgetting content: anything of statically-known size can be viewed as
   // uninitialized/unknown bytes (used when freeing structures).
@@ -305,7 +320,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            return gStar({ResAtom::pure(mkEq(
                             mkNat(static_cast<int64_t>(Sz)), B->Size))},
                         J.KGoal);
-         }});
+         },
+         RuleKey::onPair({}, {TypeKind::Uninit, TypeKind::Any})});
 
   // Function pointers: specs must be compatible (structurally equal up to
   // parameter renaming). Covers passing a concrete function where a
@@ -358,7 +374,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
              return nullptr;
            }
            return J.KGoal;
-         }});
+         },
+         RuleKey::onPair({TypeKind::FnPtr}, {TypeKind::FnPtr})});
 
   // valueOf / place identity.
   R.add({Name("S-VALUEOF-EQ"), JK, 45,
@@ -370,7 +387,9 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
          [](Engine &E, const Judgment &J) -> GoalRef {
            TypeRef A = stripC(E, J.T1), B = stripC(E, J.T2);
            return refnEqGoal(A->Refn, B->Refn, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::ValueOf, TypeKind::Place},
+                         {TypeKind::ValueOf, TypeKind::Place})});
 
   // A place becomes an owned pointer by collecting the pointee from Δ.
   R.add({Name("S-PLACE-OWN"), JK, 50,
@@ -384,7 +403,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            GoalRef Collect =
                gStar({ResAtom::loc(L, B->Children[0])}, J.KGoal);
            return refnEqGoal(L, B->Refn, Collect);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Place}, {TypeKind::Own})});
 
   // A valueOf whose ownership is parked in Δ.
   R.add({Name("S-VALUEOF-RESOLVE"), JK, 88,
@@ -407,7 +427,8 @@ void registerShared(RuleRegistry &R, JudgKind JK, const char *Suffix) {
            }
            // No parked ownership: the value may still be a place (address).
            return Recur(V, tyPlace(V), J.T2, J.KGoal, J.Loc);
-         }});
+         },
+         RuleKey::onPair({TypeKind::ValueOf}, {})});
 }
 
 //===----------------------------------------------------------------------===//
@@ -443,7 +464,8 @@ void registerLocOnly(RuleRegistry &R) {
              Need.push_back(ResAtom::loc(locOffset(J.V1, Covered),
                                          tyUninit(mkNat(L->Size - Covered))));
            return gStar(std::move(Need), J.KGoal);
-         }});
+         },
+         RuleKey::onPair({}, {TypeKind::Struct})});
 
   // Struct to struct (same layout): field-wise subsumption.
   R.add({"SL-STRUCT-STRUCT", JudgKind::SubsumeL, 72,
@@ -461,7 +483,8 @@ void registerLocOnly(RuleRegistry &R) {
                             A->Children[I], B->Children[I], G, J.Loc);
            }
            return G;
-         }});
+         },
+         RuleKey::onPair({TypeKind::Struct}, {TypeKind::Struct})});
 
   // Struct content subsuming into a non-struct target: expose the first
   // field and retry (progress is guaranteed because the target is scalar).
@@ -473,7 +496,8 @@ void registerLocOnly(RuleRegistry &R) {
          [](Engine &E, const Judgment &J) -> GoalRef {
            E.pushAtom(ResAtom::loc(J.V1, stripC(E, J.T1))); // splits fields
            return gStar({ResAtom::loc(J.V1, J.T2)}, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Struct}, {})});
 
   // Recompose padding.
   R.add({"SL-TO-PADDED", JudgKind::SubsumeL, 68,
@@ -497,7 +521,8 @@ void registerLocOnly(RuleRegistry &R) {
                ResAtom::loc(J.V1, B->Children[0]),
                ResAtom::loc(locOffset(J.V1, Inner), tyUninit(Rest))};
            return gStar(std::move(Need), J.KGoal);
-         }});
+         },
+         RuleKey::onPair({}, {TypeKind::Padded})});
   R.add({"SL-PADDED-L", JudgKind::SubsumeL, 67,
          [](Engine &E, const Judgment &J) {
            return kind1(E, J) == TypeKind::Padded &&
@@ -506,7 +531,8 @@ void registerLocOnly(RuleRegistry &R) {
          [](Engine &E, const Judgment &J) -> GoalRef {
            E.pushAtom(ResAtom::loc(J.V1, stripC(E, J.T1))); // splits
            return gStar({ResAtom::loc(J.V1, J.T2)}, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Padded}, {})});
 
   // uninit/any splitting and merging.
   R.add({"SL-UNINIT-MERGE", JudgKind::SubsumeL, 66,
@@ -533,7 +559,9 @@ void registerLocOnly(RuleRegistry &R) {
                ResAtom::loc(locOffset(J.V1, E.resolve(M)),
                             tyUninit(E.resolve(mkSub(N, M))))};
            return gStar(std::move(Need), J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Uninit, TypeKind::Any},
+                         {TypeKind::Uninit, TypeKind::Any})});
 
   // Sized content forgotten into a larger uninit: forget, then extend.
   // Outranks the exact-size S-FORGET for location subsumptions.
@@ -558,7 +586,8 @@ void registerLocOnly(RuleRegistry &R) {
                ResAtom::loc(locOffset(J.V1, Sz),
                             tyUninit(E.resolve(mkSub(B->Size, M))))};
            return gStar(std::move(Need), J.KGoal);
-         }});
+         },
+         RuleKey::onPair({}, {TypeKind::Uninit, TypeKind::Any})});
 
   // Arrays with the same element shape: refinement-list equality.
   R.add({"SL-ARRAY-SAME", JudgKind::SubsumeL, 71,
@@ -579,7 +608,8 @@ void registerLocOnly(RuleRegistry &R) {
              return nullptr;
            }
            return refnEqGoal(A->Refn, B->Refn, J.KGoal);
-         }});
+         },
+         RuleKey::onPair({TypeKind::Array}, {TypeKind::Array})});
 
   // Magic wands (Section 2.2): introduction captures the resources the
   // sub-proof consumes; application pays the hole and yields the result.
@@ -594,7 +624,8 @@ void registerLocOnly(RuleRegistry &R) {
            ResAtom Hole = ResAtom::loc(B->WandLoc, B->Children[1]);
            return gWand({Hole},
                         gStar({ResAtom::loc(J.V1, B->Children[0])}, J.KGoal));
-         }});
+         },
+         RuleKey::onPair({}, {TypeKind::Wand})});
   R.add({"WAND-APPLY", JudgKind::SubsumeL, 74,
          [](Engine &E, const Judgment &J) {
            return kind1(E, J) == TypeKind::Wand;
@@ -605,7 +636,8 @@ void registerLocOnly(RuleRegistry &R) {
            return gStar({Hole},
                         mkSubsumeL(J.V1, A->Children[0], J.T2, J.KGoal,
                                    J.Loc));
-         }});
+         },
+         RuleKey::onPair({TypeKind::Wand}, {})});
 
   // Wand-to-wand: identical hole, subsume the results.
   R.add({"WAND-WAND", JudgKind::SubsumeL, 76,
@@ -628,7 +660,8 @@ void registerLocOnly(RuleRegistry &R) {
                {HoleB},
                gStar({HoleA}, mkSubsumeL(J.V1, A->Children[0],
                                          B->Children[0], J.KGoal, J.Loc)));
-         }});
+         },
+         RuleKey::onPair({TypeKind::Wand}, {TypeKind::Wand})});
 }
 
 } // namespace

@@ -338,3 +338,136 @@ TEST_F(BareEngineFixture, StepBudgetStopsDivergingRules) {
   EXPECT_FALSE(E->prove(gJudg(std::move(J))));
   EXPECT_NE(E->Failure.find("step budget"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Indexed dispatch (PR 6): registration invariants, index pruning, the
+// subsumption memo, and the cross-check harness
+//===----------------------------------------------------------------------===//
+
+TEST_F(BareEngineFixture, DuplicateRuleNameIsAHardError) {
+  auto Always = [](Engine &, const Judgment &) { return true; };
+  auto Id = [](Engine &, const Judgment &J) { return J.KGoal; };
+  Rules.add({"dup", JudgKind::SubsumeV, 1, Always, Id});
+  EXPECT_DEATH(Rules.add({"dup", JudgKind::SubsumeV, 2, Always, Id}),
+               "duplicate typing rule registration 'dup'");
+}
+
+TEST_F(BareEngineFixture, LookupAllKeepsRegistrationOrderOnEqualPriority) {
+  auto Always = [](Engine &, const Judgment &) { return true; };
+  auto Id = [](Engine &, const Judgment &J) { return J.KGoal; };
+  Rules.add({"tie-a", JudgKind::SubsumeV, 5, Always, Id});
+  Rules.add({"tie-b", JudgKind::SubsumeV, 5, Always, Id});
+  Rules.add({"tie-c", JudgKind::SubsumeV, 5, Always, Id});
+  Rules.add({"top", JudgKind::SubsumeV, 9, Always, Id});
+  Judgment J;
+  J.K = JudgKind::SubsumeV;
+  J.KGoal = gTrue();
+
+  std::vector<const Rule *> Desc = Rules.lookupAll(*E, J, false);
+  ASSERT_EQ(Desc.size(), 4u);
+  EXPECT_EQ(Desc[0]->Name, "top");
+  EXPECT_EQ(Desc[1]->Name, "tie-a");
+  EXPECT_EQ(Desc[2]->Name, "tie-b");
+  EXPECT_EQ(Desc[3]->Name, "tie-c");
+
+  std::vector<const Rule *> Asc = Rules.lookupAll(*E, J, true);
+  ASSERT_EQ(Asc.size(), 4u);
+  EXPECT_EQ(Asc[0]->Name, "tie-a") << "ascending ties must also keep "
+                                      "registration order (stable sort)";
+  EXPECT_EQ(Asc[1]->Name, "tie-b");
+  EXPECT_EQ(Asc[2]->Name, "tie-c");
+  EXPECT_EQ(Asc[3]->Name, "top");
+}
+
+TEST_F(BareEngineFixture, IndexSkipsGuardsOfNonMatchingBuckets) {
+  int IntGuardRuns = 0;
+  auto Id = [](Engine &, const Judgment &J) { return J.KGoal; };
+  Rules.add({"read-int-keyed", JudgKind::ReadJ, 0,
+             [&IntGuardRuns](Engine &, const Judgment &) {
+               ++IntGuardRuns;
+               return true;
+             },
+             Id, RuleKey::onTy({TypeKind::Int})});
+  Rules.add({"read-null-keyed", JudgKind::ReadJ, 0,
+             [](Engine &, const Judgment &) { return true; }, Id,
+             RuleKey::onTy({TypeKind::Null})});
+  Judgment J;
+  J.K = JudgKind::ReadJ;
+  J.T1 = tyNull();
+  J.KGoal = gTrue();
+  std::string Err;
+  const Rule *R = Rules.lookup(*E, J, Err);
+  ASSERT_NE(R, nullptr) << Err;
+  EXPECT_EQ(R->Name, "read-null-keyed");
+  EXPECT_EQ(IntGuardRuns, 0)
+      << "a rule keyed on Int must not be probed for a Null-headed read";
+  EXPECT_EQ(Stats.IndexHits, 1u);
+  EXPECT_EQ(Stats.ScanFallbacks, 0u);
+}
+
+TEST_F(BareEngineFixture, WildcardRulesAreAlwaysConsidered) {
+  int WildcardRuns = 0;
+  auto Id = [](Engine &, const Judgment &J) { return J.KGoal; };
+  Rules.add({"read-int-keyed", JudgKind::ReadJ, 0,
+             [](Engine &, const Judgment &) { return true; }, Id,
+             RuleKey::onTy({TypeKind::Int})});
+  Rules.add({"read-any", JudgKind::ReadJ, 0,
+             [&WildcardRuns](Engine &, const Judgment &) {
+               ++WildcardRuns;
+               return true;
+             },
+             Id});
+  Judgment J;
+  J.K = JudgKind::ReadJ;
+  J.T1 = tyNull();
+  J.KGoal = gTrue();
+  std::string Err;
+  const Rule *R = Rules.lookup(*E, J, Err);
+  ASSERT_NE(R, nullptr) << Err;
+  EXPECT_EQ(R->Name, "read-any");
+  EXPECT_EQ(WildcardRuns, 1);
+}
+
+TEST_F(EngineFixture, SubsumeDispatchMemoHitsOnRepeatedShapePair) {
+  Judgment J;
+  J.K = JudgKind::SubsumeV;
+  J.V1 = loc("v");
+  J.T1 = tyNull();
+  J.T2 = tyNull();
+  J.KGoal = gTrue();
+  Judgment J2 = J;
+  EXPECT_TRUE(E->prove(gJudg(std::move(J))));
+  EXPECT_EQ(Stats.MemoMisses, 1u);
+  EXPECT_EQ(Stats.MemoHits, 0u);
+  EXPECT_TRUE(E->prove(gJudg(std::move(J2))));
+  EXPECT_EQ(Stats.MemoMisses, 1u);
+  EXPECT_EQ(Stats.MemoHits, 1u) << "the second identical (have, want) pair "
+                                   "must be answered by the memo";
+}
+
+TEST_F(EngineFixture, CrossCheckModeAgreesOnStandardRules) {
+  Rules.setMode(RuleRegistry::DispatchMode::CrossCheck);
+  Judgment J;
+  J.K = JudgKind::SubsumeV;
+  J.V1 = loc("v");
+  J.T1 = tyInt(caesium::intU64(), mkNat(3));
+  J.T2 = tyInt(caesium::intU64(), mkNat(3));
+  J.KGoal = gTrue();
+  EXPECT_TRUE(E->prove(gJudg(std::move(J))));
+  EXPECT_EQ(Rules.crossCheckMismatches(), 0u);
+}
+
+TEST_F(BareEngineFixture, FingerprintChangesWithKeysAndRules) {
+  auto Always = [](Engine &, const Judgment &) { return true; };
+  auto Id = [](Engine &, const Judgment &J) { return J.KGoal; };
+  uint64_t F0 = Rules.fingerprint();
+  Rules.add({"fp-a", JudgKind::SubsumeV, 1, Always, Id});
+  uint64_t F1 = Rules.fingerprint();
+  EXPECT_NE(F0, F1);
+  RuleRegistry Other;
+  Other.add({"fp-a", JudgKind::SubsumeV, 1, Always, Id,
+             RuleKey::onPair({TypeKind::Int}, {TypeKind::Int})});
+  EXPECT_NE(Other.fingerprint(), F1)
+      << "a key change must change the dispatch fingerprint (persisted "
+         "results key on it)";
+}
