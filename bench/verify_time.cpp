@@ -22,7 +22,9 @@
 
 using namespace rcc::casestudies;
 
-static void BM_Verify(benchmark::State &State, const std::string &Id) {
+static void BM_Verify(benchmark::State &State, const std::string &Id,
+                      rcc::pure::PortfolioMode Mode =
+                          rcc::pure::PortfolioMode::On) {
   const CaseStudy *CS = caseStudy(Id);
   if (!CS) {
     State.SkipWithError("unknown case study");
@@ -30,6 +32,7 @@ static void BM_Verify(benchmark::State &State, const std::string &Id) {
   }
   EvalOptions Opts;
   Opts.RunProofCheck = false;
+  Opts.Portfolio = Mode;
   for (auto _ : State) {
     Fig7Row Row = evaluateCaseStudy(*CS, Opts);
     if (!Row.Verified)
@@ -69,6 +72,16 @@ struct Registrar {
           [Id = CS.Id](benchmark::State &S) { BM_VerifyAndProofCheck(S, Id); })
           ->Unit(benchmark::kMillisecond);
     }
+    // Portfolio modes on the row where the backends actually compete
+    // (DESIGN.md, "Solver portfolio"): off = lemma fallback, race = all
+    // eligible backends concurrently with first-win cancellation.
+    for (auto [Suffix, Mode] :
+         {std::pair{"off", rcc::pure::PortfolioMode::Off},
+          std::pair{"race", rcc::pure::PortfolioMode::Race}})
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Verify/bitmap_portfolio_") + Suffix).c_str(),
+          [Mode = Mode](benchmark::State &S) { BM_Verify(S, "bitmap", Mode); })
+          ->Unit(benchmark::kMillisecond);
   }
 } TheRegistrar;
 } // namespace
@@ -91,11 +104,16 @@ int main(int argc, char **argv) {
   OS << "{\n  \"bench\": \"verify_time\",\n  \"version\": \""
      << rcc::versionString() << "\",\n  \"cases\": [";
   bool First = true;
+  EvalOptions OffOpts = Opts;
+  OffOpts.Portfolio = rcc::pure::PortfolioMode::Off;
+  OffOpts.Trace = nullptr;
   for (const CaseStudy &CS : allCaseStudies()) {
     Fig7Row Row = evaluateCaseStudy(CS, Opts);
+    Fig7Row RowOff = evaluateCaseStudy(CS, OffOpts);
     OS << (First ? "\n    {" : ",\n    {") << "\"id\": \"" << CS.Id
        << "\", \"verified\": " << (Row.Verified ? "true" : "false")
        << ", \"verify_ms\": " << Row.VerifyMillis
+       << ", \"verify_ms_portfolio_off\": " << RowOff.VerifyMillis
        << ", \"rule_apps\": " << Row.RuleApps << "}";
     First = false;
   }

@@ -35,6 +35,10 @@
 ///                  cumulative/self time, goal kinds, solver stats)
 ///   --deterministic-trace  make trace/profile output byte-identical across
 ///                  --jobs values (stable lanes, ordinal timestamps)
+///   --portfolio=M  pure-solver leaf dispatch: `on` (default; sequential
+///                  portfolio incl. the bit-vector backend), `race` (race
+///                  eligible backends, deterministic attribution), `off`
+///                  (pre-portfolio dispatch, no bit-vector backend)
 ///   --version      print the version and exit
 ///
 /// Unknown `--` flags are a usage error (exit 2), so a typo cannot silently
@@ -68,7 +72,8 @@ static int usage(const char *Bad = nullptr) {
           "usage: verify_tool [--stats] [--no-recheck] [--jobs=N] "
           "[--cache-dir=DIR] [--no-cache] [--format=json] [--run[=fn]] "
           "[--connect=SOCK] [--trace=FILE] [--trace-cap=N] [--profile] "
-          "[--deterministic-trace] [--version] <file.c> [function...]\n");
+          "[--deterministic-trace] [--portfolio=on|off|race] [--version] "
+          "<file.c> [function...]\n");
   return 2;
 }
 
@@ -165,6 +170,7 @@ int main(int argc, char **argv) {
   std::string ConnectSock;
   bool NoCache = false;
   bool Profile = false, DetTrace = false;
+  pure::PortfolioMode Portfolio = pure::PortfolioMode::On;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -201,6 +207,10 @@ int main(int argc, char **argv) {
       Profile = true;
     else if (A == "--deterministic-trace")
       DetTrace = true;
+    else if (A.rfind("--portfolio=", 0) == 0) {
+      if (!pure::parsePortfolioMode(A.substr(12), Portfolio))
+        return usage(argv[I]);
+    }
     else if (A == "--version") {
       printf("%s\n", versionString());
       return 0;
@@ -257,6 +267,7 @@ int main(int argc, char **argv) {
   Opts.NoCache = NoCache;
   Opts.Trace = TS.get();
   Opts.Profile = Profile;
+  Opts.Portfolio = Portfolio;
   refinedc::ProgramResult PR = Checker.verifyFunctions(Functions, Opts);
 
   // Attribute diagnostics to the input file, exactly as the daemon

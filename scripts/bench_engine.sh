@@ -6,6 +6,10 @@
 # memoized subsumption"); rule_apps must agree between the two runs, since
 # indexing may only change how fast the unique rule is found.
 #
+# Also reports the solver-portfolio on/off comparison (figure7_table runs
+# both internally): per-corpus manual side-condition counts and the race
+# counters (DESIGN.md, "Solver portfolio").
+#
 # Usage: scripts/bench_engine.sh [path-to-figure7_table]
 set -e
 cd "$(dirname "$0")/.."
@@ -48,4 +52,19 @@ print(f"scan_fallbacks       {idx['engine.rule.scan_fallbacks']}")
 print(f"subsume memo         {idx['engine.subsume.memo_hit']} hit / "
       f"{idx['engine.subsume.memo_miss']} miss")
 print(f"wall-clock           indexed {idx_wall} ms, linear {lin_wall} ms")
+
+# Solver-portfolio on/off comparison over the same corpus (figure7_table
+# evaluates both and records the off-mode manual counts per row).
+rows = json.load(open(f"{d}/indexed/BENCH_figure7.json"))["rows"]
+man_on = sum(r["side_cond_manual"] for r in rows)
+man_off = sum(r["side_cond_manual_off"] for r in rows)
+print()
+print(f"portfolio            manual side conds: {man_off} off -> {man_on} on")
+for r in rows:
+    if r["side_cond_manual_off"] != r["side_cond_manual"]:
+        print(f"  {r['name']:<28} {r['side_cond_manual_off']} -> "
+              f"{r['side_cond_manual']}")
+for k in sorted(idx):
+    if k.startswith("solver.race."):
+        print(f"  {k:<28} {idx[k]}")
 EOF

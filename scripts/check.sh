@@ -41,7 +41,8 @@ rm -rf build/check_dispatch && mkdir -p build/check_dispatch
 (cd build/check_dispatch && ../bench/figure7_table > /dev/null)
 python3 - build/check_dispatch/BENCH_figure7.json <<'PYEOF'
 import json, sys
-m = json.load(open(sys.argv[1]))["metrics"]
+j = json.load(open(sys.argv[1]))
+m = j["metrics"]
 fallbacks = m["engine.rule.scan_fallbacks"]
 budget = 2
 if fallbacks > budget:
@@ -51,9 +52,39 @@ if fallbacks > budget:
              f"subsumption')")
 if m["engine.rule.index_hits"] == 0:
     sys.exit("check.sh: discrimination index served zero lookups")
+# Portfolio ablation gate: the bit-vector backend must discharge every
+# word-level side condition the bitmap row needs lemmas for when the
+# portfolio is off (DESIGN.md, "Solver portfolio").
+bm = next(r for r in j["rows"] if r["name"] == "Bitmap word")
+if bm["side_cond_manual"] != 0 or bm["side_cond_manual_off"] == 0:
+    sys.exit(f"check.sh: bitmap portfolio ablation regressed: "
+             f"manual(on)={bm['side_cond_manual']} "
+             f"manual(off)={bm['side_cond_manual_off']}")
 PYEOF
 
-# 5. Daemon smoke: start verifyd --stdio on a copy of the demo, wait for
+# 5. Portfolio gates (DESIGN.md, "Solver portfolio"): --portfolio=race must
+#    produce byte-identical deterministic traces vs --portfolio=off on
+#    proved-by-default goals (demo.c), across --jobs=1 / --jobs=4, and
+#    across repeated runs — the deterministic-attribution guarantee. The
+#    bitmap ablation (bit-vector backend clears the manual count) is gated
+#    on the figure-7 artifact in step 4's python block above.
+rm -rf build/check_portfolio && mkdir -p build/check_portfolio
+./build/examples/verify_tool --deterministic-trace --portfolio=race --jobs=4 \
+    --trace=build/check_portfolio/race_j4.json examples/demo.c > /dev/null
+./build/examples/verify_tool --deterministic-trace --portfolio=race --jobs=1 \
+    --trace=build/check_portfolio/race_j1.json examples/demo.c > /dev/null
+./build/examples/verify_tool --deterministic-trace --portfolio=race --jobs=4 \
+    --trace=build/check_portfolio/race_j4_rep.json examples/demo.c > /dev/null
+./build/examples/verify_tool --deterministic-trace --portfolio=off --jobs=1 \
+    --trace=build/check_portfolio/off.json examples/demo.c > /dev/null
+cmp build/check_portfolio/race_j4.json build/check_portfolio/race_j1.json || {
+  echo "check.sh: race trace differs between --jobs=4 and --jobs=1"; exit 1; }
+cmp build/check_portfolio/race_j4.json build/check_portfolio/race_j4_rep.json || {
+  echo "check.sh: race trace differs across repeated runs"; exit 1; }
+cmp build/check_portfolio/race_j4.json build/check_portfolio/off.json || {
+  echo "check.sh: race trace differs from off on proved-by-default goals"; exit 1; }
+
+# 6. Daemon smoke: start verifyd --stdio on a copy of the demo, wait for
 #    the cold-start revision, edit one function in place, force a check,
 #    and assert exactly that one function was re-verified (the daemon's
 #    warm-L1 acceptance path), then shut down cleanly.
@@ -85,13 +116,13 @@ exec 9>&-
 wait $dpid
 grep -q '"event": "shutdown"' "$dout"
 
-# 6. LSP smoke: a scripted editor session against a real rcc-lsp process
+# 7. LSP smoke: a scripted editor session against a real rcc-lsp process
 #    over stdio Content-Length framing (initialize -> didOpen with a
 #    failing function -> located publishDiagnostics -> fixed didSave ->
 #    empty clear -> shutdown/exit, plus exit-before-shutdown exiting 1).
 scripts/lsp_smoke.sh ./build/examples/rcc-lsp
 
-# 7. ASan/UBSan configuration (trace subsystem, parallel driver, the
+# 8. ASan/UBSan configuration (trace subsystem, parallel driver, the
 #    result store's deserializer, the daemon, and the LSP framing layer are
 #    the main customers: data races on buffers, lifetime of cached
 #    pointers, attacker-controlled cache and frame bytes, revision/session
@@ -107,6 +138,19 @@ if [ -z "$CHECK_SKIP_SANITIZERS" ]; then
       --profile examples/demo.c > /dev/null
   # The sanitized LSP smoke drives the whole daemon/LSP stack end to end.
   scripts/lsp_smoke.sh ./build-asan/examples/rcc-lsp
+
+  # 9. TSan configuration for the racing portfolio: the first-win
+  #    cancellation plumbing (shared tokens, pool reuse across races, the
+  #    cancellation stress test, concurrent races on copied solvers) is the
+  #    code most exposed to data races, and TSan also reports any leaked
+  #    pool thread still running at exit.
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+  cmake --build build-tsan -j --target test_portfolio test_bitvector \
+      test_linear_overflow
+  ./build-tsan/tests/test_portfolio
+  ./build-tsan/tests/test_bitvector
+  ./build-tsan/tests/test_linear_overflow
 fi
 
 echo "check.sh: all green"

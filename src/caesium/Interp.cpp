@@ -37,6 +37,20 @@ uint64_t Machine::rngNext() {
   return RngState;
 }
 
+uint64_t Machine::rngBounded(uint64_t Bound) {
+  // Rejection sampling: `rngNext() % Bound` skews toward small values
+  // whenever Bound does not divide 2^64, biasing the scheduler away from
+  // high thread ids. Draw from the largest multiple of Bound instead.
+  if (Bound <= 1)
+    return 0;
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % Bound;
+  uint64_t R;
+  do
+    R = rngNext();
+  while (R >= Limit);
+  return R % Bound;
+}
+
 void Machine::raiseUB(std::string Msg, rcc::SourceLoc Loc) {
   if (Halted)
     return;
@@ -122,7 +136,7 @@ ExecResult Machine::run(const std::string &EntryFn, std::vector<RtVal> Args,
       }
       break;
     }
-    int Pick = Runnable[rngNext() % Runnable.size()];
+    int Pick = Runnable[rngBounded(Runnable.size())];
     step(Threads[Pick]);
     ++Steps;
   }

@@ -110,6 +110,9 @@ private:
   void raiseUB(std::string Msg, rcc::SourceLoc Loc = {});
   void syncSC(Thread &T);
   uint64_t rngNext();
+  /// Unbiased draw from [0, Bound) via rejection sampling (plain
+  /// `rngNext() % Bound` over-selects small values / low thread ids).
+  uint64_t rngBounded(uint64_t Bound);
 
   const Program &Prog;
   Memory Mem;

@@ -761,6 +761,75 @@ int main() {
 }
 )";
 
+//===----------------------------------------------------------------------===//
+// #7 Bitmap word (word-level reasoning: shifts, masks, bitwise ops)
+//===----------------------------------------------------------------------===//
+
+const char *BitmapSource = R"(
+// A 32-bit bitmap word manipulated with shifts and masks. The side
+// conditions are word-level (pow2 ranges, bitwise-or/and bounds): the
+// bit-vector portfolio backend discharges them automatically, while the
+// pre-portfolio solver needs the annotated lemmas (modeled manual proofs).
+// There is no bitwise-not in the source language; clearing uses the
+// all-ones xor idiom.
+
+[[rc::parameters("w: nat", "i: nat")]]
+[[rc::args("w @ int<u32>", "i @ int<u32>")]]
+[[rc::requires("{w < 2147483648}", "{i < 31}")]]
+[[rc::lemma("lor_le", "{forall a, forall b, lor(a, b) <= a + b}", "8")]]
+[[rc::lemma("pow2_le31", "{forall k, k < 31 -> pow2(k) <= 1073741824}", "6")]]
+[[rc::returns("{lor(w, pow2(i))} @ int<u32>")]]
+[[rc::ensures("{lor(w, pow2(i)) <= 4294967295}")]]
+unsigned int bm_set(unsigned int w, unsigned int i) {
+  return w | (1u << i);
+}
+
+[[rc::parameters("w: nat", "i: nat")]]
+[[rc::args("w @ int<u32>", "i @ int<u32>")]]
+[[rc::requires("{w < 2147483648}", "{i < 31}")]]
+[[rc::lemma("land_le_l", "{forall a, forall b, land(a, b) <= a}", "6")]]
+[[rc::lemma("pow2_le31", "{forall k, k < 31 -> pow2(k) <= 1073741824}", "6")]]
+[[rc::returns("{land(w, lxor(4294967295, pow2(i)))} @ int<u32>")]]
+[[rc::ensures("{land(w, lxor(4294967295, pow2(i))) <= w}")]]
+unsigned int bm_clear(unsigned int w, unsigned int i) {
+  return w & (4294967295u ^ (1u << i));
+}
+
+[[rc::parameters("w: nat", "i: nat")]]
+[[rc::args("w @ int<u32>", "i @ int<u32>")]]
+[[rc::requires("{w <= 4294967295}", "{i < 32}")]]
+[[rc::lemma("shr_le", "{forall a, forall b, a / b <= a}", "8")]]
+[[rc::lemma("land_le_r", "{forall a, forall b, land(a, b) <= b}", "6")]]
+[[rc::returns("{land(w / pow2(i), 1)} @ int<u32>")]]
+[[rc::ensures("{land(w / pow2(i), 1) <= 1}")]]
+unsigned int bm_test(unsigned int w, unsigned int i) {
+  return (w >> i) & 1u;
+}
+
+[[rc::parameters("w: nat", "m: nat")]]
+[[rc::args("w @ int<u32>", "m @ int<u32>")]]
+[[rc::requires("{w <= 4294967295}", "{m <= 4294967295}")]]
+[[rc::lemma("land_le_r", "{forall a, forall b, land(a, b) <= b}", "6")]]
+[[rc::returns("{land(w, m)} @ int<u32>")]]
+[[rc::ensures("{land(w, m) <= m}")]]
+unsigned int bm_mask(unsigned int w, unsigned int m) {
+  return w & m;
+}
+
+int main() {
+  unsigned int w = 0;
+  w = bm_set(w, 3);
+  w = bm_set(w, 5);
+  rc_assert(bm_test(w, 3) == 1);
+  rc_assert(bm_test(w, 4) == 0);
+  rc_assert(bm_mask(w, 40) == 40);
+  w = bm_clear(w, 3);
+  rc_assert(bm_test(w, 3) == 0);
+  rc_assert(bm_test(w, 5) == 1);
+  return 0;
+}
+)";
+
 std::vector<CaseStudy> buildAll() {
   std::vector<CaseStudy> Out;
   Out.push_back({"slist", "Singly linked list", "#1", "wand, alloc",
@@ -795,6 +864,9 @@ std::vector<CaseStudy> buildAll() {
                  true, "main"});
   Out.push_back({"barrier", "One-time barrier", "#6", "atomic Boolean",
                  BarrierSource, {"barrier_signal", "barrier_take"}, true,
+                 "main"});
+  Out.push_back({"bitmap", "Bitmap word", "#7", "int, bit ops", BitmapSource,
+                 {"bm_set", "bm_clear", "bm_test", "bm_mask"}, false,
                  "main"});
   return Out;
 }

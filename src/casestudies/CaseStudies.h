@@ -15,6 +15,11 @@
 ///   #5  Hafnium-style mpool allocator
 ///   #6  Spinlock, One-time barrier
 ///
+/// plus one post-paper extension row:
+///
+///   #7  Bitmap word (word-level side conditions for the bit-vector
+///       portfolio backend; see DESIGN.md "Solver portfolio")
+///
 /// Each case study records the metadata the Figure 7 reproduction needs
 /// (class, salient types) and, for the concurrent ones, an executable
 /// driver function for the semantic (interpreter) tests.

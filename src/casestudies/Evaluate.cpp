@@ -44,6 +44,7 @@ Fig7Row rcc::casestudies::evaluateCaseStudy(const CaseStudy &CS,
   VO.Backtracking = Opts.Backtracking;
   VO.Recheck = Opts.RunProofCheck && !Opts.Backtracking;
   VO.Jobs = Opts.Jobs;
+  VO.Portfolio = Opts.Portfolio;
   ProgramResult PR = C.verifyFunctions(CS.Functions, VO);
 
   std::set<std::string> Rules;

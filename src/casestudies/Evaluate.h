@@ -18,6 +18,7 @@
 #define RCC_CASESTUDIES_EVALUATE_H
 
 #include "casestudies/CaseStudies.h"
+#include "pure/Portfolio.h"
 #include "trace/Trace.h"
 
 #include <set>
@@ -63,6 +64,10 @@ struct EvalOptions {
   /// bench tools use this to source their BENCH_*.json artifacts from the
   /// session's MetricsRegistry.
   trace::TraceSession *Trace = nullptr;
+  /// Pure-solver leaf dispatch (VerifyOptions::Portfolio). The bench tools
+  /// evaluate Off vs. On to measure how many Figure 7 "manual" side
+  /// conditions the bit-vector backend discharges automatically.
+  pure::PortfolioMode Portfolio = pure::PortfolioMode::On;
 };
 
 /// Verifies all annotated functions of \p CS and aggregates the row.

@@ -6,17 +6,49 @@
 
 #include "pure/LinearSolver.h"
 
+#include "support/Cancellation.h"
 #include "trace/Trace.h"
 
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <set>
 
 using namespace rcc::pure;
 
 namespace {
 
 using Wide = __int128;
+
+/// Sticky per-thread overflow witness. Solver verdicts are trusted leaves of
+/// the proof (the ProofChecker replays rule applications, not side-condition
+/// proofs), so wrapped coefficient arithmetic here could discharge a false
+/// VC. Every arithmetic step routes through the *Chk helpers below; the flag
+/// is cleared only at the public entry points (prove / inconsistent), which
+/// AND their result with !Overflowed. Internal probes (tightenNatSubs,
+/// addCongruences, Ne splits) deliberately do NOT save/restore it: wrapped
+/// intermediates can leak into shared state (Lin.Side), so once anything
+/// wraps the only sound answer for the whole call is Unknown.
+thread_local bool Overflowed = false;
+
+inline Wide addChk(Wide A, Wide B) {
+  Wide R;
+  if (__builtin_add_overflow(A, B, &R))
+    Overflowed = true;
+  return R;
+}
+inline Wide mulChk(Wide A, Wide B) {
+  Wide R;
+  if (__builtin_mul_overflow(A, B, &R))
+    Overflowed = true;
+  return R;
+}
+inline Wide negChk(Wide A) {
+  Wide R;
+  if (__builtin_sub_overflow(Wide(0), A, &R))
+    Overflowed = true;
+  return R;
+}
 
 /// A linear expression: sum of Coeff * Atom plus a constant. Atoms are
 /// arbitrary (nonlinear) terms treated opaquely.
@@ -28,14 +60,14 @@ struct LinExpr {
     if (C == 0)
       return;
     Wide &Slot = Coeffs[Atom];
-    Slot += C;
+    Slot = addChk(Slot, C);
     if (Slot == 0)
       Coeffs.erase(Atom);
   }
   void addExpr(const LinExpr &O, Wide Scale) {
-    Const += O.Const * Scale;
+    Const = addChk(Const, mulChk(O.Const, Scale));
     for (const auto &[A, C] : O.Coeffs)
-      add(A, C * Scale);
+      add(A, mulChk(C, Scale));
   }
   bool isConst() const { return Coeffs.empty(); }
 };
@@ -102,7 +134,7 @@ private:
         T->arg(1)->num() > 0) {
       Constraint Hi;
       Hi.E.add(T, 1);
-      Hi.E.Const = -(T->arg(1)->num() - 1); // T <= m-1
+      Hi.E.Const = 1 - Wide(T->arg(1)->num()); // T <= m-1
       Side.push_back(std::move(Hi));
     }
     if (T->kind() == TermKind::Mod && !T->arg(1)->isConst())
@@ -110,7 +142,7 @@ private:
     // Division by a positive constant: c*q <= x <= c*q + (c-1).
     if (T->kind() == TermKind::Div && T->arg(1)->isConst() &&
         T->arg(1)->num() > 0) {
-      int64_t C = T->arg(1)->num();
+      Wide C = T->arg(1)->num();
       LinExpr X;
       visit(T->arg(0), X, 1);
       Constraint Lo; // c*q - x <= 0
@@ -120,7 +152,7 @@ private:
       Constraint Hi; // x - c*q - (c-1) <= 0
       Hi.E.addExpr(X, 1);
       Hi.E.add(T, -C);
-      Hi.E.Const = -(C - 1);
+      Hi.E.Const = 1 - C;
       Side.push_back(std::move(Hi));
     }
     // min/max bounds.
@@ -146,7 +178,7 @@ private:
     switch (T->kind()) {
     case TermKind::NatConst:
     case TermKind::IntConst:
-      E.Const += Sign * T->num();
+      E.Const = addChk(E.Const, mulChk(Sign, T->num()));
       return;
     case TermKind::Add:
       visit(T->arg(0), E, Sign);
@@ -155,7 +187,7 @@ private:
     case TermKind::Sub:
       if (T->sort() == Sort::Int) {
         visit(T->arg(0), E, Sign);
-        visit(T->arg(1), E, -Sign);
+        visit(T->arg(1), E, negChk(Sign));
         return;
       }
       // Nat subtraction truncates; treat as atom with side bounds.
@@ -164,11 +196,11 @@ private:
     case TermKind::Mul: {
       TermRef A = T->arg(0), B = T->arg(1);
       if (A->isConst()) {
-        visit(B, E, Sign * A->num());
+        visit(B, E, mulChk(Sign, A->num()));
         return;
       }
       if (B->isConst()) {
-        visit(A, E, Sign * B->num());
+        visit(A, E, mulChk(Sign, B->num()));
         return;
       }
       atom(T, E, Sign);
@@ -184,9 +216,24 @@ private:
 /// Fourier–Motzkin infeasibility test for a system of constraints E <= 0.
 bool infeasible(std::vector<Constraint> Cs) {
   constexpr size_t MaxConstraints = 4000;
-  constexpr int MaxRounds = 24;
+
+  // Each round eliminates one atom and elimination never introduces new
+  // atoms, so #atoms rounds always suffice to decide the system. A fixed
+  // small round cap is incomplete the moment lemma instantiation inflates
+  // the atom count (dozens of cheap one-sided atoms starve the atom that
+  // carries the contradiction); MaxConstraints bounds the blowup instead.
+  std::set<TermRef> InitialAtoms;
+  for (const Constraint &C : Cs)
+    for (const auto &[A, Co] : C.E.Coeffs)
+      InitialAtoms.insert(A);
+  const int MaxRounds =
+      std::min<int>(512, static_cast<int>(InitialAtoms.size()) + 1);
 
   for (int Round = 0; Round < MaxRounds; ++Round) {
+    // A cancelled race loser gives up (sound: "not infeasible" only ever
+    // weakens, including for the tightening/congruence oracle probes).
+    if (rcc::cancelRequested())
+      return false;
     // Constant-only constraints: check satisfiability; drop satisfied ones.
     std::vector<Constraint> Vars;
     for (Constraint &C : Cs) {
@@ -236,7 +283,7 @@ bool infeasible(std::vector<Constraint> Cs) {
     for (const Constraint &U : Upper) {
       Wide CU = U.E.Coeffs.at(Best); // > 0
       for (const Constraint &L : Lower) {
-        Wide CL = -L.E.Coeffs.at(Best); // > 0
+        Wide CL = negChk(L.E.Coeffs.at(Best)); // > 0
         Constraint Comb;
         Comb.E.addExpr(U.E, CL);
         Comb.E.addExpr(L.E, CU);
@@ -277,7 +324,7 @@ bool factToConstraints(TermRef F, Linearizer &Lin,
     Constraint C;
     C.E.addExpr(Lin.run(F->arg(0)), 1);
     C.E.addExpr(Lin.run(F->arg(1)), -1);
-    C.E.Const += 1;
+    C.E.Const = addChk(C.E.Const, 1);
     Out.push_back(std::move(C));
     return true;
   }
@@ -326,7 +373,7 @@ void tightenNatSubs(Linearizer &Lin, std::vector<Constraint> &Base) {
       Constraint Hi; // T - m + 1 <= 0
       Hi.E.add(T, 1);
       Hi.E.addExpr(M, -1);
-      Hi.E.Const += 1;
+      Hi.E.Const = addChk(Hi.E.Const, 1);
       Base.push_back(std::move(Hi));
       Any = true;
     }
@@ -342,7 +389,8 @@ void tightenNatSubs(Linearizer &Lin, std::vector<Constraint> &Base) {
       Constraint Neg;
       Neg.E.addExpr(A, 1);
       Neg.E.addExpr(B, -1);
-      Neg.E.Const += 1; // a - b + 1 <= 0 i.e. a < b, the negation of b <= a
+      // a - b + 1 <= 0 i.e. a < b, the negation of b <= a
+      Neg.E.Const = addChk(Neg.E.Const, 1);
       Test.push_back(std::move(Neg));
       for (const Constraint &C : Lin.Side)
         Test.push_back(C);
@@ -370,9 +418,21 @@ bool proveLe(const std::vector<TermRef> &Facts, TermRef A, TermRef B,
   Constraint Neg;
   Neg.E.addExpr(Lin.run(B), 1);
   Neg.E.addExpr(Lin.run(A), -1);
-  Neg.E.Const += 1 - Strict; // Strict=0: prove a<=b; Strict=1: prove a<b
+  // Strict=0: prove a<=b; Strict=1: prove a<b
+  Neg.E.Const = addChk(Neg.E.Const, 1 - Strict);
   tightenNatSubs(Lin, Cs);
   Cs.push_back(std::move(Neg));
+  for (Constraint &C : Lin.Side)
+    Cs.push_back(std::move(C));
+  return infeasible(std::move(Cs));
+}
+
+/// Non-clearing core of `inconsistent`, for recursive use inside a solve
+/// (the public wrapper resets the overflow flag; internal callers must not,
+/// or an earlier wrap would be forgotten).
+bool inconsistentCore(const std::vector<TermRef> &Facts) {
+  Linearizer Lin;
+  std::vector<Constraint> Cs = collectFacts(Facts, Lin);
   for (Constraint &C : Lin.Side)
     Cs.push_back(std::move(C));
   return infeasible(std::move(Cs));
@@ -381,11 +441,13 @@ bool proveLe(const std::vector<TermRef> &Facts, TermRef A, TermRef B,
 } // namespace
 
 bool LinearSolver::inconsistent(const std::vector<TermRef> &Facts) {
-  Linearizer Lin;
-  std::vector<Constraint> Cs = collectFacts(Facts, Lin);
-  for (Constraint &C : Lin.Side)
-    Cs.push_back(std::move(C));
-  return infeasible(std::move(Cs));
+  Overflowed = false;
+  bool R = inconsistentCore(Facts);
+  if (Overflowed) {
+    trace::count("solver.linear.overflow_bailouts");
+    return false;
+  }
+  return R;
 }
 
 static bool proveWithNeSplits(const std::vector<TermRef> &Facts,
@@ -393,7 +455,13 @@ static bool proveWithNeSplits(const std::vector<TermRef> &Facts,
 
 bool LinearSolver::prove(const std::vector<TermRef> &Facts, TermRef Goal) {
   trace::count("solver.linear.calls");
-  return proveWithNeSplits(Facts, Goal, 0);
+  Overflowed = false;
+  bool R = proveWithNeSplits(Facts, Goal, 0);
+  if (Overflowed) {
+    trace::count("solver.linear.overflow_bailouts");
+    return false;
+  }
+  return R;
 }
 
 /// Disequality hypotheses over integers split into the two strict orders;
@@ -484,8 +552,9 @@ static bool proveWithNeSplits(const std::vector<TermRef> &Facts0,
 static bool proveNoSplit(const std::vector<TermRef> &Facts, TermRef Goal) {
   if (Goal->isTrue())
     return true;
-  // A contradictory context proves anything.
-  if (LinearSolver::inconsistent(Facts))
+  // A contradictory context proves anything. (Core variant: must not reset
+  // the overflow flag mid-solve.)
+  if (inconsistentCore(Facts))
     return true;
   switch (Goal->kind()) {
   case TermKind::Le:

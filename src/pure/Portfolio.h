@@ -1,0 +1,89 @@
+//===- Portfolio.h - Racing pure-solver portfolio ---------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT-shaped solver portfolio (ROADMAP; DESIGN.md "Solver portfolio").
+/// `PureSolver` hands the driver an ordered list of *candidates* — leaf
+/// backends eligible for the current goal, in fixed priority order — and the
+/// driver runs them per the configured mode:
+///
+///  - `Off`: never used (the solver keeps the legacy sequential dispatch).
+///  - `On`: sequential first-win in priority order — the portfolio's verdict
+///    without threads.
+///  - `Race`: all candidates run concurrently on a private thread pool with
+///    first-win cancellation.
+///
+/// **Deterministic attribution.** The winner is the lowest-priority-index
+/// candidate that proves the goal, *never* the wall-clock first finisher. In
+/// race mode cancellation is only requested once a complete prefix of the
+/// priority order has finished and contains a prover, so every candidate at
+/// or below the eventual winner always runs to completion un-cancelled.
+/// Consequently `Race` computes exactly the verdict and `Engine` attribution
+/// of `On` on every goal, across any schedule and `--jobs` value — the
+/// property the deterministic-trace gate in scripts/check.sh enforces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_PURE_PORTFOLIO_H
+#define RCC_PURE_PORTFOLIO_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcc {
+class ThreadPool;
+}
+
+namespace rcc::pure {
+
+enum class PortfolioMode {
+  Off,  ///< legacy sequential dispatch, no bit-vector backend
+  On,   ///< portfolio verdicts, sequential execution (the default)
+  Race, ///< portfolio verdicts, racing execution
+};
+
+const char *portfolioModeName(PortfolioMode M);
+/// Parses "off" / "on" / "race". Returns false on anything else.
+bool parsePortfolioMode(const std::string &S, PortfolioMode &M);
+
+/// One leaf backend eligible for the current goal. `Run` returns true on
+/// proof and may refine `EngineOut` (pre-set to `Name`) with a more precise
+/// attribution such as "lemma:<name>". Run bodies must be safe to execute
+/// concurrently with each other and must poll `rcc::cancelRequested()` in
+/// long loops.
+struct PortfolioCandidate {
+  const char *Name;
+  bool Manual; ///< counts toward Figure 7's manual column when it wins
+  std::function<bool(std::string &EngineOut)> Run;
+};
+
+struct PortfolioOutcome {
+  bool Proved = false;
+  bool Manual = false;
+  std::string Engine;
+};
+
+/// Runs candidate sets; owns the racing thread pool (created lazily on the
+/// first real race, joined on destruction — no leaked threads).
+class PortfolioDriver {
+public:
+  PortfolioDriver();
+  ~PortfolioDriver();
+  PortfolioDriver(const PortfolioDriver &) = delete;
+  PortfolioDriver &operator=(const PortfolioDriver &) = delete;
+
+  PortfolioOutcome run(const std::vector<PortfolioCandidate> &Cands,
+                       PortfolioMode Mode);
+
+private:
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+} // namespace rcc::pure
+
+#endif // RCC_PURE_PORTFOLIO_H

@@ -20,6 +20,23 @@ TermRef numConst(Sort S, int64_t V) {
     return mkNat(V < 0 ? 0 : V);
   return mkInt(V);
 }
+
+/// Checked constant folds: constants are stored as int64_t, so a fold whose
+/// mathematical result does not fit must be left unfolded (return nullptr)
+/// rather than wrapped — a wrapped constant fed to the linear solver would
+/// be a soundness hole the overflow guard there cannot see.
+TermRef foldAdd(Sort S, int64_t A, int64_t B) {
+  int64_t R;
+  return __builtin_add_overflow(A, B, &R) ? nullptr : numConst(S, R);
+}
+TermRef foldSub(Sort S, int64_t A, int64_t B) {
+  int64_t R;
+  return __builtin_sub_overflow(A, B, &R) ? nullptr : numConst(S, R);
+}
+TermRef foldMul(Sort S, int64_t A, int64_t B) {
+  int64_t R;
+  return __builtin_mul_overflow(A, B, &R) ? nullptr : numConst(S, R);
+}
 } // namespace
 
 /// One local simplification step at the root of \p T (children already
@@ -29,7 +46,7 @@ static TermRef simplifyRoot(TermRef T) {
   case TermKind::Add: {
     TermRef A = T->arg(0), B = T->arg(1);
     if (bothConst(T))
-      return numConst(T->sort(), cval(A) + cval(B));
+      return foldAdd(T->sort(), cval(A), cval(B));
     if (A->isConst() && cval(A) == 0)
       return B;
     if (B->isConst() && cval(B) == 0)
@@ -45,8 +62,9 @@ static TermRef simplifyRoot(TermRef T) {
   case TermKind::Sub: {
     TermRef A = T->arg(0), B = T->arg(1);
     if (bothConst(T)) {
-      int64_t R = cval(A) - cval(B);
-      return numConst(T->sort(), R);
+      if (TermRef R = foldSub(T->sort(), cval(A), cval(B)))
+        return R;
+      // Fall through to the structural rules below on overflow.
     }
     if (B->isConst() && cval(B) == 0)
       return A;
@@ -64,7 +82,7 @@ static TermRef simplifyRoot(TermRef T) {
   case TermKind::Mul: {
     TermRef A = T->arg(0), B = T->arg(1);
     if (bothConst(T))
-      return numConst(T->sort(), cval(A) * cval(B));
+      return foldMul(T->sort(), cval(A), cval(B));
     if ((A->isConst() && cval(A) == 0) || (B->isConst() && cval(B) == 0))
       return numConst(T->sort(), 0);
     if (A->isConst() && cval(A) == 1)
@@ -74,13 +92,16 @@ static TermRef simplifyRoot(TermRef T) {
     return nullptr;
   }
   case TermKind::Div:
-    if (bothConst(T) && cval(T->arg(1)) != 0)
+    // INT64_MIN / -1 overflows (and is UB); leave it symbolic.
+    if (bothConst(T) && cval(T->arg(1)) != 0 &&
+        !(cval(T->arg(0)) == INT64_MIN && cval(T->arg(1)) == -1))
       return numConst(T->sort(), cval(T->arg(0)) / cval(T->arg(1)));
     if (T->arg(1)->isConst() && cval(T->arg(1)) == 1)
       return T->arg(0);
     return nullptr;
   case TermKind::Mod:
-    if (bothConst(T) && cval(T->arg(1)) != 0)
+    if (bothConst(T) && cval(T->arg(1)) != 0 &&
+        !(cval(T->arg(0)) == INT64_MIN && cval(T->arg(1)) == -1))
       return numConst(T->sort(), cval(T->arg(0)) % cval(T->arg(1)));
     return nullptr;
   case TermKind::Min2:

@@ -6,6 +6,7 @@
 
 #include "pure/Solver.h"
 
+#include "pure/BitVectorSolver.h"
 #include "pure/CollectionSolver.h"
 #include "pure/LinearSolver.h"
 #include "pure/Unify.h"
@@ -18,6 +19,23 @@
 using namespace rcc::pure;
 
 PureSolver::PureSolver() = default;
+PureSolver::~PureSolver() = default;
+
+PureSolver::PureSolver(const PureSolver &O)
+    : Simp(O.Simp), ExtraSolvers(O.ExtraSolvers), Lemmas(O.Lemmas),
+      Stats(O.Stats), Portfolio(O.Portfolio) {}
+
+PureSolver &PureSolver::operator=(const PureSolver &O) {
+  if (this == &O)
+    return *this;
+  Simp = O.Simp;
+  ExtraSolvers = O.ExtraSolvers;
+  Lemmas = O.Lemmas;
+  Stats = O.Stats;
+  Portfolio = O.Portfolio;
+  Driver.reset(); // each copy lazily builds its own racing pool
+  return *this;
+}
 
 void PureSolver::enableSolver(const std::string &Name) {
   if (!solverEnabled(Name))
@@ -398,31 +416,74 @@ SolveResult PureSolver::proveCore(std::vector<TermRef> Hyps, TermRef Goal,
         Hyps.push_back(E);
   }
 
-  // --- Default solver ---
-  if (tryDefault(Hyps, Goal)) {
+  // --- Leaf dispatch: the solver portfolio (DESIGN.md) ---
+  SolveResult Leaf = dispatchLeaf(Hyps, Goal);
+  if (Leaf.Proved) {
     Res.Proved = true;
-    Res.Engine = "default";
-    return Res;
-  }
-
-  // --- Extra solvers (counted manual) ---
-  std::string Engine;
-  if (tryCollections(Hyps, Goal, Engine)) {
-    Res.Proved = true;
-    Res.Manual = true;
-    Res.Engine = Engine;
-    return Res;
-  }
-
-  // --- Lemmas (counted manual) ---
-  if (tryLemmas(Hyps, Goal, Engine)) {
-    Res.Proved = true;
-    Res.Manual = true;
-    Res.Engine = Engine;
+    Res.Manual = Leaf.Manual;
+    Res.Engine = Leaf.Engine;
     return Res;
   }
 
   Res.FailureReason = "cannot prove side condition: " + Goal->str();
+  return Res;
+}
+
+SolveResult PureSolver::dispatchLeaf(const std::vector<TermRef> &Hyps,
+                                     TermRef Goal) {
+  SolveResult Res;
+
+  if (Portfolio == PortfolioMode::Off) {
+    // Legacy sequential dispatch, without the bit-vector backend.
+    if (tryDefault(Hyps, Goal)) {
+      Res.Proved = true;
+      Res.Engine = "default";
+      return Res;
+    }
+    std::string Engine;
+    if (tryCollections(Hyps, Goal, Engine)) {
+      Res.Proved = true;
+      Res.Manual = true;
+      Res.Engine = Engine;
+      return Res;
+    }
+    if (tryLemmas(Hyps, Goal, Engine)) {
+      Res.Proved = true;
+      Res.Manual = true;
+      Res.Engine = Engine;
+      return Res;
+    }
+    return Res;
+  }
+
+  // Candidates in fixed priority order; the order IS the attribution rule
+  // (the winner is the lowest proving index regardless of finish order), so
+  // changing it changes Figure-7 accounting. Automatic engines first.
+  std::vector<PortfolioCandidate> Cands;
+  Cands.push_back({"default", /*Manual=*/false, [&](std::string &) {
+                     return tryDefault(Hyps, Goal);
+                   }});
+  if (BitVectorSolver::relevant(Hyps, Goal))
+    Cands.push_back({"bitvector", /*Manual=*/false, [&](std::string &) {
+                       return BitVectorSolver::prove(Hyps, Goal);
+                     }});
+  if (!ExtraSolvers.empty())
+    Cands.push_back({"collections", /*Manual=*/true, [&](std::string &E) {
+                       return tryCollections(Hyps, Goal, E);
+                     }});
+  if (!Lemmas.empty())
+    Cands.push_back({"lemmas", /*Manual=*/true, [&](std::string &E) {
+                       return tryLemmas(Hyps, Goal, E);
+                     }});
+
+  if (!Driver)
+    Driver = std::make_unique<PortfolioDriver>();
+  PortfolioOutcome O = Driver->run(Cands, Portfolio);
+  if (O.Proved) {
+    Res.Proved = true;
+    Res.Manual = O.Manual;
+    Res.Engine = std::move(O.Engine);
+  }
   return Res;
 }
 
@@ -447,6 +508,10 @@ SolveResult PureSolver::prove(const std::vector<TermRef> &Hyps, TermRef Goal,
                : R.Manual  ? "solver.proved_manual"
                            : "solver.proved_auto")
         .add(1);
+    // Per-engine attribution (Figure-7 accounting per backend). The engine
+    // string is deterministic by the portfolio's fixed priority order.
+    if (R.Proved)
+      MR.counter("solver.engine." + R.Engine).add(1);
     MR.counter("solver.time_us")
         .add(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(

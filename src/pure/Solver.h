@@ -20,9 +20,11 @@
 #define RCC_PURE_SOLVER_H
 
 #include "pure/EvarEnv.h"
+#include "pure/Portfolio.h"
 #include "pure/Simplify.h"
 #include "pure/Term.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,12 @@ struct SolverStats {
 class PureSolver {
 public:
   PureSolver();
+  ~PureSolver();
+  /// Copyable (the parallel driver clones a per-job solver from a session
+  /// prototype); the copy starts with a fresh lazily-created portfolio
+  /// driver — thread pools are not shareable across jobs.
+  PureSolver(const PureSolver &O);
+  PureSolver &operator=(const PureSolver &O);
 
   /// Enables a named extra solver ("multiset_solver" / "set_solver"),
   /// corresponding to the paper's rc::tactics annotation.
@@ -70,6 +78,12 @@ public:
   SolveResult prove(const std::vector<TermRef> &Hyps, TermRef Goal,
                     EvarEnv &Env);
 
+  /// Selects how leaf backends are dispatched (DESIGN.md, "Solver
+  /// portfolio"). `On` and `Race` compute identical results; `Off` restores
+  /// the pre-portfolio dispatch without the bit-vector backend.
+  void setPortfolioMode(PortfolioMode M) { Portfolio = M; }
+  PortfolioMode portfolioMode() const { return Portfolio; }
+
   Simplifier &simplifier() { return Simp; }
   const Simplifier &simplifier() const { return Simp; }
   SolverStats &stats() { return Stats; }
@@ -79,6 +93,9 @@ public:
 private:
   SolveResult proveCore(std::vector<TermRef> Hyps, TermRef Goal, EvarEnv &Env,
                         int Depth);
+  /// Evar-free leaf dispatch: builds the eligible-candidate list in fixed
+  /// priority order and runs it per the portfolio mode.
+  SolveResult dispatchLeaf(const std::vector<TermRef> &Hyps, TermRef Goal);
   bool tryDefault(const std::vector<TermRef> &Hyps, TermRef Goal);
   bool tryCollections(const std::vector<TermRef> &Hyps, TermRef Goal,
                       std::string &EngineOut);
@@ -91,6 +108,8 @@ private:
   std::vector<std::string> ExtraSolvers;
   std::vector<Lemma> Lemmas;
   SolverStats Stats;
+  PortfolioMode Portfolio = PortfolioMode::On;
+  std::unique_ptr<PortfolioDriver> Driver; ///< lazy; never copied
 };
 
 } // namespace rcc::pure

@@ -462,6 +462,7 @@ FnResult Checker::verifyFunction(const std::string &Name,
   // (rc::tactics, lemmas). Jobs never share a solver: its extra-solver
   // list, lemma table, and statistics are all per-function state.
   pure::PureSolver Solver = SolverProto;
+  Solver.setPortfolioMode(Opts.Portfolio);
   Solver.clearExtraSolvers();
   Solver.clearLemmas();
   for (const std::string &T : Spec->Tactics) {
@@ -654,7 +655,11 @@ uint64_t Checker::fnContentHash(const std::string &Name,
   H.mix(static_cast<uint64_t>(Opts.Recheck))
       .mix(static_cast<uint64_t>(Opts.Backtracking))
       .mix(static_cast<uint64_t>(Opts.MaxSteps))
-      .mix(static_cast<uint64_t>(Opts.CollectDerivation));
+      .mix(static_cast<uint64_t>(Opts.CollectDerivation))
+      // On and Race compute identical results (Race only reorders work),
+      // so they share a hash bit; Off lacks the bit-vector backend and
+      // must not reuse portfolio-era cache entries.
+      .mix(static_cast<uint64_t>(Opts.Portfolio != pure::PortfolioMode::Off));
   return hashFunctionContent(AP, Name, EnvFingerprint, H.get());
 }
 

@@ -1,0 +1,75 @@
+//===- Cancellation.h - Cooperative cancellation token --------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancellation token for racing solver portfolios. The racing
+/// driver hands every candidate the same token; the first winner requests
+/// cancellation and the losers observe it at their next poll point and bail.
+///
+/// Deep solver loops (Fourier–Motzkin elimination, BDD construction) poll an
+/// ambient *thread-local* current token via `cancelRequested()` rather than
+/// threading a token parameter through every call signature — solver entry
+/// points are static functions and some cross module boundaries through plain
+/// function pointers (e.g. CollectionSolver's arithmetic callback), so a
+/// parameter would not reach them. A `CancelScope` installs the token for the
+/// duration of one candidate's run.
+///
+/// Cancellation only ever *weakens* a solver: a cancelled run returns "not
+/// proved", which is always sound — including for the internal oracle probes
+/// (tightenNatSubs, addCongruences) that treat "infeasible" as license to add
+/// a derived fact; a cancelled probe simply skips the fact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_SUPPORT_CANCELLATION_H
+#define RCC_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+
+namespace rcc {
+
+/// Shared one-shot cancellation flag. Copy the shared_ptr-like handle freely;
+/// the driver owns the object, candidates only poll and (the winner) set it.
+class CancelToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+namespace detail {
+inline thread_local const CancelToken *CurrentCancelToken = nullptr;
+} // namespace detail
+
+/// True when the ambient token (if any) has been cancelled. Poll points in
+/// solver hot loops call this; with no scope installed it is a single
+/// thread-local load returning false.
+inline bool cancelRequested() {
+  const CancelToken *T = detail::CurrentCancelToken;
+  return T && T->cancelled();
+}
+
+/// RAII: installs \p T as the calling thread's ambient cancellation token.
+class CancelScope {
+public:
+  explicit CancelScope(const CancelToken *T)
+      : Saved(detail::CurrentCancelToken) {
+    detail::CurrentCancelToken = T;
+  }
+  ~CancelScope() { detail::CurrentCancelToken = Saved; }
+  CancelScope(const CancelScope &) = delete;
+  CancelScope &operator=(const CancelScope &) = delete;
+
+private:
+  const CancelToken *Saved;
+};
+
+} // namespace rcc
+
+#endif // RCC_SUPPORT_CANCELLATION_H

@@ -74,11 +74,14 @@ public:
   std::map<std::string, int64_t> gauges() const;
 
   /// Renders both snapshots as a JSON object. With \p Deterministic,
-  /// duration counters (name ending in "_us") are reported as 0 so the
-  /// output is byte-identical across runs and job counts.
+  /// schedule-dependent counters — durations (`_us` suffix) and
+  /// nondeterministic event counts (`_nd` suffix, e.g. how many racing
+  /// solvers observed a cancellation before finishing) — are reported as 0
+  /// so the output is byte-identical across runs and job counts.
   std::string toJson(bool Deterministic = false) const;
 
-  /// True if \p Name is a duration metric (the `_us` suffix convention).
+  /// True if \p Name is schedule-dependent and must be zeroed in
+  /// deterministic exports (the `_us` / `_nd` suffix conventions).
   static bool isDuration(const std::string &Name);
 
 private:

@@ -47,7 +47,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllCaseStudies, CaseStudyTest,
     ::testing::Values("slist", "queue", "bsearch", "tsalloc", "pagealloc",
                       "bst_layered", "bst_direct", "hashmap", "mpool",
-                      "spinlock", "barrier"),
+                      "spinlock", "barrier", "bitmap"),
     [](const ::testing::TestParamInfo<std::string> &I) { return I.param; });
 
 //===----------------------------------------------------------------------===//
@@ -56,7 +56,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Figure7, ShapeMatchesPaper) {
   std::vector<Fig7Row> Rows = evaluateAll();
-  ASSERT_EQ(Rows.size(), 11u);
+  ASSERT_EQ(Rows.size(), 12u); // the paper's 11 + the bitmap extension row
   auto Find = [&](const std::string &N) -> const Fig7Row & {
     for (const Fig7Row &R : Rows)
       if (R.Name == N)
@@ -95,6 +95,31 @@ TEST(Figure7, ShapeMatchesPaper) {
   // Allocator-style case studies need no manual side conditions (Figure 7:
   // the page allocator row has 14/0).
   EXPECT_EQ(Find("Page allocator").SideCondManual, 0u);
+}
+
+TEST(Figure7, BitvectorBackendReplacesBitmapLemmas) {
+  // The bitmap row's word-level side conditions need the annotated lemmas
+  // (manual) under the pre-portfolio dispatch, but the bit-vector backend
+  // discharges every one of them automatically — the manual count drops to
+  // zero with the portfolio on, in both sequential and racing modes.
+  const CaseStudy *CS = caseStudy("bitmap");
+  ASSERT_NE(CS, nullptr);
+
+  EvalOptions Off;
+  Off.Portfolio = rcc::pure::PortfolioMode::Off;
+  Fig7Row RowOff = evaluateCaseStudy(*CS, Off);
+  ASSERT_TRUE(RowOff.Verified) << RowOff.Error;
+  EXPECT_GT(RowOff.SideCondManual, 0u);
+
+  for (rcc::pure::PortfolioMode M :
+       {rcc::pure::PortfolioMode::On, rcc::pure::PortfolioMode::Race}) {
+    EvalOptions O;
+    O.Portfolio = M;
+    Fig7Row Row = evaluateCaseStudy(*CS, O);
+    ASSERT_TRUE(Row.Verified) << Row.Error;
+    EXPECT_EQ(Row.SideCondManual, 0u);
+    EXPECT_EQ(Row.SideCondAuto, RowOff.SideCondAuto + RowOff.SideCondManual);
+  }
 }
 
 TEST(Figure7, BacktrackingBaselineExploresMore) {

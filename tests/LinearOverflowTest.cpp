@@ -1,0 +1,121 @@
+//===- LinearOverflowTest.cpp - Coefficient-overflow soundness ------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression tests for the linear solver's overflow soundness. Pure-solver
+/// verdicts are trusted leaves of the proof (the ProofChecker replays rule
+/// applications, not side-condition proofs), so a coefficient wrap in the
+/// linearizer or the Fourier–Motzkin combiner can discharge a false VC.
+/// Nested multiplications by large constants push coefficients past the
+/// 128-bit accumulator: with c = 2^43, the chain ((x*c)*c)*c accumulates
+/// c^3 = 2^129 which wraps to 0, degenerating `1 <= x*c^3` into the false
+/// constant constraint `1 <= 0` and making the whole context "inconsistent".
+/// Every such overflow must bail to Unknown (not proved), never Proved.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pure/EvarEnv.h"
+#include "pure/LinearSolver.h"
+#include "pure/Solver.h"
+#include "pure/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc::pure;
+
+namespace {
+
+TermRef nvar(const std::string &N) { return mkVar(N, Sort::Nat); }
+
+/// ((x * c) * c) * c with c = 2^43: the x-coefficient is c^3 = 2^129, which
+/// wraps a 128-bit accumulator to exactly 0.
+TermRef hugeChain(TermRef X) {
+  TermRef C = mkNat(int64_t(1) << 43);
+  return mkMul(mkMul(mkMul(X, C), C), C);
+}
+
+TEST(LinearOverflow, WrappedCoefficientMustNotProveArbitraryGoals) {
+  TermRef X = nvar("x");
+  // Hypothesis: 1 <= x * 2^129. True for x >= 1; in no way contradictory.
+  std::vector<TermRef> Facts = {mkLe(mkNat(1), hugeChain(X))};
+  // On wrapping arithmetic the hypothesis linearizes to `1 <= 0`, the
+  // context becomes "inconsistent", and any goal — including 0 = 1 — is
+  // "proved". The checked solver must return Unknown (false) instead.
+  EXPECT_FALSE(LinearSolver::prove(Facts, mkEq(mkNat(0), mkNat(1))));
+  EXPECT_FALSE(LinearSolver::prove(Facts, mkLe(mkNat(5), mkNat(3))));
+  EXPECT_FALSE(LinearSolver::inconsistent(Facts));
+}
+
+TEST(LinearOverflow, WrappedGoalCoefficientMustNotProve) {
+  TermRef X = nvar("x");
+  std::vector<TermRef> Facts = {mkLe(mkNat(0), X)};
+  // Goal x*2^129 <= 7 linearizes (wrapped) to 0 <= 7 — trivially "true".
+  EXPECT_FALSE(LinearSolver::prove(Facts, mkLe(hugeChain(X), mkNat(7))));
+}
+
+TEST(LinearOverflow, NearInt64MaxConstantsStillExact) {
+  // Sanity: large-but-representable coefficients keep working; the checked
+  // path only refuses when the 128-bit accumulator actually overflows.
+  TermRef X = nvar("x");
+  TermRef C = mkNat((int64_t(1) << 62));
+  std::vector<TermRef> Facts = {mkLe(X, mkNat(3))};
+  // x <= 3  ==>  x * 2^62 <= 3 * 2^62 (fits comfortably in 128 bits).
+  EXPECT_TRUE(LinearSolver::prove(
+      Facts, mkLe(mkMul(X, C), mkMul(mkNat(3), C))));
+  // ... but not <= 2 * 2^62.
+  EXPECT_FALSE(LinearSolver::prove(
+      Facts, mkLe(mkMul(X, C), mkMul(mkNat(2), C))));
+}
+
+TEST(LinearOverflow, FourierMotzkinCombinationOverflow) {
+  // Force the overflow inside the FM combiner rather than the linearizer:
+  // individually representable coefficients (~2^63) whose cross products
+  // (~2^126) overflow when pairs combine further. The solver must give
+  // up (Unknown) rather than decide from wrapped sums.
+  TermRef X = nvar("x"), Y = nvar("y"), Z = nvar("z");
+  TermRef Big = mkNat((int64_t(1) << 62));
+  // Chains like big*x <= y, y <= big*z, big^2*z <= ... keep FM multiplying
+  // pairwise coefficients; after two eliminations products reach 2^124+.
+  std::vector<TermRef> Facts = {
+      mkLe(mkMul(Big, mkMul(Big, X)), Y),
+      mkLe(Y, mkMul(Big, mkMul(Big, Z))),
+      mkLe(mkMul(Big, Z), X),
+  };
+  // Whatever the verdict on satisfiable goals, an unprovable one must stay
+  // unproved — and, critically, must not be "proved" via a wrapped
+  // combination. (0 = 1 is unprovable in any consistent context.)
+  EXPECT_FALSE(LinearSolver::prove(Facts, mkEq(mkNat(0), mkNat(1))));
+}
+
+TEST(LinearOverflow, ManyIrrelevantAtomsDoNotStarveElimination) {
+  // Regression: Fourier–Motzkin used a fixed 24-round cap, one atom
+  // eliminated per round. Dozens of cheap one-sided atoms (the shape lemma
+  // instantiation produces for every `lor(x, y) <= x + y` instance) starved
+  // the single atom carrying the contradiction, so goals provable from a
+  // two-fact chain became Unknown. The round budget must scale with the
+  // atom count.
+  TermRef X = nvar("x");
+  TermRef P = mkApp("pow2", Sort::Nat, {X});
+  std::vector<TermRef> Facts = {mkLe(P, mkNat(1073741824))};
+  for (int I = 0; I < 40; ++I) {
+    TermRef A = nvar("a" + std::to_string(I));
+    Facts.push_back(mkLe(mkApp("lor", Sort::Nat, {A, P}), mkAdd(A, P)));
+  }
+  EXPECT_TRUE(LinearSolver::prove(Facts, mkLe(P, mkNat(4294967295LL))));
+}
+
+TEST(LinearOverflow, PureSolverNeverReportsProvedOnOverflow) {
+  // End to end through the orchestrating solver: no engine (default,
+  // collections, lemmas) may launder a wrapped linear verdict into Proved.
+  PureSolver S;
+  EvarEnv Env;
+  TermRef X = nvar("x");
+  std::vector<TermRef> Hyps = {mkLe(mkNat(1), hugeChain(X))};
+  SolveResult R = S.prove(Hyps, mkEq(mkNat(0), mkNat(1)), Env);
+  EXPECT_FALSE(R.Proved);
+}
+
+} // namespace
