@@ -1,0 +1,229 @@
+//===- fleet_scaling.cpp - Fleet cold/warm scaling measurement ------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the verification fleet (DESIGN.md, "Fleet & protocol v2") over
+/// a synthetic annotated monorepo at 1/2/4 workers, cold and warm:
+///
+///  - cold: empty shared L3 store, workers do all the proof search and the
+///    coordinator replays every published derivation through ProofChecker;
+///  - warm: the same L3 store again, so every function is an L3 hit and the
+///    wall time is dominated by hashing + replay — the fleet's incremental
+///    re-verification floor.
+///
+/// Workers are real forked processes over a real Unix socket; a single-
+/// process baseline run of the identical source anchors the speedups, and
+/// every configuration's results are checked against it (same verdicts,
+/// nothing dropped). `--functions=N` scales the monorepo (the generator is
+/// deterministic up to 10k+ functions); `--emit=FILE` just writes the
+/// generated source and exits, for driving the fleet by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Coordinator.h"
+#include "fleet/Monorepo.h"
+#include "fleet/Worker.h"
+#include "support/Options.h"
+#include "support/Util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace rcc;
+using namespace rcc::fleet;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct FleetRun {
+  double Millis = 0.0;
+  bool AllVerified = false;
+  unsigned L3Hits = 0;
+  unsigned Replays = 0;
+  unsigned JobsCompleted = 0;
+  unsigned WorkersSeen = 0;
+};
+
+pid_t spawnWorker(const std::string &Sock) {
+  pid_t P = fork();
+  if (P == 0) {
+    WorkerOptions WO;
+    WO.Connect = Sock;
+    WO.Name = "bench-w" + std::to_string(::getpid());
+    WO.Capacity = 4;
+    WO.Jobs = 1;
+    _exit(runWorker(WO));
+  }
+  return P;
+}
+
+/// One coordinator round against \p Workers forked workers. The L3
+/// directory persists across calls, which is exactly what distinguishes
+/// the warm run from the cold one.
+FleetRun runFleet(const fs::path &Dir, const std::string &SrcPath,
+                  unsigned Workers, unsigned Round) {
+  std::string Sock =
+      (Dir / ("fleet." + std::to_string(Workers) + "." +
+              std::to_string(Round) + ".sock"))
+          .string();
+  std::vector<pid_t> Pids;
+  for (unsigned I = 0; I < Workers; ++I)
+    Pids.push_back(spawnWorker(Sock));
+
+  FleetOptions FO;
+  FO.SockPath = Sock;
+  FO.File = SrcPath;
+  FO.SharedDir = (Dir / "l3").string();
+  FO.Jobs = 0; // assembly uses all cores; serving is I/O-bound anyway
+  Coordinator C(FO);
+  refinedc::ProgramResult PR;
+  std::string Err;
+  auto Start = std::chrono::steady_clock::now();
+  bool Ok = C.run(PR, &Err);
+  auto End = std::chrono::steady_clock::now();
+  for (pid_t P : Pids) {
+    int Status = 0;
+    waitpid(P, &Status, 0);
+  }
+  FleetRun R;
+  R.Millis = std::chrono::duration<double, std::milli>(End - Start).count();
+  if (!Ok) {
+    fprintf(stderr, "fleet setup failed: %s\n", Err.c_str());
+    return R;
+  }
+  R.AllVerified = PR.allVerified() && PR.allRechecksOk();
+  R.L3Hits = PR.L3Hits;
+  R.Replays = PR.ReplayedHits;
+  R.JobsCompleted = C.stats().JobsCompleted;
+  R.WorkersSeen = C.stats().WorkersSeen;
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Functions = 2000;
+  std::string Emit;
+  opts::OptionParser P("fleet_scaling", "");
+  P.unsignedOpt("functions", Functions,
+                "monorepo size in functions (default 2000)", 1, 100000)
+      .strOpt("emit", Emit, "write the generated source to FILE and exit")
+      .version();
+  std::vector<std::string> Pos;
+  switch (P.parse(argc, argv, Pos)) {
+  case opts::ParseResult::Ok:
+    break;
+  case opts::ParseResult::Version:
+    printf("%s\n", versionString());
+    return 0;
+  case opts::ParseResult::Error:
+    fprintf(stderr, "fleet_scaling: bad argument '%s'\n%s\n",
+            P.error().c_str(), P.usage().c_str());
+    return 2;
+  }
+
+  std::string Source = monorepoSource(Functions);
+  if (!Emit.empty()) {
+    std::ofstream Out(Emit);
+    Out << Source;
+    printf("[artifact] wrote %s (%u functions)\n", Emit.c_str(), Functions);
+    return 0;
+  }
+
+  fs::path Dir =
+      fs::temp_directory_path() /
+      ("rcc_fleet_bench_" + std::to_string(::getpid()));
+  fs::create_directories(Dir);
+  std::string SrcPath = (Dir / "mono.c").string();
+  {
+    std::ofstream Out(SrcPath);
+    Out << Source;
+  }
+
+  printf("Fleet scaling (%u-function monorepo, forked workers over a "
+         "shared L3 store)\n\n",
+         Functions);
+
+  // Single-process baseline: same source, no fleet, no store.
+  refinedc::ProgramResult Base;
+  double BaseMillis;
+  {
+    FleetOptions FO;
+    FO.File = SrcPath;
+    FO.SockPath = (Dir / "base.sock").string();
+    FO.Jobs = 0;
+    FO.WaitMs = 0; // no workers are coming; assemble immediately
+    Coordinator C(FO);
+    std::string Err;
+    auto Start = std::chrono::steady_clock::now();
+    if (!C.run(Base, &Err)) {
+      fprintf(stderr, "baseline failed: %s\n", Err.c_str());
+      return 1;
+    }
+    auto End = std::chrono::steady_clock::now();
+    BaseMillis =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+  }
+  printf("%8s %12s %12s %10s %10s %12s\n", "workers", "cold ms", "warm ms",
+         "speedup", "l3 warm", "results");
+  printf("%s\n", std::string(70, '-').c_str());
+  printf("%8s %12.1f %12s %9.2fx %10s %12s\n", "none", BaseMillis, "-", 1.0,
+         "-", Base.allVerified() ? "ok" : "FAILED");
+
+  bool Consistent = true;
+  struct Row {
+    unsigned Workers;
+    FleetRun Cold, Warm;
+  };
+  std::vector<Row> Rows;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    // Fresh store per worker count so every cold run is genuinely cold.
+    std::error_code EC;
+    fs::remove_all(Dir / "l3", EC);
+    FleetRun Cold = runFleet(Dir, SrcPath, Workers, 0);
+    FleetRun Warm = runFleet(Dir, SrcPath, Workers, 1);
+    bool Same = Cold.AllVerified && Warm.AllVerified &&
+                Cold.AllVerified == Base.allVerified();
+    Consistent = Consistent && Same;
+    printf("%8u %12.1f %12.1f %9.2fx %10u %12s\n", Workers, Cold.Millis,
+           Warm.Millis, BaseMillis / Cold.Millis, Warm.L3Hits,
+           Same ? "identical" : "DIVERGED");
+    Rows.push_back({Workers, Cold, Warm});
+  }
+
+  {
+    std::ofstream OS("BENCH_fleet_scaling.json");
+    OS << "{\n  \"bench\": \"fleet_scaling\",\n  \"version\": \""
+       << versionString() << "\",\n  \"functions\": " << Functions
+       << ",\n  \"baseline_wall_ms\": " << BaseMillis << ",\n  \"runs\": [";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      OS << (I ? ",\n    {" : "\n    {") << "\"workers\": " << R.Workers
+         << ", \"cold_wall_ms\": " << R.Cold.Millis
+         << ", \"warm_wall_ms\": " << R.Warm.Millis
+         << ", \"cold_jobs_completed\": " << R.Cold.JobsCompleted
+         << ", \"warm_l3_hits\": " << R.Warm.L3Hits
+         << ", \"warm_replays\": " << R.Warm.Replays << "}";
+    }
+    OS << "\n  ]\n}\n";
+    printf("[artifact] wrote BENCH_fleet_scaling.json\n");
+  }
+
+  std::error_code EC;
+  fs::remove_all(Dir, EC);
+  printf("%s\n", Consistent
+                     ? "[ok] every fleet configuration matches the baseline"
+                     : "[FAILED] a fleet configuration diverged");
+  return Consistent ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lsp/LspServer.h"
+#include "support/Options.h"
 #include "support/Util.h"
 
 #include <cstdio>
@@ -32,54 +33,33 @@
 
 using namespace rcc;
 
-static int usage(const char *Bad = nullptr) {
-  if (Bad)
-    fprintf(stderr, "error: unknown or malformed option '%s'\n", Bad);
-  fprintf(stderr, "usage: rcc-lsp [--cache-dir=DIR] [--cache-max-bytes=N] "
-                  "[--jobs=N] [--no-recheck] [--version]\n");
-  return 2;
-}
-
-static bool parseU64(const std::string &S, uint64_t &Out) {
-  if (S.empty())
-    return false;
-  uint64_t V = 0;
-  for (char C : S) {
-    if (C < '0' || C > '9')
-      return false;
-    if (V > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
-      return false;
-    V = V * 10 + static_cast<uint64_t>(C - '0');
-  }
-  Out = V;
-  return true;
-}
-
 int main(int argc, char **argv) {
   lsp::LspOptions O;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A.rfind("--cache-dir=", 0) == 0) {
-      O.CacheDir = A.substr(12);
-      if (O.CacheDir.empty())
-        return usage(argv[I]);
-    } else if (A.rfind("--cache-max-bytes=", 0) == 0) {
-      if (!parseU64(A.substr(18), O.CacheMaxBytes))
-        return usage(argv[I]);
-    } else if (A.rfind("--jobs=", 0) == 0) {
-      uint64_t V;
-      if (!parseU64(A.substr(7), V) || V > 0xffffffffULL)
-        return usage(argv[I]);
-      O.Jobs = static_cast<unsigned>(V);
-    } else if (A == "--no-recheck") {
-      O.Recheck = false;
-    } else if (A == "--version") {
-      printf("%s\n", versionString());
-      return 0;
-    } else {
-      return usage(argv[I]);
-    }
+  opts::OptionParser P("rcc-lsp", "");
+  P.strOpt("cache-dir", O.CacheDir, "persistent result store directory")
+      .u64Opt("cache-max-bytes", O.CacheMaxBytes, "GC budget for the cache")
+      .unsignedOpt("jobs", O.Jobs, "concurrent verification jobs (0 = cores)")
+      .flag("no-recheck", O.Recheck, false,
+            "skip the independent derivation replay")
+      .version();
+
+  std::vector<std::string> Pos;
+  switch (P.parse(argc, argv, Pos)) {
+  case opts::ParseResult::Version:
+    printf("%s\n", versionString());
+    return 0;
+  case opts::ParseResult::Error:
+    fprintf(stderr, "error: unknown or malformed option '%s'\n%s\n",
+            P.error().c_str(), P.usage().c_str());
+    return 2;
+  case opts::ParseResult::Ok:
+    break;
+  }
+  if (!Pos.empty()) {
+    fprintf(stderr, "error: rcc-lsp takes no positional arguments\n%s\n",
+            P.usage().c_str());
+    return 2;
   }
 
   // stdout carries framed protocol bytes only; never mix in C stdio.

@@ -17,10 +17,16 @@
 ///   --cache-dir=D  persist verification results under D and reuse them on
 ///                  later runs (entries are replayed through the proof
 ///                  checker before being trusted; see DESIGN.md)
+///   --shared-dir=D probe/publish the shared L3 artifact store under D (the
+///                  fleet's proof store; hits are replayed before trust
+///                  exactly like L2 hits)
 ///   --no-cache     bypass the result store entirely
-///   --format=json  print the ProgramResult as JSON instead of text (with
-///                  --run, the JSON carries a `run` object with the
-///                  execution status, return value, and failure message)
+///   --format=F     `json` prints the ProgramResult as JSON instead of text
+///                  (with --run, the JSON carries a `run` object with the
+///                  execution status, return value, and failure message);
+///                  `stable-json` prints only the schedule/topology-
+///                  independent subset, byte-identical across --jobs values
+///                  and fleet topologies; `text` is the default
 ///   --run[=fn]     additionally execute `fn` (default main) afterwards
 ///   --connect=SOCK thin-client mode: instead of verifying in-process,
 ///                  send a `check` request to a running `verifyd` on the
@@ -41,14 +47,17 @@
 ///                  (pre-portfolio dispatch, no bit-vector backend)
 ///   --version      print the version and exit
 ///
-/// Unknown `--` flags are a usage error (exit 2), so a typo cannot silently
-/// verify with the wrong configuration.
+/// Flags are declared against the shared opts::OptionParser (the same
+/// parser behind verifyd and rcc-lsp), so unknown `--` flags stay a usage
+/// error (exit 2) and a typo cannot silently verify with the wrong
+/// configuration.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "caesium/Interp.h"
 #include "frontend/Frontend.h"
 #include "refinedc/Checker.h"
+#include "support/Options.h"
 #include "support/Util.h"
 #include "trace/Export.h"
 
@@ -64,18 +73,6 @@
 #include <unistd.h>
 
 using namespace rcc;
-
-static int usage(const char *Bad = nullptr) {
-  if (Bad)
-    fprintf(stderr, "error: unknown or malformed option '%s'\n", Bad);
-  fprintf(stderr,
-          "usage: verify_tool [--stats] [--no-recheck] [--jobs=N] "
-          "[--cache-dir=DIR] [--no-cache] [--format=json] [--run[=fn]] "
-          "[--connect=SOCK] [--trace=FILE] [--trace-cap=N] [--profile] "
-          "[--deterministic-trace] [--portfolio=on|off|race] [--version] "
-          "<file.c> [function...]\n");
-  return 2;
-}
 
 /// Thin-client mode (`--connect=SOCK`): a second invocation next to a
 /// running verifyd does not re-load or re-verify anything — it asks the
@@ -142,89 +139,73 @@ static int runClient(const std::string &Sock) {
   return Exit;
 }
 
-/// Strict decimal parse for flag values; rejects empty, signs, and trailing
-/// garbage (`--jobs=4x` must not silently mean 4).
-static bool parseUnsigned(const std::string &S, unsigned &Out) {
-  if (S.empty())
-    return false;
-  unsigned long long V = 0;
-  for (char C : S) {
-    if (C < '0' || C > '9')
-      return false;
-    V = V * 10 + static_cast<unsigned>(C - '0');
-    if (V > 0xffffffffULL)
-      return false;
-  }
-  Out = static_cast<unsigned>(V);
-  return true;
-}
-
 int main(int argc, char **argv) {
   std::string Path;
   std::vector<std::string> Functions;
-  bool Stats = false, Recheck = true, Json = false;
+  bool Stats = false, Recheck = true;
   unsigned Jobs = 1, TraceCap = 0;
   std::string RunFn;
   std::string TraceFile;
   std::string CacheDir;
+  std::string SharedDir;
   std::string ConnectSock;
+  std::string Format = "text";
   bool NoCache = false;
   bool Profile = false, DetTrace = false;
   pure::PortfolioMode Portfolio = pure::PortfolioMode::On;
 
-  for (int I = 1; I < argc; ++I) {
-    std::string A = argv[I];
-    if (A == "--stats")
-      Stats = true;
-    else if (A == "--no-recheck")
-      Recheck = false;
-    else if (A.rfind("--jobs=", 0) == 0) {
-      if (!parseUnsigned(A.substr(7), Jobs))
-        return usage(argv[I]);
-    } else if (A.rfind("--cache-dir=", 0) == 0) {
-      CacheDir = A.substr(12);
-      if (CacheDir.empty())
-        return usage(argv[I]);
-    } else if (A == "--no-cache")
-      NoCache = true;
-    else if (A.rfind("--connect=", 0) == 0) {
-      ConnectSock = A.substr(10);
-      if (ConnectSock.empty())
-        return usage(argv[I]);
-    }
-    else if (A == "--format=json")
-      Json = true;
-    else if (A == "--run")
-      RunFn = "main";
-    else if (A.rfind("--run=", 0) == 0)
-      RunFn = A.substr(6);
-    else if (A.rfind("--trace=", 0) == 0)
-      TraceFile = A.substr(8);
-    else if (A.rfind("--trace-cap=", 0) == 0) {
-      if (!parseUnsigned(A.substr(12), TraceCap))
-        return usage(argv[I]);
-    } else if (A == "--profile")
-      Profile = true;
-    else if (A == "--deterministic-trace")
-      DetTrace = true;
-    else if (A.rfind("--portfolio=", 0) == 0) {
-      if (!pure::parsePortfolioMode(A.substr(12), Portfolio))
-        return usage(argv[I]);
-    }
-    else if (A == "--version") {
-      printf("%s\n", versionString());
-      return 0;
-    } else if (A.rfind("--", 0) == 0) {
-      return usage(argv[I]);
-    } else if (Path.empty())
-      Path = A;
-    else
-      Functions.push_back(A);
+  opts::OptionParser P("verify_tool", "<file.c> [function...]");
+  P.flag("stats", Stats, true, "print per-function statistics")
+      .flag("no-recheck", Recheck, false,
+            "skip the independent derivation replay")
+      .unsignedOpt("jobs", Jobs, "concurrent verification jobs (0 = cores)")
+      .strOpt("cache-dir", CacheDir, "persistent result store directory")
+      .strOpt("shared-dir", SharedDir, "shared L3 artifact store directory")
+      .flag("no-cache", NoCache, true, "bypass the result store")
+      .strOpt("connect", ConnectSock, "thin-client mode: verifyd socket")
+      .custom("format",
+              [&Format](const std::string &V) {
+                if (V != "json" && V != "stable-json" && V != "text")
+                  return false;
+                Format = V;
+                return true;
+              },
+              "output format: text | json | stable-json")
+      .strOptional("run", RunFn, "main", "execute a function afterwards")
+      .strOpt("trace", TraceFile, "write a Chrome trace-event JSON")
+      .unsignedOpt("trace-cap", TraceCap, "per-thread trace buffer cap")
+      .flag("profile", Profile, true, "print the proof-search profile")
+      .flag("deterministic-trace", DetTrace, true,
+            "byte-identical trace/profile output across --jobs")
+      .custom("portfolio",
+              [&Portfolio](const std::string &V) {
+                return pure::parsePortfolioMode(V, Portfolio);
+              },
+              "pure-solver dispatch: on | off | race")
+      .version();
+
+  std::vector<std::string> Pos;
+  switch (P.parse(argc, argv, Pos)) {
+  case opts::ParseResult::Version:
+    printf("%s\n", versionString());
+    return 0;
+  case opts::ParseResult::Error:
+    fprintf(stderr, "error: unknown or malformed option '%s'\n%s\n",
+            P.error().c_str(), P.usage().c_str());
+    return 2;
+  case opts::ParseResult::Ok:
+    break;
+  }
+  if (!Pos.empty()) {
+    Path = Pos.front();
+    Functions.assign(Pos.begin() + 1, Pos.end());
   }
   if (!ConnectSock.empty())
     return runClient(ConnectSock); // the daemon owns the file list
-  if (Path.empty())
-    return usage();
+  if (Path.empty()) {
+    fprintf(stderr, "%s\n", P.usage().c_str());
+    return 2;
+  }
 
   // The session is created here (not inside the checker) so the frontend
   // spans land in the same trace as the verification run.
@@ -264,10 +245,12 @@ int main(int argc, char **argv) {
   Opts.Recheck = Recheck;
   Opts.Jobs = Jobs;
   Opts.CacheDir = CacheDir;
+  Opts.SharedDir = SharedDir;
   Opts.NoCache = NoCache;
   Opts.Trace = TS.get();
   Opts.Profile = Profile;
   Opts.Portfolio = Portfolio;
+  Opts.DeterministicTrace = DetTrace;
   refinedc::ProgramResult PR = Checker.verifyFunctions(Functions, Opts);
 
   // Attribute diagnostics to the input file, exactly as the daemon
@@ -307,7 +290,10 @@ int main(int argc, char **argv) {
       AllOk = false;
   }
 
-  if (Json) {
+  bool Json = Format != "text";
+  if (Format == "stable-json") {
+    printf("%s", PR.toStableJson().c_str());
+  } else if (Format == "json") {
     printf("%s", PR.toJson(RunJson).c_str());
   } else {
     for (const refinedc::FnResult &R : PR.Fns) {

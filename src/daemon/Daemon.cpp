@@ -6,7 +6,9 @@
 
 #include "daemon/Daemon.h"
 
+#include "fleet/Protocol.h"
 #include "refinedc/FnHash.h"
+#include "support/Socket.h"
 #include "support/Util.h"
 #include "trace/Trace.h"
 
@@ -353,7 +355,10 @@ void Daemon::runGc(const StructuredSink &Sink) {
 }
 
 bool Daemon::handleLine(const std::string &Line, const EventSink &Sink) {
-  StructuredSink S = render(Sink);
+  return handleLine(Line, render(Sink));
+}
+
+bool Daemon::handleLine(const std::string &Line, const StructuredSink &S) {
   std::string Cmd = trim(Line);
   if (Cmd.empty())
     return true;
@@ -486,79 +491,112 @@ int Daemon::runStdio(std::istream &In, std::ostream &Out) {
 //===----------------------------------------------------------------------===//
 
 namespace {
-/// One connected client: its fd and its partial-line input buffer.
+/// One connected subscriber: a buffered line transport (net::LineConn owns
+/// partial-write/EPIPE robustness — a dead or wedged client is reaped, and
+/// never takes the daemon down or corrupts another client's stream) plus
+/// its negotiated protocol state. Every connection starts at v1; a
+/// well-formed `hello` upgrades it to v2, after which events carry the v2
+/// envelope with the id of the client's last request.
 struct Client {
-  int Fd = -1;
-  std::string InBuf;
-  bool Dead = false;
+  net::LineConn Conn;
+  unsigned Version = 1;
+  uint64_t ReqId = 0; ///< last v2 request id (echoed on its reply events)
+
+  explicit Client(int Fd) : Conn(Fd) {}
 };
 } // namespace
 
-static void writeAll(Client &C, const std::string &S) {
-  size_t Off = 0;
-  while (Off < S.size()) {
-    ssize_t W = write(C.Fd, S.data() + Off, S.size() - Off);
-    if (W < 0) {
-      if (errno == EINTR)
-        continue;
-      C.Dead = true; // disconnected mid-write; reaped by the loop
-      return;
-    }
-    Off += static_cast<size_t>(W);
-  }
-}
-
 int Daemon::runSocket(const std::string &SockPath) {
-  // A client that disconnects mid-broadcast must not kill the daemon.
+  // Belt and braces: LineConn sends with MSG_NOSIGNAL, but ignore SIGPIPE
+  // anyway so no other write path can kill the daemon either.
   signal(SIGPIPE, SIG_IGN);
 
-  int ListenFd = socket(AF_UNIX, SOCK_STREAM, 0);
+  std::string SockErr;
+  int ListenFd = net::listenUnix(SockPath, &SockErr);
   if (ListenFd < 0) {
-    fprintf(stderr, "verifyd: socket: %s\n", strerror(errno));
-    return 2;
-  }
-  struct sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (SockPath.size() >= sizeof(Addr.sun_path)) {
-    fprintf(stderr, "verifyd: socket path too long: %s\n", SockPath.c_str());
-    close(ListenFd);
-    return 2;
-  }
-  std::memcpy(Addr.sun_path, SockPath.c_str(), SockPath.size() + 1);
-  ::unlink(SockPath.c_str()); // stale socket from a crashed daemon
-  if (bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
-           sizeof(Addr)) < 0 ||
-      listen(ListenFd, 8) < 0) {
-    fprintf(stderr, "verifyd: bind %s: %s\n", SockPath.c_str(),
-            strerror(errno));
-    close(ListenFd);
+    fprintf(stderr, "verifyd: %s\n", SockErr.c_str());
     return 2;
   }
 
-  std::vector<Client> Clients;
+  std::vector<std::unique_ptr<Client>> Clients;
   // Every event goes to stdout (the daemon's log) and to every connected
   // subscriber — watch revisions broadcast, and a requesting client sees
-  // its own terminating event because it is a subscriber too.
-  EventSink Broadcast = [&Clients](const std::string &L) {
-    fputs(L.c_str(), stdout);
+  // its own terminating event because it is a subscriber too. The typed
+  // sink renders per client: v1 connections get the exact legacy line, v2
+  // connections the enveloped one.
+  StructuredSink Broadcast = [&Clients](const Event &E) {
+    std::string V1 = E.toJsonLine();
+    fputs(V1.c_str(), stdout);
     fputc('\n', stdout);
     fflush(stdout);
-    std::string Line = L + "\n";
-    for (Client &C : Clients)
-      if (!C.Dead)
-        writeAll(C, Line);
+    for (auto &C : Clients) {
+      if (C->Conn.dead())
+        continue;
+      C->Conn.sendLine(C->Version >= 2 ? E.toJsonLine(C->Version, C->ReqId)
+                                       : V1);
+      C->Conn.flushWrites();
+    }
   };
 
   checkOnce(Broadcast, /*Force=*/true);
 
   bool Stop = false;
-  char Chunk[4096];
+  auto HandleV2 = [&](Client &C, const std::string &Line) {
+    fleet::Msg M;
+    std::string PErr;
+    if (!fleet::parseMsg(Line, M, &PErr)) {
+      C.Conn.sendLine(fleet::ErrorMsg{PErr}.toLine());
+      C.Conn.flushWrites();
+      return;
+    }
+    switch (M.Kind) {
+    case fleet::MsgKind::Hello: {
+      if (M.H.Version != fleet::kProtocolVersion) {
+        C.Conn.sendLine(
+            fleet::ErrorMsg{"protocol version " +
+                            std::to_string(M.H.Version) +
+                            " not supported (daemon speaks " +
+                            std::to_string(fleet::kProtocolVersion) + ")"}
+                .toLine());
+        C.Conn.flushWrites();
+        C.Conn.markDead();
+        return;
+      }
+      C.Version = M.H.Version;
+      fleet::HelloAck Ack;
+      Ack.File = Docs.empty() ? std::string() : Docs.front()->Path;
+      Ack.Recheck = O.Recheck;
+      C.Conn.sendLine(Ack.toLine());
+      C.Conn.flushWrites();
+      return;
+    }
+    case fleet::MsgKind::Request:
+      // The v2 request surface is the v1 command set with an id: the
+      // reply events of this check/status carry the id in their envelope.
+      C.ReqId = M.Q.Id;
+      if (!handleLine(M.Q.Method, Broadcast))
+        Stop = true;
+      return;
+    case fleet::MsgKind::Bye:
+      C.Conn.markDead();
+      return;
+    default:
+      C.Conn.sendLine(
+          fleet::ErrorMsg{"unexpected message on a daemon socket"}.toLine());
+      C.Conn.flushWrites();
+      return;
+    }
+  };
+
   while (!Stop && !shutdownRequested()) {
     std::vector<struct pollfd> PFDs;
     PFDs.push_back({ListenFd, POLLIN, 0});
-    for (const Client &C : Clients)
-      PFDs.push_back({C.Fd, POLLIN, 0});
+    for (const auto &C : Clients) {
+      short Ev = POLLIN;
+      if (C->Conn.wantsWrite())
+        Ev |= POLLOUT;
+      PFDs.push_back({C->Conn.fd(), Ev, 0});
+    }
 
     int N = poll(PFDs.data(), PFDs.size(), static_cast<int>(O.PollMs));
     if (N < 0) {
@@ -574,45 +612,42 @@ int Daemon::runSocket(const std::string &SockPath) {
     if (PFDs[0].revents & POLLIN) {
       int Fd = accept(ListenFd, nullptr, nullptr);
       if (Fd >= 0)
-        Clients.push_back(Client{Fd, {}, false});
+        Clients.push_back(std::make_unique<Client>(Fd));
     }
 
     // PFDs[I+1] belongs to Clients[I]; accept above only appended.
     for (size_t I = 0; I < Clients.size() && I + 1 < PFDs.size(); ++I) {
-      Client &C = Clients[I];
+      Client &C = *Clients[I];
       short Rev = PFDs[I + 1].revents;
       if (Rev & (POLLERR | POLLNVAL)) {
-        C.Dead = true;
+        C.Conn.markDead();
         continue;
       }
+      if (Rev & POLLOUT)
+        C.Conn.flushWrites();
       if (!(Rev & (POLLIN | POLLHUP)))
         continue;
-      ssize_t R = read(C.Fd, Chunk, sizeof(Chunk));
-      if (R <= 0) {
-        C.Dead = true;
-        continue;
-      }
-      C.InBuf.append(Chunk, static_cast<size_t>(R));
-      size_t NL;
-      while (!Stop && (NL = C.InBuf.find('\n')) != std::string::npos) {
-        std::string Line = C.InBuf.substr(0, NL);
-        C.InBuf.erase(0, NL + 1);
-        if (!handleLine(Line, Broadcast))
+      std::vector<std::string> Lines;
+      bool Alive = C.Conn.readLines(Lines);
+      for (const std::string &Line : Lines) {
+        if (Stop)
+          break;
+        if (fleet::looksLikeV2(Line))
+          HandleV2(C, Line);
+        else if (!handleLine(Line, Broadcast)) // legacy v1 bare words
           Stop = true;
       }
+      if (!Alive)
+        C.Conn.markDead();
     }
 
-    for (size_t I = Clients.size(); I-- > 0;) {
-      if (Clients[I].Dead) {
-        close(Clients[I].Fd);
+    for (size_t I = Clients.size(); I-- > 0;)
+      if (Clients[I]->Conn.dead())
         Clients.erase(Clients.begin() + static_cast<ptrdiff_t>(I));
-      }
-    }
   }
 
-  emitShutdown(render(Broadcast));
-  for (Client &C : Clients)
-    close(C.Fd);
+  emitShutdown(Broadcast);
+  Clients.clear();
   close(ListenFd);
   ::unlink(SockPath.c_str());
   return lastAllVerified() ? 0 : 1;

@@ -28,9 +28,15 @@
 /// Events are typed (daemon::Event); the JSON-lines protocol over stdio
 /// (`verifyd --stdio`) or a Unix domain socket (`verifyd --socket=PATH`)
 /// renders them with Event::toJsonLine, and the LSP server consumes them
-/// directly through a StructuredSink. Requests are single words (`check`,
-/// `status`, `shutdown`); every `check` exchange is terminated by a
-/// `revision_done`, `unchanged`, or `error` event per document.
+/// directly through a StructuredSink. Legacy (v1) requests are single
+/// words (`check`, `status`, `shutdown`); every `check` exchange is
+/// terminated by a `revision_done`, `unchanged`, or `error` event per
+/// document. A socket client may instead upgrade to protocol v2
+/// (fleet/Protocol.h) with a `hello` handshake: its requests become
+/// id-correlated `{"rcc": "req"}` messages and its events gain the
+/// versioned envelope (Event::toJsonLine(Version, ReqId)), while v1
+/// clients on the same socket keep receiving the byte-identical legacy
+/// lines.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -116,8 +122,12 @@ public:
 
   /// Dispatches one protocol line (`check` / `status` / `shutdown`;
   /// unknown commands produce an `error` event). Returns false when the
-  /// daemon should shut down.
+  /// daemon should shut down. These are the legacy v1 commands *and* the
+  /// method set of v2 requests — runSocket maps `{"rcc": "req", "method":
+  /// M}` onto the same dispatch, so both protocol generations share one
+  /// semantic surface.
   bool handleLine(const std::string &Line, const EventSink &Sink);
+  bool handleLine(const std::string &Line, const StructuredSink &Sink);
 
   /// Stdio transport: cold-start verification, then one command per input
   /// line. When \p In is std::cin, the loop polls the workspace between

@@ -6,6 +6,7 @@
 
 #include "daemon/Event.h"
 
+#include "support/Json.h"
 #include "support/Util.h"
 
 #include <cstdio>
@@ -121,4 +122,140 @@ std::string Event::toJsonLine() const {
     break;
   }
   return S;
+}
+
+std::string Event::toJsonLine(unsigned Version, uint64_t ReqId) const {
+  std::string V1 = toJsonLine();
+  if (Version < 2)
+    return V1;
+  // The v2 envelope prefixes the *identical* v1 body, so a v2 subscriber
+  // can reuse every v1 field parser and v1 byte-compatibility is trivially
+  // preserved for clients that never said hello.
+  return "{\"v\": 2, \"id\": " + std::to_string(ReqId) + ", " + V1.substr(1);
+}
+
+static bool parseLoc(const json::Value &O, const char *LineKey,
+                     const char *ColKey, SourceLoc &Out) {
+  const json::Value *L = O.field(LineKey), *C = O.field(ColKey);
+  if (!L || !C || !L->isNumber() || !C->isNumber())
+    return false;
+  Out.Line = static_cast<unsigned>(L->asInt());
+  Out.Col = static_cast<unsigned>(C->asInt());
+  return true;
+}
+
+/// Restores an rcc::Diagnostic from its Diagnostic::toJson object.
+static bool parseDiagObject(const json::Value &O, Diagnostic &D) {
+  if (!O.isObject())
+    return false;
+  if (const json::Value *F = O.field("file"))
+    D.File = F->asString();
+  parseLoc(O, "line", "col", D.Loc);
+  parseLoc(O, "end_line", "end_col", D.End);
+  if (const json::Value *S = O.field("severity")) {
+    if (S->asString() == "warning")
+      D.Level = DiagLevel::Warning;
+    else if (S->asString() == "note")
+      D.Level = DiagLevel::Note;
+    else
+      D.Level = DiagLevel::Error;
+  }
+  if (const json::Value *F = O.field("fn"))
+    D.Fn = F->asString();
+  if (const json::Value *R = O.field("rule"))
+    D.Rule = R->asString();
+  const json::Value *M = O.field("message");
+  if (!M || !M->isString())
+    return false;
+  D.Message = M->asString();
+  return true;
+}
+
+bool Event::fromJsonLine(const std::string &Line, Event &Out,
+                         uint64_t *ReqId) {
+  json::Value V;
+  if (!json::parse(Line, V, nullptr) || !V.isObject())
+    return false;
+  if (ReqId)
+    *ReqId = 0;
+  if (const json::Value *Id = V.field("id"))
+    if (Id->isNumber() && ReqId)
+      *ReqId = static_cast<uint64_t>(Id->asInt());
+  const json::Value *Kind = V.field("event");
+  if (!Kind || !Kind->isString())
+    return false;
+  const std::string &K = Kind->asString();
+
+  Event E; // start from zero values; only set what the wire carries
+  auto U = [&V](const char *Name, unsigned Default = 0) -> unsigned {
+    const json::Value *F = V.field(Name);
+    return F && F->isNumber() ? static_cast<unsigned>(F->asInt()) : Default;
+  };
+  auto U64 = [&V](const char *Name) -> uint64_t {
+    const json::Value *F = V.field(Name);
+    return F && F->isNumber() ? static_cast<uint64_t>(F->asInt()) : 0;
+  };
+  auto B = [&V](const char *Name) -> bool {
+    const json::Value *F = V.field(Name);
+    return F && F->asBool();
+  };
+  auto Str = [&V](const char *Name) -> std::string {
+    const json::Value *F = V.field(Name);
+    return F ? F->asString() : std::string();
+  };
+  E.Rev = U("rev");
+  E.File = Str("file");
+  E.AllVerified = B("all_verified");
+  if (const json::Value *W = V.field("wall_ms"))
+    E.WallMs = W->asNumber();
+
+  if (K == "revision") {
+    E.Kind = EventKind::Revision;
+  } else if (K == "diagnostic") {
+    E.Kind = EventKind::Diagnostic;
+    E.Verified = B("verified");
+    E.Cached = B("cached");
+    E.Trusted = B("trusted");
+    if (const json::Value *D = V.field("diagnostic")) {
+      if (!parseDiagObject(*D, E.Diag))
+        return false;
+    } else {
+      E.Diag.Message = Str("error");
+      parseLoc(V, "line", "col", E.Diag.Loc);
+    }
+    E.Diag.Fn = Str("fn");
+    E.Diag.File = E.File;
+  } else if (K == "revision_done") {
+    E.Kind = EventKind::RevisionDone;
+    E.Functions = U("functions");
+    E.Reverified = U("reverified");
+    E.CachedFns = U("cached");
+    E.L1Hits = U("l1_hits");
+    E.L2Hits = U("l2_hits");
+    E.Replayed = U("replayed");
+    E.Failed = U("failed");
+  } else if (K == "unchanged") {
+    E.Kind = EventKind::Unchanged;
+  } else if (K == "status") {
+    E.Kind = EventKind::Status;
+    E.Functions = U("functions");
+  } else if (K == "error") {
+    E.Kind = EventKind::Error;
+    E.Diag.Message = Str("message");
+    parseLoc(V, "line", "col", E.Diag.Loc);
+    if (E.Diag.Message.empty())
+      return false;
+  } else if (K == "gc") {
+    E.Kind = EventKind::Gc;
+    E.BytesBefore = U64("bytes_before");
+    E.BytesAfter = U64("bytes_after");
+    E.Evicted = U64("evicted");
+    E.MaxBytes = U64("max_bytes");
+  } else if (K == "shutdown") {
+    E.Kind = EventKind::Shutdown;
+  } else {
+    return false;
+  }
+  Out = std::move(E);
+  return true;
 }

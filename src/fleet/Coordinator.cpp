@@ -1,0 +1,392 @@
+//===- Coordinator.cpp - Fleet coordinator (verifyd --serve) --------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Coordinator.h"
+
+#include "fleet/Protocol.h"
+#include "frontend/Frontend.h"
+#include "support/Socket.h"
+#include "trace/Trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace rcc;
+using namespace rcc::fleet;
+
+namespace {
+
+/// One connected worker: its line transport and scheduling state.
+struct WorkerConn {
+  net::LineConn Conn;
+  bool Hailed = false; ///< hello accepted
+  std::string Name;
+  uint64_t NextSeq = 1;
+  /// Jobs handed to this worker with no job_result yet. On death these go
+  /// back to the front of the pending queue.
+  std::vector<std::string> InFlight;
+
+  explicit WorkerConn(int Fd) : Conn(Fd) {}
+};
+
+} // namespace
+
+bool Coordinator::run(refinedc::ProgramResult &Out, std::string *Err) {
+  auto Fail = [Err](std::string M) {
+    if (Err)
+      *Err = std::move(M);
+    return false;
+  };
+
+  // --- Compile the program and enumerate the job list -------------------
+  std::ifstream In(O.File);
+  if (!In)
+    return Fail("cannot open '" + O.File + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Source = SS.str();
+
+  trace::SessionScope Scope(O.Trace);
+  DiagnosticEngine Diags;
+  auto AP = front::compileSource(Source, Diags);
+  if (!AP)
+    return Fail(Diags.render(Source));
+  refinedc::Checker Chk(*AP, Diags);
+  if (!Chk.buildEnv())
+    return Fail(Diags.render(Source));
+
+  std::vector<std::string> Names;
+  for (const auto &[Name, Spec] : Chk.env().FnSpecs)
+    if (AP->Prog.function(Name) && AP->Fns.count(Name) &&
+        AP->Fns.at(Name).HasBody)
+      Names.push_back(Name);
+
+  // --- Serve the job queue over the socket ------------------------------
+  std::string SockErr;
+  int ListenFd = net::listenUnix(O.SockPath, &SockErr);
+  if (ListenFd < 0)
+    return Fail("listen on '" + O.SockPath + "': " + SockErr);
+
+  std::deque<std::string> Pending(Names.begin(), Names.end());
+  std::set<std::string> Done;
+  std::vector<std::unique_ptr<WorkerConn>> Conns;
+
+  HelloAck Ack;
+  Ack.File = O.File;
+  Ack.SharedDir = O.SharedDir;
+  Ack.Recheck = O.Recheck;
+  Ack.Portfolio = pure::portfolioModeName(O.Portfolio);
+  Ack.Window = O.Window;
+
+  auto MkBatch = [&](WorkerConn &W, unsigned Capacity) {
+    Jobs J;
+    J.Seq = W.NextSeq++;
+    unsigned N = std::min(Capacity, O.Window);
+    while (N-- && !Pending.empty()) {
+      J.Fns.push_back(Pending.front());
+      Pending.pop_front();
+    }
+    if (J.Fns.empty() && Done.size() < Names.size()) {
+      // End-game work stealing: the queue is dry but other workers still
+      // hold jobs in flight. Speculatively re-issue the straggling jobs to
+      // this idle worker — whoever publishes to L3 first wins, and the
+      // duplicate result is a harmless store hit. This is what keeps one
+      // slow worker from stalling the whole window.
+      for (const auto &C : Conns) {
+        if (C.get() == &W)
+          continue;
+        for (const std::string &Fn : C->InFlight) {
+          if (Done.count(Fn) ||
+              std::find(J.Fns.begin(), J.Fns.end(), Fn) != J.Fns.end())
+            continue;
+          J.Fns.push_back(Fn);
+          ++Stats.Stolen;
+          if (J.Fns.size() >= O.Window)
+            break;
+        }
+        if (J.Fns.size() >= O.Window)
+          break;
+      }
+    }
+    // The worker is drained only when everything is done; an empty
+    // non-done batch tells it to back off and re-pull shortly.
+    J.Done = J.Fns.empty() && Done.size() >= Names.size();
+    W.InFlight.insert(W.InFlight.end(), J.Fns.begin(), J.Fns.end());
+    return J;
+  };
+
+  auto HandleMsg = [&](WorkerConn &W, const Msg &M) {
+    switch (M.Kind) {
+    case MsgKind::Hello:
+      if (M.H.Version != kProtocolVersion) {
+        ++Stats.BadHandshakes;
+        trace::count("fleet.bad_handshakes");
+        W.Conn.sendLine(ErrorMsg{"protocol version " +
+                                 std::to_string(M.H.Version) +
+                                 " not supported (coordinator speaks " +
+                                 std::to_string(kProtocolVersion) + ")"}
+                            .toLine());
+        W.Conn.flushWrites();
+        W.Conn.markDead();
+        return;
+      }
+      if (M.H.Role != "worker") {
+        ++Stats.BadHandshakes;
+        W.Conn.sendLine(
+            ErrorMsg{"only workers may connect to a fleet socket"}.toLine());
+        W.Conn.flushWrites();
+        W.Conn.markDead();
+        return;
+      }
+      W.Hailed = true;
+      W.Name = M.H.Name;
+      ++Stats.WorkersSeen;
+      trace::count("fleet.workers");
+      W.Conn.sendLine(Ack.toLine());
+      break;
+    case MsgKind::Pull:
+      if (!W.Hailed) {
+        W.Conn.markDead();
+        return;
+      }
+      W.Conn.sendLine(MkBatch(W, M.P.Capacity).toLine());
+      break;
+    case MsgKind::JobResult: {
+      auto It = std::find(W.InFlight.begin(), W.InFlight.end(), M.R.Fn);
+      if (It != W.InFlight.end())
+        W.InFlight.erase(It);
+      if (Done.insert(M.R.Fn).second) {
+        ++Stats.JobsCompleted;
+        trace::count("fleet.jobs_completed");
+      }
+      break;
+    }
+    case MsgKind::SpanFlush:
+      Stats.FlushedSpans += static_cast<unsigned>(M.F.Events.size());
+      if (O.Trace) {
+        O.Trace->metrics()
+            .counter("fleet.flushed_spans")
+            .add(M.F.Events.size());
+        // Keep the stream observable without exploding the coordinator's
+        // own buffer: one instant per flush batch, attributed to the
+        // worker. The spans themselves stay countable via the metric.
+        O.Trace->instant(trace::Category::Pool, "fleet.span_flush",
+                         "\"worker\": \"" + M.F.Worker + "\", \"count\": " +
+                             std::to_string(M.F.Events.size()));
+      }
+      break;
+    case MsgKind::Bye:
+      W.Conn.markDead();
+      break;
+    default:
+      // hello_ack / jobs / req from a worker make no sense; errors are
+      // advisory. Drop them rather than killing the fleet.
+      break;
+    }
+    W.Conn.flushWrites();
+  };
+
+  auto StartT = std::chrono::steady_clock::now();
+  auto ElapsedMs = [&StartT] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - StartT)
+        .count();
+  };
+
+  while (Done.size() < Names.size() && ElapsedMs() < O.WaitMs) {
+    // Workers gone after having shown up: the rest is ours. (Dead conns
+    // were reaped below, so "gone" is simply no connection left at all —
+    // including the ones that never came back after a kill.)
+    bool AnyLive = false;
+    for (const auto &C : Conns)
+      if (!C->Conn.dead())
+        AnyLive = true;
+    if (Stats.WorkersSeen > 0 && !AnyLive)
+      break;
+
+    std::vector<struct pollfd> PFDs;
+    PFDs.push_back({ListenFd, POLLIN, 0});
+    for (const auto &C : Conns) {
+      short Ev = POLLIN;
+      if (C->Conn.wantsWrite())
+        Ev |= POLLOUT;
+      PFDs.push_back({C->Conn.fd(), Ev, 0});
+    }
+    int N = poll(PFDs.data(), PFDs.size(), static_cast<int>(O.PollMs));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+
+    if (PFDs[0].revents & POLLIN) {
+      int Fd = accept(ListenFd, nullptr, nullptr);
+      if (Fd >= 0)
+        Conns.push_back(std::make_unique<WorkerConn>(Fd));
+    }
+
+    for (size_t I = 0; I < Conns.size() && I + 1 < PFDs.size(); ++I) {
+      WorkerConn &W = *Conns[I];
+      short Rev = PFDs[I + 1].revents;
+      if (Rev & (POLLERR | POLLNVAL)) {
+        W.Conn.markDead();
+        continue;
+      }
+      if (Rev & POLLOUT)
+        W.Conn.flushWrites();
+      if (Rev & (POLLIN | POLLHUP)) {
+        std::vector<std::string> Lines;
+        bool Alive = W.Conn.readLines(Lines);
+        for (const std::string &L : Lines) {
+          Msg M;
+          if (!parseMsg(L, M, nullptr)) {
+            W.Conn.sendLine(ErrorMsg{"malformed message"}.toLine());
+            W.Conn.markDead();
+            break;
+          }
+          HandleMsg(W, M);
+        }
+        if (!Alive)
+          W.Conn.markDead();
+      }
+    }
+
+    // Reap dead workers, requeueing whatever they still held. A worker
+    // killed mid-job (kill -9) lands here via EOF: its jobs go back to the
+    // queue front so the run still completes.
+    for (size_t I = Conns.size(); I-- > 0;) {
+      WorkerConn &W = *Conns[I];
+      if (!W.Conn.dead())
+        continue;
+      for (const std::string &Fn : W.InFlight) {
+        if (Done.count(Fn))
+          continue;
+        Pending.push_front(Fn);
+        ++Stats.Requeued;
+        trace::count("fleet.requeued");
+      }
+      Conns.erase(Conns.begin() + static_cast<ptrdiff_t>(I));
+    }
+  }
+
+  // Drain: tell every live worker there is nothing left, then hold each
+  // connection open until the worker acknowledges with `bye` (or a short
+  // grace deadline passes). Closing immediately after the done batch
+  // would race the worker's next pull: its send hits EPIPE before it ever
+  // reads the batch, and a clean drain turns into a spurious failure.
+  for (auto &C : Conns) {
+    // Un-helloed conns wait: they get their hello_ack (and then a done
+    // batch for their first pull) from the grace loop below.
+    if (C->Conn.dead() || !C->Hailed)
+      continue;
+    Jobs J;
+    J.Seq = C->NextSeq++;
+    J.Done = true;
+    C->Conn.sendLine(J.toLine());
+  }
+  auto GraceEnd =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  while (std::chrono::steady_clock::now() < GraceEnd) {
+    std::vector<struct pollfd> PFDs;
+    PFDs.push_back({ListenFd, POLLIN, 0});
+    for (const auto &C : Conns) {
+      short Ev = POLLIN;
+      if (C->Conn.wantsWrite())
+        Ev |= POLLOUT;
+      // poll(2) ignores negative fds, so dead conns drop out naturally.
+      PFDs.push_back({C->Conn.dead() ? -1 : C->Conn.fd(), Ev, 0});
+    }
+    if (poll(PFDs.data(), PFDs.size(), 50) < 0 && errno != EINTR)
+      break;
+    // A worker whose handshake lost the race against the last job still
+    // drains cleanly: accept it, answer its hello, and feed it the done
+    // batch below instead of resetting its connection on close.
+    if (PFDs[0].revents & POLLIN) {
+      int Fd = accept(ListenFd, nullptr, nullptr);
+      if (Fd >= 0)
+        Conns.push_back(std::make_unique<WorkerConn>(Fd));
+    }
+    for (size_t I = 0; I < Conns.size() && I + 1 < PFDs.size(); ++I) {
+      WorkerConn &W = *Conns[I];
+      short Rev = PFDs[I + 1].revents;
+      if (Rev & (POLLERR | POLLNVAL)) {
+        W.Conn.markDead();
+        continue;
+      }
+      if (Rev & POLLOUT)
+        W.Conn.flushWrites();
+      if (Rev & (POLLIN | POLLHUP)) {
+        std::vector<std::string> Lines;
+        bool Alive = W.Conn.readLines(Lines);
+        for (const std::string &L : Lines) {
+          Msg M;
+          if (!parseMsg(L, M, nullptr) || M.Kind == MsgKind::Bye) {
+            W.Conn.markDead();
+            break;
+          }
+          if (M.Kind == MsgKind::Pull) {
+            // A pull sent before the worker saw the done batch: answer it
+            // with another done batch rather than re-running MkBatch,
+            // which could hand out work we are no longer here to collect.
+            Jobs J;
+            J.Seq = W.NextSeq++;
+            J.Done = true;
+            W.Conn.sendLine(J.toLine());
+          } else {
+            HandleMsg(W, M); // late hello/job_result/span_flush still work
+          }
+        }
+        if (!Alive)
+          W.Conn.markDead();
+      }
+    }
+    // Checked after the poll so a worker still sitting in the listen
+    // backlog at drain entry gets accepted before we decide nobody is
+    // left. The first iteration costs at most one poll timeout.
+    bool AnyLive = false;
+    for (const auto &C : Conns)
+      if (!C->Conn.dead())
+        AnyLive = true;
+    if (!AnyLive)
+      break;
+  }
+  Conns.clear();
+  close(ListenFd);
+  ::unlink(O.SockPath.c_str());
+
+  if (O.Trace) {
+    trace::MetricsRegistry &MR = O.Trace->metrics();
+    MR.counter("fleet.jobs_total").add(Names.size());
+    MR.counter("fleet.workers_seen").add(Stats.WorkersSeen);
+  }
+
+  // --- Assemble the final result through the shared store ---------------
+  //
+  // This pass is the trust boundary: every function either hits L3 (and is
+  // replayed through the ProofChecker before being surfaced, under
+  // Recheck) or is re-verified locally. Worker job_results above only
+  // steered scheduling; they contribute nothing to the verdict.
+  refinedc::VerifyOptions VO;
+  VO.Jobs = O.Jobs;
+  VO.Recheck = O.Recheck;
+  VO.Portfolio = O.Portfolio;
+  VO.SharedDir = O.SharedDir;
+  VO.Trace = O.Trace;
+  VO.DeterministicTrace = O.DeterministicTrace;
+  Out = Chk.verifyFunctions(Names, VO);
+  return true;
+}

@@ -1,0 +1,87 @@
+//===- Coordinator.h - Fleet coordinator (verifyd --serve) -----*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet coordinator behind `verifyd --serve` (DESIGN.md, "Fleet &
+/// protocol v2"). It decomposes a program into function-level jobs, hands
+/// them to `verifyd --worker` processes over the v2 protocol with
+/// work-stealing pull semantics, and assembles the final ProgramResult
+/// *itself*: workers only warm the shared L3 artifact store, and the
+/// coordinator's closing verifyFunctions pass replays every L3 derivation
+/// through the independent ProofChecker before trusting it. That design
+/// makes every fleet failure mode degrade to correctness automatically —
+/// a killed worker, a corrupt artifact, a lying job_result, or a
+/// wrong-version peer all end as local re-verification, never as a wrong
+/// answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_FLEET_COORDINATOR_H
+#define RCC_FLEET_COORDINATOR_H
+
+#include "refinedc/Checker.h"
+
+#include <string>
+
+namespace rcc::fleet {
+
+struct FleetOptions {
+  std::string SockPath;  ///< Unix socket the coordinator listens on
+  std::string File;      ///< annotated source file (workers compile it too)
+  std::string SharedDir; ///< the shared L3 artifact store directory
+  /// Local jobs for the closing assembly pass (0 = all cores).
+  unsigned Jobs = 1;
+  bool Recheck = true;
+  pure::PortfolioMode Portfolio = pure::PortfolioMode::On;
+  /// Backpressure: max jobs in flight per worker batch. A pull is answered
+  /// with min(capacity, Window, remaining) jobs, so one greedy worker
+  /// cannot drain the queue and then stall everyone behind its batch.
+  unsigned Window = 4;
+  /// Total serving budget in milliseconds: after this the coordinator
+  /// stops waiting for workers and assembles locally (stragglers and
+  /// no-show fleets both terminate).
+  unsigned WaitMs = 60000;
+  /// Poll granularity of the serve loop.
+  unsigned PollMs = 50;
+  /// Zero wall times / make the assembled result byte-comparable against a
+  /// single-process --deterministic-trace run.
+  bool DeterministicTrace = false;
+  /// Optional trace session: fleet.* counters and streamed worker spans.
+  trace::TraceSession *Trace = nullptr;
+};
+
+/// Serving statistics (mirrored into fleet.* metrics counters when a trace
+/// session is attached).
+struct FleetStats {
+  unsigned WorkersSeen = 0;   ///< handshakes accepted
+  unsigned BadHandshakes = 0; ///< version/role rejections
+  unsigned JobsCompleted = 0; ///< job_result messages received
+  unsigned Requeued = 0;      ///< in-flight jobs returned by dead workers
+  unsigned Stolen = 0;        ///< end-game steals of in-flight jobs
+  unsigned FlushedSpans = 0;  ///< trace spans streamed back by workers
+};
+
+class Coordinator {
+public:
+  explicit Coordinator(FleetOptions O) : O(std::move(O)) {}
+
+  /// Runs the whole fleet round: compile, serve jobs until completion /
+  /// budget / worker exhaustion, then assemble the final result through
+  /// the shared store. Returns false only on setup failures (unreadable
+  /// file, compile/spec errors, unusable socket) with \p Err set;
+  /// verification failures are reported in \p Out like any local run.
+  bool run(refinedc::ProgramResult &Out, std::string *Err);
+
+  const FleetStats &stats() const { return Stats; }
+
+private:
+  FleetOptions O;
+  FleetStats Stats;
+};
+
+} // namespace rcc::fleet
+
+#endif // RCC_FLEET_COORDINATOR_H

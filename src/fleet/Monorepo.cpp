@@ -1,0 +1,87 @@
+//===- Monorepo.cpp - Synthetic annotated-monorepo generator --------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Monorepo.h"
+
+#include <cstdio>
+
+using namespace rcc::fleet;
+
+std::string rcc::fleet::monorepoFnName(unsigned I) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "fn_%07u", I);
+  return Buf;
+}
+
+std::string rcc::fleet::monorepoSource(unsigned Functions,
+                                       unsigned FailEvery) {
+  std::string S;
+  S.reserve(static_cast<size_t>(Functions) * 260 + 128);
+  S += "// Generated monorepo: " + std::to_string(Functions) +
+       " annotated functions (src/fleet/Monorepo.cpp).\n";
+  char Buf[512];
+  for (unsigned I = 0; I < Functions; ++I) {
+    std::string Name = monorepoFnName(I);
+    // Distinct constants per function keep every content hash unique; the
+    // three body shapes exercise different rule/solver mixes.
+    unsigned K = I % 13 + 1;
+    unsigned Bound = 900 + I % 97;
+    bool Fail = FailEvery && (I + 1) % FailEvery == 0;
+    if (Fail) {
+      // The spec promises n + K but the body computes n + K + 1: a clean
+      // per-function verification failure regardless of the shape cycle.
+      snprintf(Buf, sizeof(Buf),
+               "[[rc::parameters(\"n: nat\")]]\n"
+               "[[rc::args(\"n @ int<u32>\")]]\n"
+               "[[rc::returns(\"{n + %u} @ int<u32>\")]]\n"
+               "[[rc::requires(\"{n <= %u}\")]]\n"
+               "unsigned int %s(unsigned int x) { return x + %u; }\n\n",
+               K, Bound, Name.c_str(), K + 1);
+      S += Buf;
+      continue;
+    }
+    switch (I % 3) {
+    case 0:
+      // Constant offset: one addition, one range side condition.
+      snprintf(Buf, sizeof(Buf),
+               "[[rc::parameters(\"n: nat\")]]\n"
+               "[[rc::args(\"n @ int<u32>\")]]\n"
+               "[[rc::returns(\"{n + %u} @ int<u32>\")]]\n"
+               "[[rc::requires(\"{n <= %u}\")]]\n"
+               "unsigned int %s(unsigned int x) { return x + %u; }\n\n",
+               K, Bound, Name.c_str(), K);
+      break;
+    case 1:
+      // Chained additions through a local: assignment + two range checks.
+      snprintf(Buf, sizeof(Buf),
+               "[[rc::parameters(\"n: nat\")]]\n"
+               "[[rc::args(\"n @ int<u32>\")]]\n"
+               "[[rc::returns(\"{n + %u} @ int<u32>\")]]\n"
+               "[[rc::requires(\"{n <= %u}\")]]\n"
+               "unsigned int %s(unsigned int x) {\n"
+               "  unsigned int y = x + %u;\n"
+               "  return y + %u;\n"
+               "}\n\n",
+               2 * K, Bound, Name.c_str(), K, K);
+      break;
+    default:
+      // Branch on a comparison: conditional typing + join.
+      snprintf(Buf, sizeof(Buf),
+               "[[rc::parameters(\"n: nat\")]]\n"
+               "[[rc::args(\"n @ int<u32>\")]]\n"
+               "[[rc::returns(\"int<u32>\")]]\n"
+               "[[rc::requires(\"{n <= %u}\")]]\n"
+               "unsigned int %s(unsigned int x) {\n"
+               "  if (x < %u) { return x + %u; }\n"
+               "  return x;\n"
+               "}\n\n",
+               Bound, Name.c_str(), K, K);
+      break;
+    }
+    S += Buf;
+  }
+  return S;
+}

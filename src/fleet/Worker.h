@@ -1,0 +1,56 @@
+//===- Worker.h - Fleet worker (verifyd --worker) --------------*- C++ -*-===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet worker behind `verifyd --worker` (DESIGN.md, "Fleet &
+/// protocol v2"). A worker connects to a coordinator socket, handshakes at
+/// kProtocolVersion, compiles the file named in the hello_ack, then loops:
+/// pull a job batch, verify each function against the shared L3 store (so
+/// its derivation is published for the coordinator to replay), report a
+/// job_result per function, and stream completed trace spans back as
+/// span_flush batches (lossless flush mode). Workers never return proofs
+/// over the wire — the L3 store is the only artifact channel, and the
+/// coordinator re-replays everything it takes from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RCC_FLEET_WORKER_H
+#define RCC_FLEET_WORKER_H
+
+#include <string>
+
+namespace rcc::fleet {
+
+struct WorkerOptions {
+  std::string Connect; ///< coordinator Unix socket path
+  std::string Name;    ///< worker name reported in the handshake
+  /// Jobs requested per pull (the coordinator clamps to its window).
+  unsigned Capacity = 2;
+  /// In-worker verification parallelism per function (usually 1: fleet
+  /// parallelism comes from running more workers).
+  unsigned Jobs = 1;
+  /// Budget for the coordinator socket to appear (workers are typically
+  /// launched alongside the coordinator and must tolerate losing the
+  /// race).
+  unsigned ConnectWaitMs = 10000;
+  /// Trace-buffer cap: a full buffer streams back as a span_flush instead
+  /// of ring-dropping.
+  unsigned FlushCap = 128;
+  /// Test hook: artificial delay before each job's verification, so fault
+  /// tests can reliably kill a worker mid-job.
+  unsigned SleepMsPerJob = 0;
+  /// Handshake override for tests (0 = kProtocolVersion).
+  unsigned ProtocolVersion = 0;
+};
+
+/// Runs the worker loop to completion. Returns a process exit code: 0 on a
+/// clean drain (the coordinator sent done), 1 on connection loss,
+/// handshake rejection, or compile failure.
+int runWorker(const WorkerOptions &O);
+
+} // namespace rcc::fleet
+
+#endif // RCC_FLEET_WORKER_H

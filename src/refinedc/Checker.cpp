@@ -43,9 +43,9 @@ Checker::Checker(const front::AnnotatedProgram &AP,
       Rules.setMode(lithium::RuleRegistry::DispatchMode::CrossCheck);
   }
   // The trusted in-memory tier is part of every session; configureStore
-  // attaches the persistent tier per run.
+  // attaches the persistent tiers per run.
   L1 = std::make_shared<store::MemoryResultStore>();
-  Store.addTier(L1);
+  Store.addTier(L1, /*Trusted=*/true);
 }
 
 Checker::~Checker() {
@@ -652,10 +652,14 @@ uint64_t Checker::fnContentHash(const std::string &Name,
   H.mix(Rules.fingerprint());
   for (const auto &R : SolverProto.simplifier().rules())
     H.mix(R.Name);
-  H.mix(static_cast<uint64_t>(Opts.Recheck))
-      .mix(static_cast<uint64_t>(Opts.Backtracking))
+  // Only options that change the *verdict* participate: Recheck and
+  // CollectDerivation alter trust metadata and payload, both of which
+  // probeStore re-establishes per hit (replay for untrusted tiers, the
+  // strictness guards for L1), so keying on them would partition the store
+  // by driver — a fleet worker publishes under --no-recheck and the
+  // coordinator's closing recheck pass must still find those entries.
+  H.mix(static_cast<uint64_t>(Opts.Backtracking))
       .mix(static_cast<uint64_t>(Opts.MaxSteps))
-      .mix(static_cast<uint64_t>(Opts.CollectDerivation))
       // On and Race compute identical results (Race only reorders work),
       // so they share a hash bit; Off lacks the bit-vector backend and
       // must not reuse portfolio-era cache entries.
@@ -675,31 +679,51 @@ void Checker::invalidateCache() {
 void Checker::adoptStoreTiers(
     std::shared_ptr<store::MemoryResultStore> SharedL1,
     std::shared_ptr<store::DiskResultStore> SharedL2) {
+  std::vector<std::shared_ptr<store::ResultStore>> Untrusted;
+  if (SharedL2)
+    Untrusted.push_back(std::move(SharedL2));
+  adoptTierStack(std::move(SharedL1), std::move(Untrusted));
+}
+
+void Checker::adoptTierStack(
+    std::shared_ptr<store::MemoryResultStore> SharedL1,
+    std::vector<std::shared_ptr<store::ResultStore>> Untrusted) {
   L1 = SharedL1 ? std::move(SharedL1)
                 : std::make_shared<store::MemoryResultStore>();
-  L2 = std::move(SharedL2);
+  L2 = nullptr;
+  L3 = nullptr;
+  AdoptedUntrusted = std::move(Untrusted);
   ExternalTiers = true;
   Store.resetTiers();
-  Store.addTier(L1);
-  if (L2)
-    Store.addTier(L2);
+  Store.addTier(L1, /*Trusted=*/true);
+  for (const auto &T : AdoptedUntrusted)
+    Store.addTier(T, /*Trusted=*/false);
 }
 
 void Checker::configureStore(const VerifyOptions &Opts) {
   if (ExternalTiers)
-    return; // the daemon owns the composition; CacheDir is ignored
+    return; // the adopter owns the composition; CacheDir/SharedDir are
+            // ignored
   const bool WantL2 = !Opts.CacheDir.empty() && !Opts.NoCache;
-  if (WantL2 && L2 && L2->dir() == Opts.CacheDir)
-    return; // same directory as the previous run: keep the tier (and its
-            // lifetime counters)
-  if (!WantL2 && !L2)
-    return;
-  L2 = WantL2 ? std::make_shared<store::DiskResultStore>(Opts.CacheDir)
+  const bool WantL3 = !Opts.SharedDir.empty() && !Opts.NoCache;
+  const bool L2Ok =
+      WantL2 ? (L2 && L2->dir() == Opts.CacheDir) : (L2 == nullptr);
+  const bool L3Ok =
+      WantL3 ? (L3 && L3->dir() == Opts.SharedDir) : (L3 == nullptr);
+  if (L2Ok && L3Ok)
+    return; // same composition as the previous run: keep the tiers (and
+            // their lifetime counters)
+  L2 = WantL2 ? std::make_shared<store::DiskResultStore>(Opts.CacheDir, "l2")
               : nullptr;
+  L3 = WantL3
+           ? std::make_shared<store::DiskResultStore>(Opts.SharedDir, "l3")
+           : nullptr;
   Store.resetTiers();
-  Store.addTier(L1);
+  Store.addTier(L1, /*Trusted=*/true);
   if (L2)
-    Store.addTier(L2);
+    Store.addTier(L2, /*Trusted=*/false);
+  if (L3)
+    Store.addTier(L3, /*Trusted=*/false);
 }
 
 bool Checker::probeStore(const std::string &Name, uint64_t Key,
@@ -710,18 +734,31 @@ bool Checker::probeStore(const std::string &Name, uint64_t Key,
   if (!Store.get(Name, Key, R, T))
     return false;
 
-  if (T > 0) {
-    // The entry came from an untrusted (persistent) tier. Its envelope only
-    // filtered corruption and staleness; trust is established by replaying
-    // the recorded derivation through the independent ProofChecker — the
-    // paper's search-untrusted / checker-trusted split, extended across
-    // process boundaries. --no-recheck downgrades this to content-hash
-    // trust. Failed and rc::trust_me results carry no proof to replay and
-    // are surfaced as stored.
+  if (Store.trusted(T)) {
+    // The in-memory tier this process populated. The key does not encode
+    // Recheck/CollectDerivation (they do not change verdicts), so an entry
+    // computed under laxer options can surface here; honor the stricter
+    // run by recomputing instead of serving a certificate weaker than the
+    // caller asked for.
+    if (R.Verified && !R.Trusted &&
+        ((Opts.Recheck && !R.Rechecked) ||
+         (Opts.CollectDerivation && R.Deriv.Steps.empty())))
+      return false;
+  } else {
+    // The entry came from an untrusted (persistent or shared) tier. Its
+    // envelope only filtered corruption and staleness; trust is established
+    // by replaying the recorded derivation through the independent
+    // ProofChecker — the paper's search-untrusted / checker-trusted split,
+    // extended across process (and, for L3, machine) boundaries.
+    // --no-recheck downgrades this to content-hash trust. Failed and
+    // rc::trust_me results carry no proof to replay and are surfaced as
+    // stored.
     if (Opts.Recheck && R.Verified && !R.Trusted) {
       if (R.Deriv.Steps.empty())
         return false; // stored without a derivation: cannot re-certify
-      trace::Span ReplaySpan(trace::Category::Cache, "store.l2.replay");
+      trace::Span ReplaySpan(trace::Category::Cache,
+                             std::string("store.") +
+                                 Store.tier(T).tierName() + ".replay");
       auto T0 = std::chrono::steady_clock::now();
       std::vector<pure::Lemma> Lemmas;
       auto SIt = Env.FnSpecs.find(Name);
@@ -731,24 +768,28 @@ bool Checker::probeStore(const std::string &Name, uint64_t Key,
       ProofChecker PC(Rules);
       bool Ok = PC.check(R.Deriv, Lemmas).Ok;
       auto T1 = std::chrono::steady_clock::now();
-      RS.ReplayUs.fetch_add(
+      const size_t TI = T < RunStoreStats::kMaxTiers
+                            ? T
+                            : RunStoreStats::kMaxTiers - 1;
+      RS.ReplayUs[TI].fetch_add(
           static_cast<uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
                   .count()),
           std::memory_order_relaxed);
-      RS.Replays.fetch_add(1, std::memory_order_relaxed);
+      RS.Replays[TI].fetch_add(1, std::memory_order_relaxed);
       if (!Ok) {
         // A well-formed entry whose proof does not replay. Drop it from
         // every tier and fall back to a fresh verification.
-        RS.ReplayFailures.fetch_add(1, std::memory_order_relaxed);
+        RS.ReplayFailures[TI].fetch_add(1, std::memory_order_relaxed);
         Store.drop(Name, Key);
         return false;
       }
       R.Rechecked = true;
       R.RecheckOk = true;
     }
-    // Validated (or hash-trusted under --no-recheck): promote into the
-    // trusted in-memory tier so repeated runs in this session hit L1.
+    // Validated (or hash-trusted under --no-recheck): promote into every
+    // tier probed earlier — an L3 hit warms both the private L2 and the
+    // trusted in-memory L1, so repeated runs hit the cheapest tier.
     Store.promote(Name, Key, R, T);
   }
 
@@ -782,17 +823,21 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   std::optional<trace::Span> RunSpan;
   RunSpan.emplace(trace::Category::Checker, "checker.run");
 
-  // Compose this run's store tiers (L1 always; L2 when CacheDir is set).
+  // Compose this run's store tiers (L1 always; L2/L3 when CacheDir /
+  // SharedDir are set, or whatever stack was adopted).
   configureStore(Opts);
   const bool UseStore = !Opts.NoCache;
-  const bool HaveL2 = UseStore && L2 != nullptr;
+  // Any untrusted tier in the stack (private L2, shared L3, adopted)?
+  bool HaveUntrusted = false;
+  for (size_t T = 0; T < Store.numTiers(); ++T)
+    HaveUntrusted |= UseStore && !Store.trusted(T);
 
   // Persistent entries are only replayable if they carry their derivation,
   // so a disk-backed run under Recheck always collects derivations for the
   // stored copies; surfaced results still honor Opts.CollectDerivation
   // (stripped after publication, below).
   VerifyOptions EffOpts = Opts;
-  if (HaveL2 && Opts.Recheck)
+  if (HaveUntrusted && Opts.Recheck)
     EffOpts.CollectDerivation = true;
 
   // Content hashes are computed up front, serially: this forces the lazy
@@ -806,9 +851,13 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   constexpr size_t kMiss = ~static_cast<size_t>(0);
   std::vector<size_t> HitTier(Names.size(), kMiss);
   RunStoreStats RS;
-  const uint64_t CorruptBase =
-      HaveL2 ? L2->counters().CorruptDrops.load(std::memory_order_relaxed)
-             : 0;
+  // Per-tier corrupt-drop baselines, so the run's delta can be attributed
+  // to the tier that rejected the entry (store.l2.corrupt_drops vs
+  // store.l3.corrupt_drops).
+  std::vector<uint64_t> CorruptBase(Store.numTiers(), 0);
+  for (size_t T = 0; T < Store.numTiers(); ++T)
+    CorruptBase[T] =
+        Store.tier(T).counters().CorruptDrops.load(std::memory_order_relaxed);
 
   // Each job consults the store at job start (probe + replay) and
   // publishes at job end, through the same interface regardless of tier.
@@ -830,21 +879,37 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   for (size_t I = 0; I < Names.size(); ++I) {
     if (HitTier[I] == kMiss) {
       ++PR.CacheMisses;
+      continue;
+    }
+    ++PR.CacheHits;
+    const size_t T = HitTier[I];
+    if (T == 0) {
+      ++PR.L1Hits;
     } else {
-      ++PR.CacheHits;
-      if (HitTier[I] == 0)
-        ++PR.L1Hits;
+      // Attribute by tier label so the scalar accounting survives any
+      // stack composition ([L1,L2], [L1,L3], [L1,L2,L3], adopted...).
+      const char *TN = Store.tier(T).tierName();
+      if (std::strcmp(TN, "l3") == 0)
+        ++PR.L3Hits;
       else
         ++PR.L2Hits;
     }
   }
-  PR.ReplayedHits = static_cast<unsigned>(RS.Replays.load());
-  PR.ReplayFailures = static_cast<unsigned>(RS.ReplayFailures.load());
-  PR.ReplayMillis = static_cast<double>(RS.ReplayUs.load()) / 1000.0;
-  if (HaveL2)
-    PR.CorruptDrops = static_cast<unsigned>(
-        L2->counters().CorruptDrops.load(std::memory_order_relaxed) -
-        CorruptBase);
+  uint64_t ReplaysTotal = 0, ReplayFailuresTotal = 0, ReplayUsTotal = 0;
+  for (size_t T = 0; T < RunStoreStats::kMaxTiers; ++T) {
+    ReplaysTotal += RS.Replays[T].load();
+    ReplayFailuresTotal += RS.ReplayFailures[T].load();
+    ReplayUsTotal += RS.ReplayUs[T].load();
+  }
+  PR.ReplayedHits = static_cast<unsigned>(ReplaysTotal);
+  PR.ReplayFailures = static_cast<unsigned>(ReplayFailuresTotal);
+  PR.ReplayMillis = static_cast<double>(ReplayUsTotal) / 1000.0;
+  for (size_t T = 1; T < Store.numTiers(); ++T)
+    if (!Store.trusted(T))
+      PR.CorruptDrops += static_cast<unsigned>(
+          Store.tier(T).counters().CorruptDrops.load(
+              std::memory_order_relaxed) -
+          CorruptBase[T]);
 
   if (TS) {
     // Fold the per-function EngineStats into the session registry —
@@ -871,14 +936,27 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
     if (UseStore) {
       // Per-tier store accounting, mirrored from the joined results (and,
       // for corrupt drops, from the tier's own lifetime counters) so the
-      // exported values are schedule-independent.
+      // exported values are schedule-independent. Every tier exports under
+      // its own label: store.l1.*, store.l2.*, store.l3.*.
       MR.counter("store.l1.hits").add(PR.L1Hits);
-      if (HaveL2) {
-        MR.counter("store.l2.hits").add(PR.L2Hits);
-        MR.counter("store.l2.replays").add(PR.ReplayedHits);
-        MR.counter("store.l2.replay_failures").add(PR.ReplayFailures);
-        MR.counter("store.l2.replay_us").add(RS.ReplayUs.load());
-        MR.counter("store.l2.corrupt_drops").add(PR.CorruptDrops);
+      std::vector<unsigned> TierHitCount(Store.numTiers(), 0);
+      for (size_t I = 0; I < Names.size(); ++I)
+        if (HitTier[I] != kMiss && HitTier[I] < Store.numTiers())
+          ++TierHitCount[HitTier[I]];
+      for (size_t T = 1; T < Store.numTiers(); ++T) {
+        const std::string Prefix = std::string("store.") +
+                                   Store.tier(T).tierName();
+        const size_t TI =
+            T < RunStoreStats::kMaxTiers ? T : RunStoreStats::kMaxTiers - 1;
+        MR.counter(Prefix + ".hits").add(TierHitCount[T]);
+        MR.counter(Prefix + ".replays").add(RS.Replays[TI].load());
+        MR.counter(Prefix + ".replay_failures")
+            .add(RS.ReplayFailures[TI].load());
+        MR.counter(Prefix + ".replay_us").add(RS.ReplayUs[TI].load());
+        MR.counter(Prefix + ".corrupt_drops")
+            .add(Store.tier(T).counters().CorruptDrops.load(
+                     std::memory_order_relaxed) -
+                 CorruptBase[T]);
       }
     }
     MR.counter("checker.functions").add(Names.size());
@@ -887,6 +965,18 @@ ProgramResult Checker::verifyFunctions(const std::vector<std::string> &Names,
   auto End = std::chrono::steady_clock::now();
   PR.WallMillis =
       std::chrono::duration<double, std::milli>(End - Start).count();
+
+  // Deterministic mode extends the byte-identical guarantee from traces to
+  // the ProgramResult itself: wall times are the only schedule-dependent
+  // fields, so zeroing them makes `--format=json --deterministic-trace`
+  // output comparable across job counts, runs, and fleet-vs-local drivers
+  // (scripts/check.sh diffs exactly this).
+  if (Opts.DeterministicTrace) {
+    PR.WallMillis = 0.0;
+    PR.ReplayMillis = 0.0;
+    for (FnResult &R : PR.Fns)
+      R.WallMillis = 0.0;
+  }
 
   RunSpan.reset();
   if (TS) {

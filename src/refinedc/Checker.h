@@ -108,6 +108,18 @@ public:
   void adoptStoreTiers(std::shared_ptr<store::MemoryResultStore> SharedL1,
                        std::shared_ptr<store::DiskResultStore> SharedL2);
 
+  /// Generalization of adoptStoreTiers to the uniform tier stack: the
+  /// trusted in-memory L1 plus any number of *untrusted* persistent tiers
+  /// in probe order (private L2 first, then the fleet's shared L3). Every
+  /// hit in an untrusted tier is replayed through the ProofChecker before
+  /// being trusted (or hash-trusted under --no-recheck), and validated
+  /// results are promoted into every tier probed earlier. This is how
+  /// fleet workers compose [private L1, shared L3] and the daemon composes
+  /// [shared L1, private L2, shared L3] (DESIGN.md, "Fleet & protocol v2").
+  void
+  adoptTierStack(std::shared_ptr<store::MemoryResultStore> SharedL1,
+                 std::vector<std::shared_ptr<store::ResultStore>> Untrusted);
+
   /// Verifies one function against its annotations. Thread-safe: shares
   /// only immutable session state, and bypasses the result store.
   FnResult verifyFunction(const std::string &Name,
@@ -166,15 +178,17 @@ private:
   void invalidateCache();
 
   /// (Re)builds the tiered store for this run: the session L1 always, plus
-  /// a disk L2 when Opts.CacheDir is set (reused across runs on the same
-  /// directory).
+  /// a disk L2 when Opts.CacheDir is set and a shared L3 when
+  /// Opts.SharedDir is set (each reused across runs on the same directory).
   void configureStore(const VerifyOptions &Opts);
 
-  /// Per-run replay accounting, aggregated across jobs.
+  /// Per-run replay accounting, aggregated across jobs. Indexed by tier
+  /// position in the stack (tier 0 — trusted L1 — never replays).
   struct RunStoreStats {
-    std::atomic<uint64_t> ReplayUs{0};
-    std::atomic<uint64_t> Replays{0};
-    std::atomic<uint64_t> ReplayFailures{0};
+    static constexpr size_t kMaxTiers = 8;
+    std::atomic<uint64_t> ReplayUs[kMaxTiers] = {};
+    std::atomic<uint64_t> Replays[kMaxTiers] = {};
+    std::atomic<uint64_t> ReplayFailures[kMaxTiers] = {};
   };
 
   /// Job-start store probe: on a hit in an untrusted (disk) tier the entry
@@ -202,12 +216,18 @@ private:
   mutable uint64_t EnvFingerprint = 0;
   mutable bool EnvFingerprintValid = false;
 
-  /// The session result store. L1 (in-memory, trusted) always exists; L2
-  /// (on-disk, untrusted until replayed) is attached by configureStore when
-  /// a run sets VerifyOptions::CacheDir. Jobs only touch the store at job
-  /// start/end; all tiers are thread-safe.
+  /// The session result store, composed as a uniform tier stack. L1
+  /// (in-memory, trusted) always exists; L2 (private on-disk) and L3 (the
+  /// fleet's shared artifact store) — both untrusted until replayed — are
+  /// attached by configureStore when a run sets VerifyOptions::CacheDir /
+  /// SharedDir, or adopted wholesale by adoptTierStack. Jobs only touch
+  /// the store at job start/end; all tiers are thread-safe.
   std::shared_ptr<store::MemoryResultStore> L1;
   std::shared_ptr<store::DiskResultStore> L2;
+  std::shared_ptr<store::DiskResultStore> L3;
+  /// Adopted untrusted tiers (adoptTierStack); empty when the session owns
+  /// its composition.
+  std::vector<std::shared_ptr<store::ResultStore>> AdoptedUntrusted;
   store::TieredResultStore Store;
   /// True once adoptStoreTiers ran: the tier composition is owned by the
   /// caller (the daemon) and configureStore must not rebuild it.

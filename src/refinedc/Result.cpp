@@ -74,6 +74,62 @@ static void jsonEscape(std::string &Out, const std::string &S) {
   Out += '"';
 }
 
+std::string ProgramResult::toStableJson() const {
+  std::string S;
+  char Buf[64];
+  S += "{\n";
+  S += std::string("  \"all_verified\": ") +
+       (allVerified() ? "true" : "false") + ",\n";
+  S += "  \"functions\": [";
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    const FnResult &R = Fns[I];
+    S += I ? ",\n    {" : "\n    {";
+    S += "\"name\": ";
+    jsonEscape(S, R.Name);
+    S += std::string(", \"verified\": ") + (R.Verified ? "true" : "false");
+    S += std::string(", \"trusted\": ") + (R.Trusted ? "true" : "false");
+    if (!R.Error.empty()) {
+      S += ", \"error\": ";
+      jsonEscape(S, R.Error);
+      snprintf(Buf, sizeof(Buf), ", \"error_line\": %u, \"error_col\": %u",
+               R.ErrorLoc.Line, R.ErrorLoc.Col);
+      S += Buf;
+    }
+    if (!R.Diags.empty()) {
+      S += ", \"diagnostics\": [";
+      for (size_t D = 0; D < R.Diags.size(); ++D) {
+        if (D)
+          S += ", ";
+        S += R.Diags[D].toJson();
+      }
+      S += "]";
+    }
+    snprintf(Buf, sizeof(Buf), ", \"rule_apps\": %u", R.Stats.RuleApps);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"distinct_rules\": %zu",
+             R.Stats.RulesUsed.size());
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"side_cond_auto\": %u",
+             R.Stats.SideCondAuto);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"side_cond_manual\": %u",
+             R.Stats.SideCondManual);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"goal_steps\": %u", R.Stats.GoalSteps);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"evars_instantiated\": %u",
+             R.EvarsInstantiated);
+    S += Buf;
+    snprintf(Buf, sizeof(Buf), ", \"deriv_steps\": %zu",
+             R.Deriv.Steps.size());
+    S += Buf;
+    S += "}";
+  }
+  S += Fns.empty() ? "]" : "\n  ]";
+  S += "\n}\n";
+  return S;
+}
+
 std::string ProgramResult::toJson(const std::string &ExtraJson) const {
   std::string S;
   char Buf[64];
@@ -89,6 +145,8 @@ std::string ProgramResult::toJson(const std::string &ExtraJson) const {
   snprintf(Buf, sizeof(Buf), "  \"l1_hits\": %u,\n", L1Hits);
   S += Buf;
   snprintf(Buf, sizeof(Buf), "  \"l2_hits\": %u,\n", L2Hits);
+  S += Buf;
+  snprintf(Buf, sizeof(Buf), "  \"l3_hits\": %u,\n", L3Hits);
   S += Buf;
   snprintf(Buf, sizeof(Buf), "  \"replayed_hits\": %u,\n", ReplayedHits);
   S += Buf;

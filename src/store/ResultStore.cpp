@@ -75,7 +75,11 @@ void MemoryResultStore::clear() {
 
 static constexpr uint32_t kEntryMagic = 0x53564352; // "RCVS"
 
-DiskResultStore::DiskResultStore(std::string D) : Dir(std::move(D)) {
+DiskResultStore::DiskResultStore(std::string D, std::string L)
+    : Dir(std::move(D)), Label(std::move(L)),
+      LoadSpanName("store." + Label + ".load"),
+      WriteSpanName("store." + Label + ".write"),
+      GcSpanName("store." + Label + ".gc") {
   std::error_code EC;
   fs::create_directories(Dir, EC); // failures surface as misses below
 }
@@ -103,7 +107,7 @@ std::string DiskResultStore::entryPath(const std::string &Name,
 
 bool DiskResultStore::get(const std::string &Name, uint64_t Key,
                           FnResult &Out) {
-  trace::Span LoadSpan(trace::Category::Cache, "store.l2.load");
+  trace::Span LoadSpan(trace::Category::Cache, LoadSpanName);
   std::string Path = entryPath(Name, Key);
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
@@ -159,7 +163,7 @@ bool DiskResultStore::get(const std::string &Name, uint64_t Key,
 
 void DiskResultStore::put(const std::string &Name, uint64_t Key,
                           const FnResult &R) {
-  trace::Span WriteSpan(trace::Category::Cache, "store.l2.write");
+  trace::Span WriteSpan(trace::Category::Cache, WriteSpanName);
   std::string Payload = serializeFnResult(R);
 
   BinaryWriter W;
@@ -229,7 +233,7 @@ uint64_t DiskResultStore::sizeBytes() const {
 }
 
 GcStats DiskResultStore::gc(uint64_t MaxBytes) {
-  trace::Span GcSpan(trace::Category::Cache, "store.l2.gc");
+  trace::Span GcSpan(trace::Category::Cache, GcSpanName);
   GcStats S;
 
   // Snapshot (path, mtime, size) for every entry. Entries that vanish or

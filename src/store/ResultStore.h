@@ -23,9 +23,19 @@
 ///    derivation through the independent ProofChecker before believing it
 ///    — the paper's search-untrusted / checker-trusted split, extended
 ///    across process boundaries.
-///  - `TieredResultStore`: composes tiers in probe order. It deliberately
-///    does NOT auto-promote on a hit: promotion into the trusted tier is
-///    the *caller's* call, made only after validation (`promote`).
+///  - `DiskResultStore` with the "l3" label: the *shared artifact store* of
+///    the verification fleet (DESIGN.md, "Fleet & protocol v2") — the same
+///    on-disk format and atomic-rename discipline, but pointed at a
+///    directory shared by every worker and coordinator. Entries may have
+///    been produced by other machines; the same replay-before-trust policy
+///    applies, so a corrupt or malicious shared cache degrades to local
+///    re-verification, never to a wrong result.
+///  - `TieredResultStore`: composes any number of tiers in probe order as a
+///    uniform stack (L1/L2/L3/...), each carrying its *trust* attribute:
+///    trusted tiers were produced in-process, untrusted tiers are replayed
+///    through the ProofChecker by the caller before being believed. It
+///    deliberately does NOT auto-promote on a hit: promotion upward is the
+///    *caller's* call, made only after validation (`promote`).
 ///
 /// All stores are thread-safe; verification jobs probe at job start and
 /// publish at job end through the same interface regardless of tier.
@@ -111,13 +121,16 @@ struct GcStats {
   unsigned Evicted = 0;     ///< entries unlinked by the pass
 };
 
-/// L2: one file per (name, key) under \p Dir, named
+/// L2/L3: one file per (name, key) under \p Dir, named
 /// `<sanitized-name>.<key-hex>.rcv`. Writers write to a process-unique
-/// temp file and atomically rename it into place, so two verify_tool
+/// temp file and atomically rename it into place, so any number of
 /// processes sharing a directory can never expose a half-written entry.
+/// \p Label names the tier in metrics and trace spans: "l2" is a private
+/// persistent cache, "l3" the fleet's shared artifact store — same format,
+/// different directory ownership and metric names.
 class DiskResultStore final : public ResultStore {
 public:
-  explicit DiskResultStore(std::string Dir);
+  explicit DiskResultStore(std::string Dir, std::string Label = "l2");
 
   bool get(const std::string &Name, uint64_t Key,
            refinedc::FnResult &Out) override;
@@ -127,7 +140,7 @@ public:
   /// Unlinks every .rcv entry under the directory (testing/maintenance;
   /// never called by session invalidation).
   void clear() override;
-  const char *tierName() const override { return "l2"; }
+  const char *tierName() const override { return Label.c_str(); }
 
   const std::string &dir() const { return Dir; }
   /// The entry path for (Name, Key) — exposed for tests that corrupt or
@@ -146,21 +159,38 @@ public:
 
 private:
   std::string Dir;
+  std::string Label;
+  /// Precomputed span names ("store.<label>.load" etc.) so the record path
+  /// does not concatenate strings per probe.
+  std::string LoadSpanName, WriteSpanName, GcSpanName;
   std::atomic<uint64_t> TmpCounter{0};
 };
 
-/// Probes tiers in order; `get` reports which tier hit so the caller can
-/// apply the tier's trust policy before promoting the entry upward.
+/// The uniform tier stack: probes tiers in order; `get` reports which tier
+/// hit so the caller can apply the tier's trust policy before promoting the
+/// entry upward. Each tier carries its trust attribute — a hit in an
+/// untrusted tier must be replayed through the ProofChecker (or explicitly
+/// hash-trusted) by the caller before it is surfaced.
 class TieredResultStore final : public ResultStore {
 public:
-  void addTier(std::shared_ptr<ResultStore> S) {
+  /// Appends a tier to the probe order. \p Trusted: entries were produced
+  /// by this process (in-memory tiers); untrusted tiers (disk, network)
+  /// require validation on every hit.
+  void addTier(std::shared_ptr<ResultStore> S, bool Trusted) {
     Tiers.push_back(std::move(S));
+    TrustedBits.push_back(Trusted);
   }
   /// Detaches every tier (the tiers themselves survive through their
   /// shared_ptr owners); used when a session re-composes its tiers.
-  void resetTiers() { Tiers.clear(); }
+  void resetTiers() {
+    Tiers.clear();
+    TrustedBits.clear();
+  }
   size_t numTiers() const { return Tiers.size(); }
   ResultStore &tier(size_t I) { return *Tiers[I]; }
+  const ResultStore &tier(size_t I) const { return *Tiers[I]; }
+  /// Whether tier \p I's entries are trusted as-is.
+  bool trusted(size_t I) const { return TrustedBits[I]; }
 
   /// Probes tiers in order; on a hit, \p HitTier is the tier index.
   bool get(const std::string &Name, uint64_t Key, refinedc::FnResult &Out,
@@ -184,6 +214,7 @@ public:
 
 private:
   std::vector<std::shared_ptr<ResultStore>> Tiers;
+  std::vector<bool> TrustedBits; ///< parallel to Tiers
 };
 
 } // namespace rcc::store

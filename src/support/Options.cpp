@@ -1,0 +1,233 @@
+//===- Options.cpp - Shared command-line option parsing -------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+
+using namespace rcc;
+using namespace rcc::opts;
+
+bool opts::parseU64(const std::string &S, uint64_t &Out, uint64_t Max) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    if (V > (UINT64_MAX - static_cast<uint64_t>(C - '0')) / 10)
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (V > Max)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool opts::parseUnsigned(const std::string &S, unsigned &Out, unsigned Max) {
+  uint64_t V;
+  if (!parseU64(S, V, Max))
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+OptionParser::OptionParser(std::string ToolName, std::string PositionalHelp)
+    : Tool(std::move(ToolName)), Positional(std::move(PositionalHelp)) {}
+
+OptionParser &OptionParser::flag(const std::string &Name, bool &Target,
+                                 bool Value, const std::string &Help) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::Bool;
+  O.Help = Help;
+  O.BoolTarget = &Target;
+  O.BoolValue = Value;
+  Opts.push_back(std::move(O));
+  return *this;
+}
+
+OptionParser &OptionParser::unsignedOpt(const std::string &Name,
+                                        unsigned &Target,
+                                        const std::string &Help, unsigned Min,
+                                        unsigned Max) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::Unsigned;
+  O.Help = Help;
+  O.UTarget = &Target;
+  O.UMin = Min;
+  O.UMax = Max;
+  Opts.push_back(std::move(O));
+  return *this;
+}
+
+OptionParser &OptionParser::u64Opt(const std::string &Name, uint64_t &Target,
+                                   const std::string &Help) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::U64;
+  O.Help = Help;
+  O.U64Target = &Target;
+  Opts.push_back(std::move(O));
+  return *this;
+}
+
+OptionParser &OptionParser::strOpt(const std::string &Name,
+                                   std::string &Target,
+                                   const std::string &Help) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::Str;
+  O.Help = Help;
+  O.StrTarget = &Target;
+  Opts.push_back(std::move(O));
+  return *this;
+}
+
+OptionParser &OptionParser::strOptional(const std::string &Name,
+                                        std::string &Target,
+                                        std::string Default,
+                                        const std::string &Help) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::StrOptional;
+  O.Help = Help;
+  O.StrTarget = &Target;
+  O.StrDefault = std::move(Default);
+  Opts.push_back(std::move(O));
+  return *this;
+}
+
+OptionParser &OptionParser::custom(
+    const std::string &Name, std::function<bool(const std::string &)> Parse,
+    const std::string &Help) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::Custom;
+  O.Help = Help;
+  O.Parse = std::move(Parse);
+  Opts.push_back(std::move(O));
+  return *this;
+}
+
+OptionParser &OptionParser::version() {
+  HasVersion = true;
+  return *this;
+}
+
+const OptionParser::Opt *OptionParser::find(const std::string &Name) const {
+  for (const Opt &O : Opts)
+    if (O.Name == Name)
+      return &O;
+  return nullptr;
+}
+
+ParseResult OptionParser::parse(int Argc, char **Argv,
+                                std::vector<std::string> &Positional) {
+  Err.clear();
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--", 0) != 0) {
+      Positional.push_back(A);
+      continue;
+    }
+    if (HasVersion && A == "--version")
+      return ParseResult::Version;
+    std::string Name = A.substr(2);
+    std::string Value;
+    bool HasValue = false;
+    size_t Eq = Name.find('=');
+    if (Eq != std::string::npos) {
+      Value = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasValue = true;
+    }
+    const Opt *O = find(Name);
+    if (!O) {
+      Err = A;
+      return ParseResult::Error;
+    }
+    switch (O->K) {
+    case Kind::Bool:
+      if (HasValue) {
+        Err = A; // bare flags take no value
+        return ParseResult::Error;
+      }
+      *O->BoolTarget = O->BoolValue;
+      break;
+    case Kind::Unsigned: {
+      unsigned V;
+      if (!HasValue || !parseUnsigned(Value, V, O->UMax) || V < O->UMin) {
+        Err = A;
+        return ParseResult::Error;
+      }
+      *O->UTarget = V;
+      break;
+    }
+    case Kind::U64: {
+      uint64_t V;
+      if (!HasValue || !parseU64(Value, V)) {
+        Err = A;
+        return ParseResult::Error;
+      }
+      *O->U64Target = V;
+      break;
+    }
+    case Kind::Str:
+      if (!HasValue || Value.empty()) {
+        Err = A;
+        return ParseResult::Error;
+      }
+      *O->StrTarget = Value;
+      break;
+    case Kind::StrOptional:
+      if (HasValue && Value.empty()) {
+        Err = A;
+        return ParseResult::Error;
+      }
+      *O->StrTarget = HasValue ? Value : O->StrDefault;
+      break;
+    case Kind::Custom:
+      if (!HasValue || !O->Parse(Value)) {
+        Err = A;
+        return ParseResult::Error;
+      }
+      break;
+    }
+  }
+  return ParseResult::Ok;
+}
+
+std::string OptionParser::usage() const {
+  std::string S = "usage: " + Tool;
+  for (const Opt &O : Opts) {
+    S += " [--" + O.Name;
+    switch (O.K) {
+    case Kind::Bool:
+      break;
+    case Kind::Unsigned:
+    case Kind::U64:
+      S += "=N";
+      break;
+    case Kind::Str:
+      S += "=" + (O.Help.empty() ? std::string("S") : O.Help);
+      break;
+    case Kind::StrOptional:
+      S += "[=" + (O.Help.empty() ? std::string("S") : O.Help) + "]";
+      break;
+    case Kind::Custom:
+      S += "=" + (O.Help.empty() ? std::string("V") : O.Help);
+      break;
+    }
+    S += "]";
+  }
+  if (HasVersion)
+    S += " [--version]";
+  if (!Positional.empty())
+    S += " " + Positional;
+  S += "\n";
+  return S;
+}

@@ -1,0 +1,325 @@
+//===- ProtocolTest.cpp - Protocol v2 wire contracts ----------------------===//
+//
+// Part of RefinedC++, a C++ reproduction of the RefinedC verifier (PLDI'21).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire contracts of protocol v2 (DESIGN.md, "Fleet & protocol v2"):
+/// every typed message round-trips through toLine/parseMsg, the v2
+/// pre-filter cleanly separates v2 lines from the legacy v1 surface,
+/// malformed input is rejected (never guessed at), and daemon events
+/// round-trip through both toJsonLine generations — with the v2 envelope
+/// wrapping a byte-identical v1 body, the compatibility property that lets
+/// v1 clients keep working without a handshake.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Event.h"
+#include "fleet/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace rcc;
+using namespace rcc::fleet;
+
+namespace {
+
+/// Parses \p Line expecting success and the given kind.
+Msg parseOk(const std::string &Line, MsgKind Kind) {
+  Msg M;
+  std::string Err;
+  EXPECT_TRUE(parseMsg(Line, M, &Err)) << Line << " -- " << Err;
+  EXPECT_EQ(static_cast<int>(M.Kind), static_cast<int>(Kind)) << Line;
+  return M;
+}
+
+TEST(Protocol, HelloRoundTrip) {
+  Hello H;
+  H.Version = 2;
+  H.Role = "worker";
+  H.Name = "w-\"quoted\"";
+  Msg M = parseOk(H.toLine(), MsgKind::Hello);
+  EXPECT_EQ(M.H.Version, 2u);
+  EXPECT_EQ(M.H.Role, "worker");
+  EXPECT_EQ(M.H.Name, "w-\"quoted\"");
+}
+
+TEST(Protocol, HelloAckRoundTrip) {
+  HelloAck A;
+  A.File = "/tmp/a b.c";
+  A.SharedDir = "/l3";
+  A.Recheck = true;
+  A.Portfolio = "race";
+  A.Window = 8;
+  Msg M = parseOk(A.toLine(), MsgKind::HelloAck);
+  EXPECT_EQ(M.A.Version, kProtocolVersion);
+  EXPECT_EQ(M.A.File, "/tmp/a b.c");
+  EXPECT_EQ(M.A.SharedDir, "/l3");
+  EXPECT_TRUE(M.A.Recheck);
+  EXPECT_EQ(M.A.Portfolio, "race");
+  EXPECT_EQ(M.A.Window, 8u);
+}
+
+TEST(Protocol, PullRoundTrip) {
+  Pull P;
+  P.Capacity = 3;
+  Msg M = parseOk(P.toLine(), MsgKind::Pull);
+  EXPECT_EQ(M.P.Capacity, 3u);
+}
+
+TEST(Protocol, JobsRoundTrip) {
+  Jobs J;
+  J.Seq = 41;
+  J.Fns = {"alpha", "beta"};
+  Msg M = parseOk(J.toLine(), MsgKind::Jobs);
+  EXPECT_EQ(M.J.Seq, 41u);
+  ASSERT_EQ(M.J.Fns.size(), 2u);
+  EXPECT_EQ(M.J.Fns[0], "alpha");
+  EXPECT_EQ(M.J.Fns[1], "beta");
+  EXPECT_FALSE(M.J.Done);
+
+  Jobs Drain;
+  Drain.Seq = 42;
+  Drain.Done = true;
+  Msg D = parseOk(Drain.toLine(), MsgKind::Jobs);
+  EXPECT_TRUE(D.J.Done);
+  EXPECT_TRUE(D.J.Fns.empty());
+}
+
+TEST(Protocol, JobResultRoundTrip) {
+  JobResult R;
+  R.Fn = "max_sz";
+  R.Verified = true;
+  R.Cached = true;
+  R.WallMs = 12.5;
+  Msg M = parseOk(R.toLine(), MsgKind::JobResult);
+  EXPECT_EQ(M.R.Fn, "max_sz");
+  EXPECT_TRUE(M.R.Verified);
+  EXPECT_TRUE(M.R.Cached);
+  EXPECT_DOUBLE_EQ(M.R.WallMs, 12.5);
+}
+
+TEST(Protocol, SpanFlushRoundTrip) {
+  SpanFlush F;
+  F.Worker = "w1";
+  F.Events.push_back({"verify.fn", 3, 17, 'B'});
+  F.Events.push_back({"verify.fn", 3, 18, 'E'});
+  F.Events.push_back({"solver.call", 0, 19, 'i'});
+  Msg M = parseOk(F.toLine(), MsgKind::SpanFlush);
+  EXPECT_EQ(M.F.Worker, "w1");
+  ASSERT_EQ(M.F.Events.size(), 3u);
+  EXPECT_EQ(M.F.Events[0].Name, "verify.fn");
+  EXPECT_EQ(M.F.Events[0].Lane, 3u);
+  EXPECT_EQ(M.F.Events[0].Seq, 17u);
+  EXPECT_EQ(M.F.Events[0].Phase, 'B');
+  EXPECT_EQ(M.F.Events[1].Phase, 'E');
+  EXPECT_EQ(M.F.Events[2].Phase, 'i');
+}
+
+TEST(Protocol, RequestByeErrorRoundTrip) {
+  Request Q;
+  Q.Id = 7;
+  Q.Method = "check";
+  Msg M = parseOk(Q.toLine(), MsgKind::Request);
+  EXPECT_EQ(M.Q.Id, 7u);
+  EXPECT_EQ(M.Q.Method, "check");
+
+  parseOk(Bye{}.toLine(), MsgKind::Bye);
+
+  ErrorMsg E{"it broke"};
+  Msg ME = parseOk(E.toLine(), MsgKind::Error);
+  EXPECT_EQ(ME.E.Message, "it broke");
+}
+
+TEST(Protocol, MalformedInputRejected) {
+  Msg M;
+  // Not JSON / not an object / not v2.
+  EXPECT_FALSE(parseMsg("", M));
+  EXPECT_FALSE(parseMsg("check", M));
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"hello\"", M)); // truncated
+  EXPECT_FALSE(parseMsg("[1, 2]", M));
+  EXPECT_FALSE(parseMsg("{\"event\": \"status\"}", M)); // v1 event line
+  // Right tag, missing mandatory fields.
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"hello\", \"role\": \"worker\"}", M));
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"hello_ack\"}", M));
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"jobs\", \"seq\": 1}", M));
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"job_result\"}", M));
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"req\", \"id\": 3}", M));
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"span_flush\", \"worker\": \"w\"}", M));
+  // Unknown type and nonsense values.
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"warp\"}", M));
+  EXPECT_FALSE(parseMsg("{\"rcc\": \"pull\", \"capacity\": 0}", M));
+  EXPECT_FALSE(
+      parseMsg("{\"rcc\": \"jobs\", \"seq\": 1, \"fns\": [1]}", M));
+}
+
+TEST(Protocol, LooksLikeV2Filter) {
+  EXPECT_TRUE(looksLikeV2(Bye{}.toLine()));
+  EXPECT_TRUE(looksLikeV2(Hello{}.toLine()));
+  EXPECT_TRUE(looksLikeV2("  {\"rcc\": \"pull\", \"capacity\": 1}"));
+  // The entire legacy v1 surface must fall through.
+  EXPECT_FALSE(looksLikeV2("check"));
+  EXPECT_FALSE(looksLikeV2("status"));
+  EXPECT_FALSE(looksLikeV2("shutdown"));
+  EXPECT_FALSE(looksLikeV2("{\"event\": \"revision\", \"rev\": 1}"));
+  EXPECT_FALSE(looksLikeV2("{\"v\": 2, \"id\": 0}"));
+  EXPECT_FALSE(looksLikeV2(""));
+}
+
+//===--------------------------------------------------------------------===//
+// Daemon event round-trips (both protocol generations)
+//===--------------------------------------------------------------------===//
+
+using daemon::Event;
+using daemon::EventKind;
+
+TEST(EventWire, RevisionRoundTrip) {
+  Event E;
+  E.Kind = EventKind::Revision;
+  E.Rev = 4;
+  E.File = "demo.c";
+  Event R;
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(static_cast<int>(R.Kind), static_cast<int>(EventKind::Revision));
+  EXPECT_EQ(R.Rev, 4u);
+  EXPECT_EQ(R.File, "demo.c");
+}
+
+TEST(EventWire, DiagnosticRoundTrip) {
+  Event E;
+  E.Kind = EventKind::Diagnostic;
+  E.Rev = 2;
+  E.File = "demo.c";
+  E.Verified = false;
+  E.Cached = true;
+  E.Diag.Fn = "arena_alloc";
+  E.Diag.Message = "side condition failed";
+  E.Diag.Loc = {10, 3};
+  E.WallMs = 1.25;
+  Event R;
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(static_cast<int>(R.Kind),
+            static_cast<int>(EventKind::Diagnostic));
+  EXPECT_FALSE(R.Verified);
+  EXPECT_TRUE(R.Cached);
+  EXPECT_EQ(R.Diag.Fn, "arena_alloc");
+  EXPECT_EQ(R.Diag.Message, "side condition failed");
+  EXPECT_EQ(R.Diag.Loc.Line, 10u);
+  EXPECT_EQ(R.Diag.Loc.Col, 3u);
+  EXPECT_DOUBLE_EQ(R.WallMs, 1.25);
+}
+
+TEST(EventWire, RevisionDoneRoundTrip) {
+  Event E;
+  E.Kind = EventKind::RevisionDone;
+  E.Rev = 9;
+  E.File = "demo.c";
+  E.Functions = 12;
+  E.Reverified = 3;
+  E.CachedFns = 9;
+  E.L1Hits = 5;
+  E.L2Hits = 4;
+  E.Replayed = 4;
+  E.Failed = 1;
+  E.AllVerified = false;
+  Event R;
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(R.Functions, 12u);
+  EXPECT_EQ(R.Reverified, 3u);
+  EXPECT_EQ(R.CachedFns, 9u);
+  EXPECT_EQ(R.L1Hits, 5u);
+  EXPECT_EQ(R.L2Hits, 4u);
+  EXPECT_EQ(R.Replayed, 4u);
+  EXPECT_EQ(R.Failed, 1u);
+  EXPECT_FALSE(R.AllVerified);
+}
+
+TEST(EventWire, RemainingKindsRoundTrip) {
+  Event E;
+  E.Kind = EventKind::Unchanged;
+  E.Rev = 1;
+  E.File = "a.c";
+  E.AllVerified = true;
+  Event R;
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(static_cast<int>(R.Kind), static_cast<int>(EventKind::Unchanged));
+  EXPECT_TRUE(R.AllVerified);
+
+  E = Event();
+  E.Kind = EventKind::Status;
+  E.Functions = 7;
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(static_cast<int>(R.Kind), static_cast<int>(EventKind::Status));
+  EXPECT_EQ(R.Functions, 7u);
+
+  E = Event();
+  E.Kind = EventKind::Error;
+  E.Diag.Message = "parse error";
+  E.Diag.Loc = {3, 1};
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(static_cast<int>(R.Kind), static_cast<int>(EventKind::Error));
+  EXPECT_EQ(R.Diag.Message, "parse error");
+  EXPECT_EQ(R.Diag.Loc.Line, 3u);
+
+  E = Event();
+  E.Kind = EventKind::Gc;
+  E.BytesBefore = 1000;
+  E.BytesAfter = 400;
+  E.Evicted = 6;
+  E.MaxBytes = 512;
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(static_cast<int>(R.Kind), static_cast<int>(EventKind::Gc));
+  EXPECT_EQ(R.BytesBefore, 1000u);
+  EXPECT_EQ(R.BytesAfter, 400u);
+  EXPECT_EQ(R.Evicted, 6u);
+  EXPECT_EQ(R.MaxBytes, 512u);
+
+  E = Event();
+  E.Kind = EventKind::Shutdown;
+  E.Rev = 3;
+  ASSERT_TRUE(Event::fromJsonLine(E.toJsonLine(), R));
+  EXPECT_EQ(static_cast<int>(R.Kind), static_cast<int>(EventKind::Shutdown));
+  EXPECT_EQ(R.Rev, 3u);
+}
+
+TEST(EventWire, V2EnvelopeWrapsIdenticalV1Body) {
+  Event E;
+  E.Kind = EventKind::Status;
+  E.Rev = 5;
+  E.File = "demo.c";
+  E.Functions = 3;
+  E.AllVerified = true;
+
+  std::string V1 = E.toJsonLine();
+  std::string V2 = E.toJsonLine(2, 77);
+  // v1 body spliced verbatim after the envelope prefix.
+  EXPECT_EQ(V2, "{\"v\": 2, \"id\": 77, " + V1.substr(1));
+  // Version 1 renders the v1 line byte-for-byte.
+  EXPECT_EQ(E.toJsonLine(1, 77), V1);
+
+  Event R;
+  uint64_t ReqId = 0;
+  ASSERT_TRUE(Event::fromJsonLine(V2, R, &ReqId));
+  EXPECT_EQ(ReqId, 77u);
+  EXPECT_EQ(static_cast<int>(R.Kind), static_cast<int>(EventKind::Status));
+  EXPECT_EQ(R.Rev, 5u);
+  EXPECT_EQ(R.Functions, 3u);
+  EXPECT_TRUE(R.AllVerified);
+
+  // v1 lines parse with ReqId 0 (unsolicited broadcast).
+  ReqId = 99;
+  ASSERT_TRUE(Event::fromJsonLine(V1, R, &ReqId));
+  EXPECT_EQ(ReqId, 0u);
+}
+
+TEST(EventWire, GarbageRejected) {
+  Event R;
+  EXPECT_FALSE(Event::fromJsonLine("", R));
+  EXPECT_FALSE(Event::fromJsonLine("not json", R));
+  EXPECT_FALSE(Event::fromJsonLine("{\"rev\": 1}", R)); // no event name
+  EXPECT_FALSE(Event::fromJsonLine("{\"event\": \"warp\", \"rev\": 1}", R));
+  EXPECT_FALSE(Event::fromJsonLine("{\"event\": \"error\"}", R)); // no message
+}
+
+} // namespace

@@ -256,8 +256,10 @@ TEST(Store, TieredProbeOrderAndPromotion) {
   auto M1 = std::make_shared<MemoryResultStore>();
   auto M2 = std::make_shared<MemoryResultStore>();
   TieredResultStore T;
-  T.addTier(M1);
-  T.addTier(M2);
+  T.addTier(M1, /*Trusted=*/true);
+  T.addTier(M2, /*Trusted=*/false);
+  EXPECT_TRUE(T.trusted(0));
+  EXPECT_FALSE(T.trusted(1));
 
   FnResult R;
   R.Name = "f";
